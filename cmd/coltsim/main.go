@@ -1,0 +1,61 @@
+// Command coltsim runs one benchmark under a chosen kernel
+// configuration and reports miss rates, eliminations, and modeled
+// speedups for the baseline and the three CoLT designs.
+//
+// Usage:
+//
+//	coltsim -bench Mcf [-ths=false] [-lowcompaction] [-memhog 25] [-refs N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colt"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "Mcf", "benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list benchmark names and exit")
+		ths     = flag.Bool("ths", true, "enable transparent hugepage support")
+		lowComp = flag.Bool("lowcompaction", false, "reduce memory compaction (defrag off)")
+		memhog  = flag.Int("memhog", 0, "memhog percentage (0, 25, 50)")
+		refs    = flag.Int("refs", 0, "measured references (default full run)")
+		quick   = flag.Bool("quick", false, "small fast run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range colt.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	opts := colt.DefaultOptions()
+	if *quick {
+		opts = colt.QuickOptions()
+	}
+	if *refs > 0 {
+		opts.References = *refs
+		opts.Warmup = *refs / 10
+	}
+	kernel := colt.KernelConfig{THP: *ths, LowCompaction: *lowComp, MemhogPct: *memhog}
+
+	rep, err := colt.RunBenchmark(*bench, kernel, opts, colt.AllPolicies())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coltsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %d instructions, avg contiguity %.1f pages, perfect-TLB speedup %.1f%%\n\n",
+		rep.Bench, rep.Instructions, rep.AvgContiguity, rep.PerfectSpeedupPct)
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n",
+		"policy", "L1 MPMI", "L2 MPMI", "L1 elim%", "L2 elim%", "speedup%")
+	for _, p := range rep.Policies {
+		fmt.Printf("%-10s %12.0f %12.0f %10.1f %10.1f %10.1f\n",
+			p.Policy, p.L1MPMI, p.L2MPMI, p.L1Eliminated, p.L2Eliminated, p.SpeedupPct)
+	}
+}

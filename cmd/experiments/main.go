@@ -1,0 +1,249 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp table1|contig|fig16|fig17|fig18|fig19|fig20|fig21|fa-ablation|all-ablation|all [-quick] [-scale F] [-refs N] [-frames N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colt/internal/experiments"
+	"colt/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (table1, contig, fig16, fig17, fig18, fig19, fig20, fig21, fa-ablation, all-ablation, prefetch, subblock, refinements, supsize, l2size, virt, timeline, all)")
+		quick  = flag.Bool("quick", false, "use small quick-run settings")
+		scale  = flag.Float64("scale", 0, "override workload footprint scale")
+		refs   = flag.Int("refs", 0, "override measured references per benchmark")
+		frames = flag.Int("frames", 0, "override physical memory frames")
+		seed   = flag.Uint64("seed", 0, "override RNG seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *refs > 0 {
+		opts.Refs = *refs
+		opts.Warmup = *refs / 10
+	}
+	if *frames > 0 {
+		opts.Frames = *frames
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	if err := run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options) error {
+	all := exp == "all"
+	ran := false
+	if all || exp == "table1" {
+		ran = true
+		rows, err := experiments.Table1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: real-system TLB misses per million instructions")
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if all || exp == "contig" {
+		ran = true
+		for _, setup := range []experiments.SystemSetup{
+			experiments.SetupTHSOnNormal,  // Figures 7-9
+			experiments.SetupTHSOffNormal, // Figures 10-12
+			experiments.SetupTHSOffLow,    // Figures 13-15
+		} {
+			rows, err := experiments.ContiguityCDFs(setup, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderContiguity(setup, rows))
+		}
+	}
+	if all || exp == "fig16" {
+		ran = true
+		rows, err := experiments.Figure16(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMemhog("Figure 16: average contiguity, THS on, varying memhog", rows))
+	}
+	if all || exp == "fig17" {
+		ran = true
+		rows, err := experiments.Figure17(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMemhog("Figure 17: average contiguity, THS off, varying memhog", rows))
+	}
+	if all || exp == "fig18" || exp == "fig21" {
+		ran = true
+		ev, err := experiments.RunStandardEvaluation(opts)
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig18" {
+			fmt.Println(experiments.RenderEliminations(
+				"Figure 18: % of baseline TLB misses eliminated",
+				[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Eliminations()))
+		}
+		if all || exp == "fig21" {
+			fmt.Println(experiments.RenderPerformance(
+				[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Performance()))
+		}
+	}
+	if all || exp == "fig19" {
+		ran = true
+		ev, err := experiments.Figure19(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEliminations(
+			"Figure 19: % of baseline misses eliminated by CoLT-SA index left-shift",
+			[]string{"shift-1", "shift-2", "shift-3"}, ev.Eliminations()))
+	}
+	if all || exp == "fig20" {
+		ran = true
+		rows, err := experiments.Figure20(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure20(rows))
+	}
+	if all || exp == "fa-ablation" {
+		ran = true
+		ev, err := experiments.AblationFAL2Fill(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEliminations(
+			"Ablation (§7.1.3): CoLT-FA with/without L2 fill",
+			[]string{"fa-l2fill", "fa-nofill"}, ev.Eliminations()))
+	}
+	if all || exp == "all-ablation" {
+		ran = true
+		ev, err := experiments.AblationAllL2Fill(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEliminations(
+			"Ablation (§7.1.3): CoLT-All with/without L2 fill",
+			[]string{"all-l2fill", "all-nofill"}, ev.Eliminations()))
+	}
+	if all || exp == "prefetch" {
+		ran = true
+		rows, err := experiments.PrefetchComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderPrefetchComparison(rows))
+	}
+	if all || exp == "subblock" {
+		ran = true
+		rows, err := experiments.SubblockComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSubblockComparison(rows))
+	}
+	if all || exp == "refinements" {
+		ran = true
+		ev, err := experiments.RefinementsAblation(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEliminations(
+			"Extension: future-work refinements (graceful uncoalescing, coalescing-aware LRU)",
+			[]string{"colt-all", "all+graceful", "all+biaslru", "all+both"}, ev.Eliminations()))
+	}
+	if all || exp == "supsize" {
+		ran = true
+		rows, err := experiments.SupSizeSensitivity(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSupSizeSensitivity(rows))
+	}
+	if all || exp == "l2size" {
+		ran = true
+		rows, err := experiments.L2SizeSensitivity(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderL2SizeSensitivity(rows))
+	}
+	if all || exp == "virt" {
+		ran = true
+		rows, err := experiments.VirtualizationComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderVirtualization(rows))
+	}
+	if all || exp == "timeline" {
+		ran = true
+		for _, name := range []string{"Mcf", "Sjeng"} {
+			spec, err := workload.ByName(name)
+			if err != nil {
+				return err
+			}
+			points, err := experiments.ContiguityTimeline(spec, experiments.SetupTHSOnMemhog50, opts, 6)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTimeline(name, experiments.SetupTHSOnMemhog50, points))
+		}
+	}
+	if exp == "calibrate" {
+		ran = true
+		if err := calibrate(opts); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// calibrate prints a compact per-benchmark summary used while tuning
+// the workload models: baseline MPMI, contiguity, and eliminations.
+func calibrate(opts experiments.Options) error {
+	fmt.Println("bench        contig  L1MPMI  L2MPMI  |  SA-L1  SA-L2  FA-L1  FA-L2  All-L1 All-L2")
+	for _, name := range workload.Names() {
+		spec, _ := workload.ByName(name)
+		res, err := experiments.RunBenchmark(spec, experiments.SetupTHSOnNormal, opts, experiments.StandardVariants())
+		if err != nil {
+			return err
+		}
+		base, _ := res.Variant("baseline")
+		l1, l2 := base.MPMI()
+		elim := func(v string) (float64, float64) {
+			x, _ := res.Variant(v)
+			e1 := 100 * (float64(base.TLB.L1Misses) - float64(x.TLB.L1Misses)) / float64(base.TLB.L1Misses)
+			e2 := 100 * (float64(base.TLB.L2Misses) - float64(x.TLB.L2Misses)) / float64(base.TLB.L2Misses)
+			return e1, e2
+		}
+		sa1, sa2 := elim("colt-sa")
+		fa1, fa2 := elim("colt-fa")
+		al1, al2 := elim("colt-all")
+		fmt.Printf("%-12s %6.1f %7.0f %7.0f  | %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+			name, res.Contig.AverageContiguity(), l1, l2, sa1, sa2, fa1, fa2, al1, al2)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command tracegen builds a benchmark's memory in the simulated system
+// and writes its reference stream to a binary trace file (the
+// simulator's equivalent of the paper's Simics-derived traces), which
+// can be replayed by external tooling or inspected with -dump.
+//
+// Usage:
+//
+//	tracegen -bench Mcf -o mcf.trace [-refs N] [-quick]
+//	tracegen -dump mcf.trace [-n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colt/internal/experiments"
+	"colt/internal/rng"
+	"colt/internal/trace"
+	"colt/internal/vm"
+	"colt/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "Mcf", "benchmark name")
+		out   = flag.String("o", "", "output trace file (required unless -dump)")
+		refs  = flag.Int("refs", 1_000_000, "references to record")
+		quick = flag.Bool("quick", false, "small fast run")
+		dump  = flag.String("dump", "", "dump an existing trace file instead of generating")
+		n     = flag.Int("n", 20, "records to print when dumping")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpTrace(*dump, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o is required")
+		os.Exit(1)
+	}
+	if err := generate(*bench, *out, *refs, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(bench, out string, refs int, quick bool) error {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	opts := experiments.DefaultOptions()
+	if quick {
+		opts = experiments.QuickOptions()
+	}
+	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: true})
+	master := rng.New(opts.Seed)
+	if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Fork()); err != nil {
+		return err
+	}
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return err
+	}
+	w, err := workload.Build(spec.Scale(opts.Scale), proc, master.Fork())
+	if err != nil {
+		return err
+	}
+	var tr trace.Trace
+	for i := 0; i < refs; i++ {
+		va, write, gap := w.Next()
+		tr.Append(trace.Record{VAddr: va, Write: write, InstGap: uint32(gap)})
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d references (%d instructions) for %s to %s\n",
+		tr.Len(), tr.Instructions(), bench, out)
+	return nil
+}
+
+func dumpTrace(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records, %d instructions\n", tr.Len(), tr.Instructions())
+	count := 0
+	tr.Replay(func(r trace.Record) bool {
+		kind := "R"
+		if r.Write {
+			kind = "W"
+		}
+		fmt.Printf("%s %#014x +%d\n", kind, uint64(r.VAddr), r.InstGap)
+		count++
+		return count < n
+	})
+	return nil
+}

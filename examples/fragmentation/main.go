@@ -1,0 +1,47 @@
+// Fragmentation: reproduce the paper's central OS observation — buddy
+// allocation, memory compaction, and transparent hugepages naturally
+// produce intermediate page-allocation contiguity, across kernel
+// configurations and even under heavy memhog load.
+//
+//	go run ./examples/fragmentation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colt"
+)
+
+func main() {
+	opts := colt.QuickOptions()
+	bench := "Mcf"
+
+	configs := []struct {
+		name   string
+		kernel colt.KernelConfig
+	}{
+		{"THS on, normal compaction (Linux default)", colt.KernelConfig{THP: true}},
+		{"THS off, normal compaction", colt.KernelConfig{}},
+		{"THS off, low compaction (worst case)", colt.KernelConfig{LowCompaction: true}},
+		{"THS on + memhog(25%)", colt.KernelConfig{THP: true, MemhogPct: 25}},
+		{"THS on + memhog(50%)", colt.KernelConfig{THP: true, MemhogPct: 50}},
+	}
+
+	fmt.Printf("Page-allocation contiguity of %s under five kernel configurations:\n\n", bench)
+	for _, c := range configs {
+		rep, err := colt.MeasureContiguity(bench, c.kernel, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-45s avg %6.1f pages", c.name, rep.Average)
+		if rep.SuperpagePages > 0 {
+			fmt.Printf("  (+%d superpage-backed pages)", rep.SuperpagePages)
+		}
+		fmt.Println()
+		fmt.Printf("%45s CDF: P(<=4)=%.2f  P(<=64)=%.2f  P(<=1024)=%.2f\n",
+			"", rep.CDF[4], rep.CDF[64], rep.CDF[1024])
+	}
+	fmt.Println("\nIntermediate contiguity (tens of pages) survives every configuration —")
+	fmt.Println("too little for 512-page superpages, but exactly what CoLT coalesces.")
+}

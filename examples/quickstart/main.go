@@ -1,0 +1,38 @@
+// Quickstart: simulate one benchmark under the default kernel and
+// compare the baseline TLB hierarchy against the three CoLT designs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colt"
+)
+
+func main() {
+	// A quick-sized run: small machine, short reference stream. Use
+	// colt.DefaultOptions() for paper-scale runs.
+	opts := colt.QuickOptions()
+	kernel := colt.DefaultKernel() // THS on, normal compaction
+
+	report, err := colt.RunBenchmark("Mcf", kernel, opts, colt.AllPolicies())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Mcf under the default kernel (%d instructions simulated)\n", report.Instructions)
+	fmt.Printf("average page-allocation contiguity: %.1f pages\n", report.AvgContiguity)
+	fmt.Printf("a perfect TLB would speed Mcf up by %.1f%%\n\n", report.PerfectSpeedupPct)
+
+	for _, p := range report.Policies {
+		if p.Policy == colt.Baseline {
+			fmt.Printf("%-9s  L1 %.0f / L2 %.0f misses per million instructions\n",
+				p.Policy, p.L1MPMI, p.L2MPMI)
+			continue
+		}
+		fmt.Printf("%-9s  eliminates %.0f%% of L1 and %.0f%% of L2 misses -> %.1f%% speedup\n",
+			p.Policy, p.L1Eliminated, p.L2Eliminated, p.SpeedupPct)
+	}
+}

@@ -1,0 +1,108 @@
+// Virtualization: the paper's closing argument — TLB misses cost far
+// more under nested paging (up to 24 memory accesses per 2D walk), so
+// coalescing pays off even more. This example builds a guest address
+// space, backs its guest-physical memory with a host page table, and
+// compares the baseline hierarchy against CoLT-All natively and behind
+// the nested walker.
+//
+//	go run ./examples/virtualization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/core"
+	"colt/internal/mmu"
+	"colt/internal/pagetable"
+	"colt/internal/rng"
+)
+
+type frames struct{ next arch.PFN }
+
+func (f *frames) AllocFrame() (arch.PFN, error) { f.next++; return f.next, nil }
+func (f *frames) FreeFrame(arch.PFN)            {}
+
+func main() {
+	const pages = 3 * arch.PagesPerHuge // guest footprint: three 2 MB regions
+	attr := arch.AttrPresent | arch.AttrWritable | arch.AttrUser
+
+	// Guest: one superpage-backed region and two base-page regions with
+	// 16-page contiguity runs.
+	guest, err := pagetable.New(&frames{next: 1 << 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := guest.MapHuge(0, arch.PTE{PFN: 1 << 14, Attr: attr, Huge: true}); err != nil {
+		log.Fatal(err)
+	}
+	gpfn := arch.PFN(1<<14 + arch.PagesPerHuge)
+	for v := arch.VPN(arch.PagesPerHuge); v < pages; v++ {
+		if v%16 == 0 {
+			gpfn += 64
+		}
+		if err := guest.Map(v, arch.PTE{PFN: gpfn, Attr: attr}); err != nil {
+			log.Fatal(err)
+		}
+		gpfn++
+	}
+
+	// Host: backs all guest-physical frames with 32-page contiguity.
+	host, err := pagetable.New(&frames{next: 1 << 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The range covers the guest's data frames AND its page-table
+	// frames (allocated from 1<<16 upward).
+	hpfn := arch.PFN(1 << 23)
+	for g := arch.VPN(1 << 14); g < arch.VPN(1<<16+64); g++ {
+		if g%32 == 0 {
+			hpfn += 128
+		}
+		if err := host.Map(g, arch.PTE{PFN: hpfn, Attr: attr}); err != nil {
+			log.Fatal(err)
+		}
+		hpfn++
+	}
+
+	run := func(name string, cfg core.Config, nested bool) {
+		var walker core.Walker
+		mem := cache.DefaultHierarchy()
+		if nested {
+			walker = mmu.NewNestedWalker(guest, host, mem,
+				mmu.NewWalkCache(mmu.DefaultWalkCacheEntries),
+				mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
+		} else {
+			walker = mmu.NewWalker(guest, mem, mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
+		}
+		h := core.NewHierarchy(cfg, walker)
+		r := rng.New(11)
+		for i := 0; i < 400_000; i++ {
+			vpn := arch.VPN(r.Zipf(pages, 0.9))
+			for b := 0; b <= r.Intn(3) && vpn+arch.VPN(b) < pages; b++ {
+				if res := h.Access(vpn + arch.VPN(b)); res.Fault {
+					log.Fatalf("fault at %d", vpn)
+				}
+			}
+		}
+		st := h.Stats()
+		perWalk := 0.0
+		if st.Walks > 0 {
+			perWalk = float64(st.WalkCycles) / float64(st.Walks)
+		}
+		fmt.Printf("%-26s L2 miss %6.2f%%   walks %7d   cycles/walk %6.1f\n",
+			name, 100*st.L2MissRate(), st.Walks, perWalk)
+	}
+
+	fmt.Println("Native (one-dimensional page walks):")
+	run("  baseline", core.BaselineConfig(), false)
+	run("  colt-all", core.CoLTAllConfig(), false)
+	fmt.Println("Virtualized (nested two-dimensional walks):")
+	run("  baseline", core.BaselineConfig(), true)
+	run("  colt-all", core.CoLTAllConfig(), true)
+	fmt.Println("\nUnder virtualization each walk costs several times more, and the guest's")
+	fmt.Println("2 MB pages flatten into base-page composed entries — contiguity that only")
+	fmt.Println("coalescing recovers. CoLT's advantage grows accordingly.")
+}

@@ -1,0 +1,3 @@
+module colt
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package arch defines the architectural vocabulary shared by every layer
+// of the CoLT simulator: virtual/physical page numbers, page-size
+// constants for an x86-64-style machine, page-table-entry attributes, and
+// address-manipulation helpers.
+//
+// The package has no dependencies so that the memory manager, page
+// tables, TLBs, and workload generators can all speak the same types
+// without import cycles.
+package arch
+
+import "fmt"
+
+// Page-size geometry for a 4 KB base page / 2 MB superpage machine.
+const (
+	// PageShift is log2 of the base page size.
+	PageShift = 12
+	// PageSize is the base page size in bytes (4 KB).
+	PageSize = 1 << PageShift
+	// HugePageShift is log2 of the superpage size.
+	HugePageShift = 21
+	// HugePageSize is the superpage size in bytes (2 MB).
+	HugePageSize = 1 << HugePageShift
+	// PagesPerHuge is the number of base pages per superpage (512).
+	PagesPerHuge = 1 << (HugePageShift - PageShift)
+
+	// PTESize is the size of one page-table entry in bytes.
+	PTESize = 8
+	// CacheLineSize is the memory-system line size in bytes.
+	CacheLineSize = 64
+	// PTEsPerLine is how many PTEs one cache line holds. A page-table
+	// walk that fetches the line containing the requested PTE therefore
+	// exposes this many candidate translations to the coalescing logic
+	// for free (CoLT §4.1.4).
+	PTEsPerLine = CacheLineSize / PTESize
+)
+
+// VPN is a virtual page number: a virtual address right-shifted by
+// PageShift.
+type VPN uint64
+
+// PFN is a physical frame number: a physical address right-shifted by
+// PageShift.
+type PFN uint64
+
+// VAddr is a full virtual byte address.
+type VAddr uint64
+
+// PAddr is a full physical byte address.
+type PAddr uint64
+
+// Page converts a virtual address to its containing virtual page number.
+func (a VAddr) Page() VPN { return VPN(a >> PageShift) }
+
+// Offset returns the byte offset of the address within its page.
+func (a VAddr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Addr returns the first byte address of the virtual page.
+func (v VPN) Addr() VAddr { return VAddr(v) << PageShift }
+
+// Addr returns the first byte address of the physical frame.
+func (p PFN) Addr() PAddr { return PAddr(p) << PageShift }
+
+// Line returns the physical cache-line index of the address.
+func (p PAddr) Line() uint64 { return uint64(p) / CacheLineSize }
+
+// Attr holds the page attribute and permission bits carried by a PTE.
+// CoLT coalesces only translations whose attributes match exactly
+// (paper §5.1.1), so Attr must be comparable.
+type Attr uint8
+
+// Attribute bits, modeled on the x86-64 PTE flag set that matters for
+// coalescing decisions.
+const (
+	AttrPresent Attr = 1 << iota
+	AttrWritable
+	AttrUser
+	AttrAccessed
+	AttrDirty
+	AttrGlobal
+	AttrNoExec
+	AttrFileBacked // file-backed (not anonymous) mapping; never a THP candidate
+)
+
+// Has reports whether every bit in mask is set.
+func (a Attr) Has(mask Attr) bool { return a&mask == mask }
+
+// String renders the attribute bits in a compact rwxd-style form.
+func (a Attr) String() string {
+	buf := make([]byte, 0, 8)
+	put := func(bit Attr, c byte) {
+		if a.Has(bit) {
+			buf = append(buf, c)
+		} else {
+			buf = append(buf, '-')
+		}
+	}
+	put(AttrPresent, 'p')
+	put(AttrWritable, 'w')
+	put(AttrUser, 'u')
+	put(AttrAccessed, 'a')
+	put(AttrDirty, 'd')
+	put(AttrGlobal, 'g')
+	put(AttrNoExec, 'n')
+	put(AttrFileBacked, 'f')
+	return string(buf)
+}
+
+// PTE is a leaf page-table entry: one virtual-to-physical translation
+// plus its attributes. Huge marks a 2 MB superpage mapping, in which
+// case PFN is the first frame of a 512-frame aligned block.
+type PTE struct {
+	PFN  PFN
+	Attr Attr
+	Huge bool
+}
+
+// Present reports whether the entry maps a page.
+func (e PTE) Present() bool { return e.Attr.Has(AttrPresent) }
+
+// String implements fmt.Stringer.
+func (e PTE) String() string {
+	kind := "4K"
+	if e.Huge {
+		kind = "2M"
+	}
+	return fmt.Sprintf("PTE{pfn=%d %s attr=%s}", e.PFN, kind, e.Attr)
+}
+
+// Translation pairs a virtual page with its leaf PTE; the unit the
+// coalescing logic and contiguity scanner operate on.
+type Translation struct {
+	VPN VPN
+	PTE PTE
+}
+
+// ContiguousWith reports whether the receiver and next form a
+// CoLT-coalescible pair: consecutive virtual pages mapped to consecutive
+// physical frames with identical attributes (paper §3.1 plus the §5.1.1
+// same-attribute restriction). Superpage entries never coalesce with
+// base pages.
+func (t Translation) ContiguousWith(next Translation) bool {
+	return !t.PTE.Huge && !next.PTE.Huge &&
+		t.PTE.Present() && next.PTE.Present() &&
+		next.VPN == t.VPN+1 &&
+		next.PTE.PFN == t.PTE.PFN+1 &&
+		next.PTE.Attr == t.PTE.Attr
+}

@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if HugePageSize != 2<<20 {
+		t.Fatalf("HugePageSize = %d, want 2MiB", HugePageSize)
+	}
+	if PagesPerHuge != 512 {
+		t.Fatalf("PagesPerHuge = %d, want 512", PagesPerHuge)
+	}
+	if PTEsPerLine != 8 {
+		t.Fatalf("PTEsPerLine = %d, want 8", PTEsPerLine)
+	}
+}
+
+func TestVAddrPageRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := VAddr(raw)
+		v := a.Page()
+		back := v.Addr()
+		return uint64(back) == raw-a.Offset() && a.Offset() < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPFNAddr(t *testing.T) {
+	if PFN(3).Addr() != 3*PageSize {
+		t.Fatalf("PFN(3).Addr() = %d", PFN(3).Addr())
+	}
+	if PAddr(128).Line() != 2 {
+		t.Fatalf("PAddr(128).Line() = %d, want 2", PAddr(128).Line())
+	}
+}
+
+func TestAttrHas(t *testing.T) {
+	a := AttrPresent | AttrWritable
+	if !a.Has(AttrPresent) || !a.Has(AttrWritable) || !a.Has(AttrPresent|AttrWritable) {
+		t.Fatal("Has failed for set bits")
+	}
+	if a.Has(AttrDirty) || a.Has(AttrPresent|AttrDirty) {
+		t.Fatal("Has true for unset bits")
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	got := (AttrPresent | AttrDirty).String()
+	want := "p---d---"
+	if got != want {
+		t.Fatalf("Attr.String() = %q, want %q", got, want)
+	}
+}
+
+func TestPTEString(t *testing.T) {
+	e := PTE{PFN: 7, Attr: AttrPresent, Huge: true}
+	if got := e.String(); got != "PTE{pfn=7 2M attr=p-------}" {
+		t.Fatalf("unexpected String: %q", got)
+	}
+	if !e.Present() {
+		t.Fatal("entry with AttrPresent not Present")
+	}
+	if (PTE{}).Present() {
+		t.Fatal("zero PTE reported present")
+	}
+}
+
+func TestContiguousWith(t *testing.T) {
+	base := Translation{VPN: 10, PTE: PTE{PFN: 100, Attr: AttrPresent | AttrWritable}}
+	cases := []struct {
+		name string
+		next Translation
+		want bool
+	}{
+		{"contiguous", Translation{11, PTE{PFN: 101, Attr: AttrPresent | AttrWritable}}, true},
+		{"vpn gap", Translation{12, PTE{PFN: 101, Attr: AttrPresent | AttrWritable}}, false},
+		{"pfn gap", Translation{11, PTE{PFN: 102, Attr: AttrPresent | AttrWritable}}, false},
+		{"attr mismatch", Translation{11, PTE{PFN: 101, Attr: AttrPresent}}, false},
+		{"next not present", Translation{11, PTE{PFN: 101}}, false},
+		{"next huge", Translation{11, PTE{PFN: 101, Attr: AttrPresent | AttrWritable, Huge: true}}, false},
+		{"backwards", Translation{9, PTE{PFN: 99, Attr: AttrPresent | AttrWritable}}, false},
+	}
+	for _, c := range cases {
+		if got := base.ContiguousWith(c.next); got != c.want {
+			t.Errorf("%s: ContiguousWith = %v, want %v", c.name, got, c.want)
+		}
+	}
+	huge := Translation{VPN: 10, PTE: PTE{PFN: 100, Attr: AttrPresent, Huge: true}}
+	if huge.ContiguousWith(Translation{11, PTE{PFN: 101, Attr: AttrPresent}}) {
+		t.Fatal("huge base page should not coalesce")
+	}
+}

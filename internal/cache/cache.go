@@ -1,0 +1,188 @@
+// Package cache models a multi-level set-associative cache hierarchy
+// with LRU replacement. It serves two clients: the workload's data
+// references (for the performance model's memory stalls) and the page
+// walker's PTE fetches. Following the paper (§4.1.1), PTE fetches enter
+// the hierarchy at the last-level cache — "the LLC is the highest cache
+// level for page table entries" — so the walker is wired to the LLC
+// level directly.
+package cache
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// Level is anything that can service a physical-address access and
+// report its latency in cycles.
+type Level interface {
+	// Access services a read or write of the line containing addr and
+	// returns the total latency in cycles.
+	Access(addr arch.PAddr, write bool) int
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency int
+}
+
+// Stats counts per-level activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is one set-associative level backed by a lower Level.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets × ways, row-major
+	next  Level
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache level on top of next. Size must be a multiple of
+// ways × line size, and the set count must be a power of two.
+func New(cfg Config, next Level) *Cache {
+	if next == nil {
+		panic("cache: nil next level")
+	}
+	linesTotal := cfg.SizeBytes / arch.CacheLineSize
+	if linesTotal <= 0 || cfg.Ways <= 0 || linesTotal%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", cfg.Name, cfg.SizeBytes, cfg.Ways))
+	}
+	sets := linesTotal / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	return &Cache{cfg: cfg, sets: sets, lines: make([]line, linesTotal), next: next}
+}
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (e.g. after warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access implements Level.
+func (c *Cache) Access(addr arch.PAddr, write bool) int {
+	c.tick++
+	c.stats.Accesses++
+	lineNo := addr.Line()
+	set := int(lineNo) & (c.sets - 1)
+	tag := lineNo >> uintLog2(c.sets)
+	base := set * c.cfg.Ways
+
+	victim := base
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			c.stats.Hits++
+			l.lru = c.tick
+			if write {
+				l.dirty = true
+			}
+			return c.cfg.HitLatency
+		}
+		if lessLRU(&c.lines[base+i], &c.lines[victim]) {
+			victim = base + i
+		}
+	}
+	c.stats.Misses++
+	lat := c.cfg.HitLatency + c.next.Access(addr, false)
+	v := &c.lines[victim]
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			// Writebacks happen off the critical path; count but do not
+			// add latency.
+			wbAddr := arch.PAddr((v.tag<<uintLog2(c.sets) | uint64(victim/c.cfg.Ways)) * arch.CacheLineSize)
+			c.next.Access(wbAddr, true)
+		}
+	}
+	*v = line{valid: true, dirty: write, tag: tag, lru: c.tick}
+	return lat
+}
+
+// lessLRU orders replacement candidates: invalid lines first, then
+// least-recently used.
+func lessLRU(a, b *line) bool {
+	if a.valid != b.valid {
+		return !a.valid
+	}
+	return a.lru < b.lru
+}
+
+func uintLog2(n int) uint {
+	var k uint
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Memory is the terminal Level with a flat access latency.
+type Memory struct {
+	Latency  int
+	accesses uint64
+}
+
+// Access implements Level.
+func (m *Memory) Access(arch.PAddr, bool) int {
+	m.accesses++
+	return m.Latency
+}
+
+// Accesses returns the number of memory accesses serviced.
+func (m *Memory) Accesses() uint64 { return m.accesses }
+
+// Hierarchy bundles the three-level configuration the paper simulates
+// (32 KB L1 / 256 KB L2 / 4 MB LLC, Intel Core i7-like).
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache
+	LLC *Cache
+	Mem *Memory
+}
+
+// DefaultHierarchy builds the paper's cache configuration.
+func DefaultHierarchy() *Hierarchy {
+	mem := &Memory{Latency: 200}
+	llc := New(Config{Name: "LLC", SizeBytes: 4 << 20, Ways: 16, HitLatency: 30}, mem)
+	l2 := New(Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, HitLatency: 12}, llc)
+	l1 := New(Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8, HitLatency: 4}, l2)
+	return &Hierarchy{L1: l1, L2: l2, LLC: llc, Mem: mem}
+}
+
+// DataAccess services a demand data reference from the core (enters at
+// L1) and returns its latency.
+func (h *Hierarchy) DataAccess(addr arch.PAddr, write bool) int {
+	return h.L1.Access(addr, write)
+}
+
+// WalkAccess services a page-walker PTE fetch, which enters at the LLC
+// (paper §4.1.1), and returns its latency.
+func (h *Hierarchy) WalkAccess(addr arch.PAddr) int {
+	return h.LLC.Access(addr, false)
+}

@@ -1,0 +1,182 @@
+package contig
+
+import (
+	"math"
+	"testing"
+
+	"colt/internal/arch"
+	"colt/internal/pagetable"
+)
+
+type seqFrames struct{ next arch.PFN }
+
+func (s *seqFrames) AllocFrame() (arch.PFN, error) {
+	s.next++
+	return s.next, nil
+}
+func (s *seqFrames) FreeFrame(arch.PFN) {}
+
+const attr = arch.AttrPresent | arch.AttrWritable | arch.AttrUser
+
+func newTable(t *testing.T) *pagetable.Table {
+	t.Helper()
+	tbl, err := pagetable.New(&seqFrames{next: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func mapRun(t *testing.T, tbl *pagetable.Table, vpn arch.VPN, pfn arch.PFN, n int, a arch.Attr) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := tbl.Map(vpn+arch.VPN(i), arch.PTE{PFN: pfn + arch.PFN(i), Attr: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScanEmptyTable(t *testing.T) {
+	res := Scan(newTable(t))
+	if res.NonSuperPages != 0 || res.Runs != 0 || res.AverageContiguity() != 0 {
+		t.Fatalf("empty scan = %+v", res)
+	}
+}
+
+func TestScanSingleRun(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 100, 1000, 10, attr)
+	res := Scan(tbl)
+	if res.Runs != 1 || res.MaxRun != 10 || res.NonSuperPages != 10 {
+		t.Fatalf("scan = %+v", res)
+	}
+	if !almost(res.AverageContiguity(), 10) {
+		t.Fatalf("avg = %v", res.AverageContiguity())
+	}
+}
+
+func TestScanBreaksOnGaps(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 100, 1000, 4, attr) // run of 4
+	mapRun(t, tbl, 104, 2000, 2, attr) // physical jump: new run of 2
+	mapRun(t, tbl, 110, 2010, 3, attr) // virtual gap: run of 3
+	res := Scan(tbl)
+	if res.Runs != 3 || res.MaxRun != 4 {
+		t.Fatalf("scan = %+v", res)
+	}
+	// Page-weighted average: (4*4 + 2*2 + 3*3)/9.
+	want := float64(4*4+2*2+3*3) / 9
+	if !almost(res.AverageContiguity(), want) {
+		t.Fatalf("avg = %v, want %v", res.AverageContiguity(), want)
+	}
+}
+
+func TestScanBreaksOnAttrChange(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 100, 1000, 2, attr)
+	mapRun(t, tbl, 102, 1002, 2, arch.AttrPresent|arch.AttrUser) // contiguous frames, different attrs
+	res := Scan(tbl)
+	if res.Runs != 2 {
+		t.Fatalf("attr change did not break run: %+v", res)
+	}
+}
+
+func TestScanExcludesSuperpages(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 100, 1000, 5, attr)
+	if err := tbl.MapHuge(arch.PagesPerHuge*8, arch.PTE{PFN: 512 * 8, Attr: attr, Huge: true}); err != nil {
+		t.Fatal(err)
+	}
+	res := Scan(tbl)
+	if res.SuperPages != arch.PagesPerHuge {
+		t.Fatalf("SuperPages = %d", res.SuperPages)
+	}
+	if res.NonSuperPages != 5 || !almost(res.AverageContiguity(), 5) {
+		t.Fatalf("superpage leaked into CDF: %+v", res)
+	}
+}
+
+func TestScanSuperpageSplitsSurroundingRun(t *testing.T) {
+	tbl := newTable(t)
+	// Base pages immediately before and after a huge mapping must not
+	// join across it even if physically contiguous.
+	mapRun(t, tbl, arch.PagesPerHuge-2, 510, 2, attr) // vpns 510,511 -> pfns 511,512
+	if err := tbl.MapHuge(arch.PagesPerHuge, arch.PTE{PFN: 1024, Attr: attr, Huge: true}); err != nil {
+		t.Fatal(err)
+	}
+	mapRun(t, tbl, 2*arch.PagesPerHuge, 513, 2, attr)
+	res := Scan(tbl)
+	if res.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", res.Runs)
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 0, 5000, 600, attr)  // 600 pages with 600-contiguity
+	mapRun(t, tbl, 1000, 9000, 8, attr) // 8 pages
+	res := Scan(tbl)
+	got := res.FractionAtLeast(513)
+	want := 600.0 / 608.0
+	if !almost(got, want) {
+		t.Fatalf("FractionAtLeast(513) = %v, want %v", got, want)
+	}
+	if res.FractionAtLeast(1) != 1 {
+		t.Fatal("FractionAtLeast(1) != 1")
+	}
+	empty := Scan(newTable(t))
+	if empty.FractionAtLeast(4) != 0 {
+		t.Fatal("empty FractionAtLeast != 0")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	t1 := newTable(t)
+	mapRun(t, t1, 0, 100, 4, attr)
+	t2 := newTable(t)
+	mapRun(t, t2, 0, 100, 12, attr)
+	merged := Merge(Scan(t1), Scan(t2))
+	if merged.NonSuperPages != 16 || merged.Runs != 2 || merged.MaxRun != 12 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	want := float64(4*4+12*12) / 16
+	if !almost(merged.AverageContiguity(), want) {
+		t.Fatalf("merged avg = %v, want %v", merged.AverageContiguity(), want)
+	}
+}
+
+func TestPaperXAxisSampling(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 0, 100, 3, attr)
+	mapRun(t, tbl, 100, 900, 20, attr)
+	res := Scan(tbl)
+	pts := res.CDF.SampleAt(PaperXAxis)
+	if len(pts) != 6 {
+		t.Fatalf("sample points = %d", len(pts))
+	}
+	if !almost(pts[1].CumFrac, 3.0/23.0) { // at x=4: only the 3-run
+		t.Fatalf("CDF at 4 = %v", pts[1].CumFrac)
+	}
+	if pts[5].CumFrac != 1 {
+		t.Fatal("CDF at 1024 != 1")
+	}
+}
+
+func TestRunWeightedAverage(t *testing.T) {
+	tbl := newTable(t)
+	mapRun(t, tbl, 0, 100, 9, attr)
+	mapRun(t, tbl, 20, 900, 1, attr)
+	res := Scan(tbl)
+	if !almost(res.RunWeightedAverage(), 5) { // (9+1)/2
+		t.Fatalf("RunWeightedAverage = %v", res.RunWeightedAverage())
+	}
+	// Page-weighted is higher: (9*9+1*1)/10.
+	if !almost(res.AverageContiguity(), 8.2) {
+		t.Fatalf("AverageContiguity = %v", res.AverageContiguity())
+	}
+	if Scan(newTable(t)).RunWeightedAverage() != 0 {
+		t.Fatal("empty table run-weighted average")
+	}
+}

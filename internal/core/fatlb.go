@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// MaxFACoalesce caps a fully-associative entry's coalescing length: the
+// paper's coalescing-length field "captures a contiguity of 1024
+// pages" (§4.2.2).
+const MaxFACoalesce = 1024
+
+// faEntry is one fully-associative TLB entry (§4.2.2, Figure 5 top):
+// either a superpage mapping or a coalesced range with a base virtual
+// page, base physical page, and coalescing length. Range checking
+// compares the requested VPN against [BaseVPN, BaseVPN+Len).
+type faEntry struct {
+	valid   bool
+	huge    bool
+	baseVPN arch.VPN
+	basePFN arch.PFN
+	length  int
+	attr    arch.Attr
+	lru     uint64
+}
+
+func (e *faEntry) contains(vpn arch.VPN) bool {
+	n := e.length
+	if e.huge {
+		n = arch.PagesPerHuge
+	}
+	return vpn >= e.baseVPN && vpn < e.baseVPN+arch.VPN(n)
+}
+
+// FullyAssocTLB is the small fully-associative TLB that conventionally
+// caches superpage entries, extended by CoLT-FA to also hold coalesced
+// base-page ranges (§4.2). Superpage and coalesced entries share the
+// structure; LRU replacement keeps frequently-touched superpages alive.
+type FullyAssocTLB struct {
+	capacity int
+	entries  []faEntry
+	tick     uint64
+	stats    TLBStats
+	merges   uint64
+	// coalesceBias enables coalescing-aware replacement (future work
+	// of paper §4.2.3): see SetReplacementBias.
+	coalesceBias bool
+}
+
+// NewFullyAssocTLB builds an empty structure with the given capacity
+// (paper: 16 entries baseline, 8 with CoLT-FA/All to pay for the range
+// comparators).
+func NewFullyAssocTLB(capacity int) *FullyAssocTLB {
+	if capacity <= 0 {
+		panic("core: fully-associative TLB needs positive capacity")
+	}
+	return &FullyAssocTLB{capacity: capacity, entries: make([]faEntry, capacity)}
+}
+
+// Capacity returns the entry count.
+func (t *FullyAssocTLB) Capacity() int { return t.capacity }
+
+// Stats returns a snapshot of the counters.
+func (t *FullyAssocTLB) Stats() TLBStats { return t.stats }
+
+// Merges counts fill-time coalescings with resident entries (§4.2.1
+// step 5).
+func (t *FullyAssocTLB) Merges() uint64 { return t.merges }
+
+// ResetStats zeroes the counters.
+func (t *FullyAssocTLB) ResetStats() {
+	t.stats = TLBStats{}
+	t.merges = 0
+}
+
+// Lookup translates vpn via range check plus PPN generation: the offset
+// of vpn within the entry's range is added to the base physical page
+// (§4.2.2 steps a-b).
+func (t *FullyAssocTLB) Lookup(vpn arch.VPN) (arch.PFN, bool) {
+	t.stats.Lookups++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.contains(vpn) {
+			t.stats.Hits++
+			t.tick++
+			e.lru = t.tick
+			return e.basePFN + arch.PFN(vpn-e.baseVPN), true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// InsertHuge fills a 2 MB superpage entry. baseVPN and basePFN must be
+// 512-aligned.
+func (t *FullyAssocTLB) InsertHuge(baseVPN arch.VPN, basePFN arch.PFN, attr arch.Attr) {
+	if baseVPN%arch.PagesPerHuge != 0 || basePFN%arch.PagesPerHuge != 0 {
+		panic(fmt.Sprintf("core: unaligned superpage v%d p%d", baseVPN, basePFN))
+	}
+	t.tick++
+	t.stats.Fills++
+	// Refresh in place if already resident.
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.huge && e.baseVPN == baseVPN {
+			e.basePFN, e.attr, e.lru = basePFN, attr, t.tick
+			return
+		}
+	}
+	v := t.victim()
+	*v = faEntry{valid: true, huge: true, baseVPN: baseVPN, basePFN: basePFN, length: arch.PagesPerHuge, attr: attr, lru: t.tick}
+}
+
+// Insert fills a coalesced range entry, first attempting to coalesce
+// with resident entries: any resident non-superpage entry whose range
+// is adjacent to or overlaps the new run with a consistent VPN→PFN
+// offset and equal attributes is merged into it (the paper's
+// fill-path secondary coalescing, §4.2.1). Merging cascades until no
+// further neighbor qualifies.
+func (t *FullyAssocTLB) Insert(run Run) {
+	if run.Len <= 0 {
+		panic("core: empty run")
+	}
+	if run.Len > MaxFACoalesce {
+		run.Len = MaxFACoalesce
+	}
+	t.tick++
+	t.stats.Fills++
+	t.stats.CoalescedIn += uint64(run.Len - 1)
+
+	// Absorb every mergeable resident entry into run.
+	for {
+		mergedAny := false
+		for i := range t.entries {
+			e := &t.entries[i]
+			if !e.valid || e.huge || e.attr != run.Attr {
+				continue
+			}
+			if !rangesMergeable(e, run) {
+				continue
+			}
+			lo := e.baseVPN
+			if run.BaseVPN < lo {
+				lo = run.BaseVPN
+			}
+			hi := e.baseVPN + arch.VPN(e.length)
+			if run.End() > hi {
+				hi = run.End()
+			}
+			if int(hi-lo) > MaxFACoalesce {
+				continue
+			}
+			run = Run{
+				BaseVPN: lo,
+				BasePFN: run.BasePFN - arch.PFN(run.BaseVPN-lo),
+				Len:     int(hi - lo),
+				Attr:    run.Attr,
+			}
+			e.valid = false
+			t.merges++
+			mergedAny = true
+		}
+		if !mergedAny {
+			break
+		}
+	}
+
+	v := t.victim()
+	*v = faEntry{valid: true, baseVPN: run.BaseVPN, basePFN: run.BasePFN, length: run.Len, attr: run.Attr, lru: t.tick}
+}
+
+// rangesMergeable reports whether entry e and run cover adjacent or
+// overlapping VPN ranges with the same VPN→PFN delta, i.e. whether
+// their union is still a single contiguous translation range.
+func rangesMergeable(e *faEntry, run Run) bool {
+	if arch.VPN(e.basePFN)-arch.VPN(e.baseVPN) != arch.VPN(run.BasePFN)-arch.VPN(run.BaseVPN) {
+		return false
+	}
+	eEnd := e.baseVPN + arch.VPN(e.length)
+	return run.BaseVPN <= eEnd && e.baseVPN <= run.End()
+}
+
+// victim returns the entry to overwrite: an invalid slot if one exists,
+// else the LRU entry (or, under coalescing-aware replacement, the
+// shortest-range entry with LRU as the tie-breaker; superpages count as
+// maximal ranges).
+func (t *FullyAssocTLB) victim() *faEntry {
+	victim := &t.entries[0]
+	for i := 1; i < len(t.entries); i++ {
+		e := &t.entries[i]
+		if t.coalesceBias {
+			if lessFACoalesce(e, victim) {
+				victim = e
+			}
+		} else if lessFALRU(e, victim) {
+			victim = e
+		}
+	}
+	if victim.valid {
+		t.stats.Evictions++
+	}
+	return victim
+}
+
+func lessFACoalesce(a, b *faEntry) bool {
+	if a.valid != b.valid {
+		return !a.valid
+	}
+	la, lb := a.length, b.length
+	if la != lb {
+		return la < lb
+	}
+	return a.lru < b.lru
+}
+
+func lessFALRU(a, b *faEntry) bool {
+	if a.valid != b.valid {
+		return !a.valid
+	}
+	return a.lru < b.lru
+}
+
+// Invalidate drops every entry whose range covers vpn (whole entries,
+// §4.2.3). Returns true if any entry was removed.
+func (t *FullyAssocTLB) Invalidate(vpn arch.VPN) bool {
+	removed := false
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.contains(vpn) {
+			e.valid = false
+			removed = true
+			t.stats.Invalidates++
+		}
+	}
+	return removed
+}
+
+// InvalidateAll flushes the TLB.
+func (t *FullyAssocTLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+	t.stats.Invalidates++
+}
+
+// Occupied returns the number of valid entries.
+func (t *FullyAssocTLB) Occupied() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

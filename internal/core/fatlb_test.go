@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"colt/internal/arch"
+)
+
+func TestFATLBRangeLookup(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	if tlb.Capacity() != 8 {
+		t.Fatalf("Capacity = %d", tlb.Capacity())
+	}
+	tlb.Insert(Run{BaseVPN: 100, BasePFN: 1000, Len: 30, Attr: testAttr})
+	for _, v := range []arch.VPN{100, 115, 129} {
+		pfn, ok := tlb.Lookup(v)
+		if !ok || pfn != 1000+arch.PFN(v-100) {
+			t.Fatalf("Lookup(%d) = %d,%v", v, pfn, ok)
+		}
+	}
+	if _, ok := tlb.Lookup(130); ok {
+		t.Fatal("hit past range end")
+	}
+	if _, ok := tlb.Lookup(99); ok {
+		t.Fatal("hit before range start")
+	}
+}
+
+func TestFATLBHugeEntry(t *testing.T) {
+	tlb := NewFullyAssocTLB(4)
+	tlb.InsertHuge(512, 2048, testAttr)
+	pfn, ok := tlb.Lookup(512 + 37)
+	if !ok || pfn != 2048+37 {
+		t.Fatalf("huge Lookup = %d,%v", pfn, ok)
+	}
+	if _, ok := tlb.Lookup(511); ok {
+		t.Fatal("hit outside superpage")
+	}
+	// Re-inserting the same superpage must not duplicate.
+	tlb.InsertHuge(512, 2048, testAttr)
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d after duplicate InsertHuge", tlb.Occupied())
+	}
+}
+
+func TestFATLBHugeAlignmentPanics(t *testing.T) {
+	tlb := NewFullyAssocTLB(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned superpage accepted")
+		}
+	}()
+	tlb.InsertHuge(100, 2048, testAttr)
+}
+
+func TestFATLBMergeAdjacent(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	tlb.Insert(Run{BaseVPN: 10, BasePFN: 110, Len: 8, Attr: testAttr})
+	// Adjacent after, consistent delta: must merge into one entry.
+	tlb.Insert(Run{BaseVPN: 18, BasePFN: 118, Len: 8, Attr: testAttr})
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d, want merged single entry", tlb.Occupied())
+	}
+	if tlb.Merges() != 1 {
+		t.Fatalf("Merges = %d", tlb.Merges())
+	}
+	pfn, ok := tlb.Lookup(25)
+	if !ok || pfn != 125 {
+		t.Fatalf("merged Lookup = %d,%v", pfn, ok)
+	}
+	// Adjacent before.
+	tlb.Insert(Run{BaseVPN: 2, BasePFN: 102, Len: 8, Attr: testAttr})
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d after pre-merge", tlb.Occupied())
+	}
+	if pfn, _ := tlb.Lookup(2); pfn != 102 {
+		t.Fatalf("pre-merged base = %d", pfn)
+	}
+}
+
+func TestFATLBMergeCascades(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 100, Len: 4, Attr: testAttr})
+	tlb.Insert(Run{BaseVPN: 8, BasePFN: 108, Len: 4, Attr: testAttr})
+	// The bridging run connects both: all three become one entry.
+	tlb.Insert(Run{BaseVPN: 4, BasePFN: 104, Len: 4, Attr: testAttr})
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d, want fully cascaded merge", tlb.Occupied())
+	}
+	for v := arch.VPN(0); v < 12; v++ {
+		pfn, ok := tlb.Lookup(v)
+		if !ok || pfn != 100+arch.PFN(v) {
+			t.Fatalf("Lookup(%d) = %d,%v", v, pfn, ok)
+		}
+	}
+}
+
+func TestFATLBNoMergeOnInconsistentDelta(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 100, Len: 4, Attr: testAttr})
+	// Adjacent VPNs but the physical side jumps: not mergeable.
+	tlb.Insert(Run{BaseVPN: 4, BasePFN: 500, Len: 4, Attr: testAttr})
+	if tlb.Occupied() != 2 {
+		t.Fatalf("Occupied = %d, want 2 distinct entries", tlb.Occupied())
+	}
+}
+
+func TestFATLBNoMergeOnAttrMismatch(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 100, Len: 4, Attr: testAttr})
+	tlb.Insert(Run{BaseVPN: 4, BasePFN: 104, Len: 4, Attr: arch.AttrPresent})
+	if tlb.Occupied() != 2 {
+		t.Fatalf("Occupied = %d, want 2 (attrs differ)", tlb.Occupied())
+	}
+}
+
+func TestFATLBMergeRespectsCap(t *testing.T) {
+	tlb := NewFullyAssocTLB(8)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 0, Len: MaxFACoalesce - 4, Attr: testAttr})
+	tlb.Insert(Run{BaseVPN: arch.VPN(MaxFACoalesce - 4), BasePFN: arch.PFN(MaxFACoalesce - 4), Len: 100, Attr: testAttr})
+	if tlb.Occupied() != 2 {
+		t.Fatalf("merge exceeded %d-page cap: occupied=%d", MaxFACoalesce, tlb.Occupied())
+	}
+	// Oversized inserts are truncated.
+	tlb.Insert(Run{BaseVPN: 1 << 30, BasePFN: 0, Len: MaxFACoalesce + 100, Attr: testAttr})
+	if _, ok := tlb.Lookup(1<<30 + arch.VPN(MaxFACoalesce)); ok {
+		t.Fatal("entry exceeds cap")
+	}
+	if _, ok := tlb.Lookup(1<<30 + arch.VPN(MaxFACoalesce) - 1); !ok {
+		t.Fatal("capped entry missing coverage below cap")
+	}
+}
+
+func TestFATLBLRUAndSuperpageRetention(t *testing.T) {
+	tlb := NewFullyAssocTLB(2)
+	tlb.InsertHuge(0, 0, testAttr)
+	tlb.Insert(Run{BaseVPN: 1000, BasePFN: 1, Len: 2, Attr: testAttr})
+	// Touch the superpage: it becomes MRU, so the range entry is the
+	// victim (the paper's observation that hot superpages stay at the
+	// head of the LRU list).
+	tlb.Lookup(5)
+	tlb.Insert(Run{BaseVPN: 2000, BasePFN: 9, Len: 2, Attr: testAttr})
+	if _, ok := tlb.Lookup(5); !ok {
+		t.Fatal("hot superpage evicted")
+	}
+	if _, ok := tlb.Lookup(1000); ok {
+		t.Fatal("LRU range entry survived")
+	}
+	if tlb.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d", tlb.Stats().Evictions)
+	}
+}
+
+func TestFATLBInvalidate(t *testing.T) {
+	tlb := NewFullyAssocTLB(4)
+	tlb.Insert(Run{BaseVPN: 50, BasePFN: 500, Len: 10, Attr: testAttr})
+	if !tlb.Invalidate(55) {
+		t.Fatal("Invalidate found nothing")
+	}
+	// Whole range flushed.
+	if _, ok := tlb.Lookup(50); ok {
+		t.Fatal("range survived invalidation")
+	}
+	if tlb.Invalidate(55) {
+		t.Fatal("second invalidate removed something")
+	}
+	tlb.InsertHuge(512, 512, testAttr)
+	tlb.InvalidateAll()
+	if tlb.Occupied() != 0 {
+		t.Fatal("InvalidateAll incomplete")
+	}
+}
+
+func TestFATLBConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewFullyAssocTLB(0)
+}
+
+func TestFATLBEmptyRunPanics(t *testing.T) {
+	tlb := NewFullyAssocTLB(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty run accepted")
+		}
+	}()
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 0, Len: 0, Attr: testAttr})
+}
+
+func TestFATLBResetStats(t *testing.T) {
+	tlb := NewFullyAssocTLB(2)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 0, Len: 2, Attr: testAttr})
+	tlb.Insert(Run{BaseVPN: 2, BasePFN: 2, Len: 2, Attr: testAttr})
+	tlb.Lookup(0)
+	tlb.ResetStats()
+	if tlb.Stats().Lookups != 0 || tlb.Merges() != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}

@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+	"colt/internal/mmu"
+)
+
+// Policy selects which CoLT variant the hierarchy runs.
+type Policy int
+
+const (
+	// PolicyBaseline is a conventional two-level hierarchy: one
+	// translation per set-associative entry, superpages in the
+	// fully-associative TLB.
+	PolicyBaseline Policy = iota
+	// PolicyCoLTSA coalesces into the set-associative L1/L2 TLBs
+	// (§4.1).
+	PolicyCoLTSA
+	// PolicyCoLTFA coalesces into the fully-associative superpage TLB
+	// (§4.2).
+	PolicyCoLTFA
+	// PolicyCoLTAll routes by contiguity threshold into both (§4.3).
+	PolicyCoLTAll
+	// PolicySeqPrefetch is the comparison point from the prefetching
+	// literature the paper contrasts CoLT with (§2.1/§2.4): a baseline
+	// hierarchy plus a separate sequential (±1) prefetch buffer.
+	PolicySeqPrefetch
+	// PolicyPartialSubblock is Talluri & Hill's partial-subblock TLB
+	// (§2.3's alternative): CoLT-like valid-bit sharing, but only for
+	// physically subblock-aligned frames.
+	PolicyPartialSubblock
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyCoLTSA:
+		return "colt-sa"
+	case PolicyCoLTFA:
+		return "colt-fa"
+	case PolicyCoLTAll:
+		return "colt-all"
+	case PolicySeqPrefetch:
+		return "seq-prefetch"
+	case PolicyPartialSubblock:
+		return "partial-subblock"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes a two-level TLB hierarchy. The zero value is not
+// usable; start from one of the preset constructors.
+type Config struct {
+	Policy Policy
+
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	// L1Shift/L2Shift are the index left-shifts (log2 of the maximum
+	// per-entry coalescing) for the set-associative TLBs. Zero for the
+	// baseline and CoLT-FA.
+	L1Shift, L2Shift uint
+	// SupEntries sizes the fully-associative superpage TLB: 16
+	// baseline, halved to 8 under CoLT-FA/All to pay for range-check
+	// logic (§4.2.4).
+	SupEntries int
+	// FAL2Fill (§4.2.1/§7.1.3): when CoLT-FA fills a coalesced entry
+	// into the superpage TLB, also bring the requested translation
+	// into the L2 TLB.
+	FAL2Fill bool
+	// AllL2Fill (§4.3.1/§7.1.3): when CoLT-All routes a long run to
+	// the superpage TLB, also insert its index-scheme-clipped version
+	// into the L2 TLB.
+	AllL2Fill bool
+	// AllThreshold is CoLT-All's routing threshold: runs no longer
+	// than this go to the set-associative TLBs. Defaults to the L2
+	// scheme's maximum coalescing when zero.
+	AllThreshold int
+	// PrefetchEntries sizes PolicySeqPrefetch's separate buffer
+	// (default DefaultPrefetchEntries when zero).
+	PrefetchEntries int
+	// InclusiveL2: evicting an L2 entry back-invalidates the L1 (the
+	// paper's "L2 TLB is inclusive of just the set-associative L1").
+	InclusiveL2 bool
+	// Refinements enables the paper's future-work options (§4.1.5,
+	// §4.2.3): graceful uncoalescing on invalidation and
+	// coalescing-aware replacement.
+	Refinements Refinements
+}
+
+// The paper's simulated hierarchy (§5.2.1): 32-entry 4-way L1, 128-entry
+// 4-way L2, 16-entry superpage TLB. CoLT-SA's default shift of 2 yields
+// the VPN[4-2]/VPN[6-2] index schemes of §7.1.1.
+const (
+	defaultL1Sets    = 8
+	defaultL1Ways    = 4
+	defaultL2Sets    = 32
+	defaultL2Ways    = 4
+	defaultSupBase   = 16
+	defaultSupCoLT   = 8
+	DefaultCoLTShift = 2
+)
+
+// BaselineConfig returns the paper's baseline hierarchy.
+func BaselineConfig() Config {
+	return Config{
+		Policy:      PolicyBaseline,
+		L1Sets:      defaultL1Sets,
+		L1Ways:      defaultL1Ways,
+		L2Sets:      defaultL2Sets,
+		L2Ways:      defaultL2Ways,
+		SupEntries:  defaultSupBase,
+		InclusiveL2: true,
+	}
+}
+
+// CoLTSAConfig returns the CoLT-SA hierarchy with the given index
+// left-shift (paper default 2; Figure 19 sweeps 1-3).
+func CoLTSAConfig(shift uint) Config {
+	c := BaselineConfig()
+	c.Policy = PolicyCoLTSA
+	c.L1Shift = shift
+	c.L2Shift = shift
+	return c
+}
+
+// CoLTFAConfig returns the CoLT-FA hierarchy: conventional
+// set-associative TLBs plus an 8-entry coalescing superpage TLB.
+func CoLTFAConfig() Config {
+	c := BaselineConfig()
+	c.Policy = PolicyCoLTFA
+	c.SupEntries = defaultSupCoLT
+	c.FAL2Fill = true
+	return c
+}
+
+// CoLTAllConfig returns the CoLT-All hierarchy.
+func CoLTAllConfig() Config {
+	c := CoLTSAConfig(DefaultCoLTShift)
+	c.Policy = PolicyCoLTAll
+	c.SupEntries = defaultSupCoLT
+	c.AllL2Fill = true
+	return c
+}
+
+// PartialSubblockConfig returns the partial-subblock comparison
+// hierarchy: subblocked L1/L2 TLBs (factor 4) plus the conventional
+// superpage TLB.
+func PartialSubblockConfig() Config {
+	c := BaselineConfig()
+	c.Policy = PolicyPartialSubblock
+	return c
+}
+
+// SeqPrefetchConfig returns the sequential-prefetching comparison
+// hierarchy: conventional TLBs plus a 16-entry prefetch buffer.
+func SeqPrefetchConfig() Config {
+	c := BaselineConfig()
+	c.Policy = PolicySeqPrefetch
+	c.PrefetchEntries = DefaultPrefetchEntries
+	return c
+}
+
+// RealSystemBaselineConfig mirrors the characterization platform's
+// larger TLBs (64-entry L1, 512-entry L2; §5.1.1), used for Table 1.
+func RealSystemBaselineConfig() Config {
+	c := BaselineConfig()
+	c.L1Sets = 16
+	c.L2Sets = 128
+	return c
+}
+
+// Walker abstracts the page-table walker the hierarchy consults on a
+// full TLB miss; *mmu.Walker implements it.
+type Walker interface {
+	Walk(vpn arch.VPN) mmu.WalkInfo
+}
+
+// Stats aggregates the hierarchy's event counts. The L1 miss count
+// follows the paper's convention: the set-associative L1 TLB and the
+// superpage TLB are probed in parallel, and only a miss in both counts
+// as an L1 miss.
+type Stats struct {
+	Accesses uint64
+	L1Hits   uint64 // set-associative L1 hits
+	SupHits  uint64 // superpage/coalesced FA hits (same level as L1)
+	L1Misses uint64
+	L2Hits   uint64
+	L2Misses uint64
+	Walks    uint64
+	Faults   uint64
+	// WalkCycles is the serialized page-walk latency total, the
+	// component the performance model treats as critical-path stalls.
+	WalkCycles uint64
+	// CoalescedFills counts fills whose run length exceeded one.
+	CoalescedFills uint64
+}
+
+// L1MissRate returns L1 misses per access.
+func (s Stats) L1MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.Accesses)
+}
+
+// L2MissRate returns L2 misses per access.
+func (s Stats) L2MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.Accesses)
+}
+
+// AccessResult reports how one translation resolved.
+type AccessResult struct {
+	PFN         arch.PFN
+	L1Hit       bool // hit in L1 or superpage TLB (parallel probe)
+	L2Hit       bool
+	Walked      bool
+	Fault       bool
+	WalkLatency int
+}
+
+// Hierarchy is the two-level TLB hierarchy of Figure 4/5/6: a
+// set-associative L1 probed in parallel with the fully-associative
+// superpage TLB, backed by an inclusive set-associative L2 and the page
+// walker, with fill-path coalescing per the configured policy.
+type Hierarchy struct {
+	cfg      Config
+	l1       *SetAssocTLB
+	l2       *SetAssocTLB
+	sup      *FullyAssocTLB
+	pb       *PrefetchBuffer // PolicySeqPrefetch only
+	sb1, sb2 *SubblockTLB    // PolicyPartialSubblock only
+	walker   Walker
+	stats    Stats
+	prefetch PrefetchStats
+}
+
+// NewHierarchy builds a hierarchy from cfg, validating the geometry.
+func NewHierarchy(cfg Config, walker Walker) *Hierarchy {
+	if walker == nil {
+		panic("core: nil walker")
+	}
+	if cfg.AllThreshold == 0 {
+		cfg.AllThreshold = 1 << cfg.L2Shift
+	}
+	h := &Hierarchy{
+		cfg:    cfg,
+		l1:     NewSetAssocTLB(cfg.L1Sets, cfg.L1Ways, cfg.L1Shift),
+		l2:     NewSetAssocTLB(cfg.L2Sets, cfg.L2Ways, cfg.L2Shift),
+		sup:    NewFullyAssocTLB(cfg.SupEntries),
+		walker: walker,
+	}
+	if cfg.Policy == PolicyPartialSubblock {
+		h.sb1 = NewSubblockTLB(cfg.L1Sets, cfg.L1Ways)
+		h.sb2 = NewSubblockTLB(cfg.L2Sets, cfg.L2Ways)
+	}
+	if cfg.Policy == PolicySeqPrefetch {
+		n := cfg.PrefetchEntries
+		if n == 0 {
+			n = DefaultPrefetchEntries
+		}
+		h.pb = NewPrefetchBuffer(n)
+	}
+	if cfg.Refinements.CoalescingAwareLRU {
+		h.l1.SetReplacementBias(true)
+		h.l2.SetReplacementBias(true)
+		h.sup.SetReplacementBias(true)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration (with defaults resolved).
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1 returns the set-associative L1 TLB.
+func (h *Hierarchy) L1() *SetAssocTLB { return h.l1 }
+
+// L2 returns the set-associative L2 TLB.
+func (h *Hierarchy) L2() *SetAssocTLB { return h.l2 }
+
+// Sup returns the fully-associative superpage TLB.
+func (h *Hierarchy) Sup() *FullyAssocTLB { return h.sup }
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// PrefetchStats returns the prefetch-policy counters (zero for other
+// policies), with Wasted computed from the buffer.
+func (h *Hierarchy) PrefetchStats() PrefetchStats {
+	st := h.prefetch
+	if h.pb != nil {
+		st.Wasted = h.pb.Filled() - h.pb.Hits()
+	}
+	return st
+}
+
+// ResetStats zeroes all hierarchy and component counters (after
+// warmup).
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{}
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+	h.sup.ResetStats()
+	if h.sb1 != nil {
+		h.sb1.ResetStats()
+		h.sb2.ResetStats()
+	}
+}
+
+// Subblock returns the subblocked L1/L2 TLBs (PolicyPartialSubblock
+// only; nil otherwise).
+func (h *Hierarchy) Subblock() (l1, l2 *SubblockTLB) { return h.sb1, h.sb2 }
+
+// Access translates vpn, filling TLBs per the policy on misses.
+func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
+	if h.cfg.Policy == PolicyPartialSubblock {
+		return h.accessSubblock(vpn)
+	}
+	h.stats.Accesses++
+
+	// Step 1: probe the set-associative L1 and the superpage TLB in
+	// parallel; both have the same hit time.
+	if pfn, ok := h.l1.Lookup(vpn); ok {
+		h.stats.L1Hits++
+		return AccessResult{PFN: pfn, L1Hit: true}
+	}
+	if pfn, ok := h.sup.Lookup(vpn); ok {
+		h.stats.SupHits++
+		return AccessResult{PFN: pfn, L1Hit: true}
+	}
+	h.stats.L1Misses++
+
+	// PolicySeqPrefetch: the prefetch buffer is probed alongside the
+	// L2; a hit consumes the entry, promotes it into the TLBs, and
+	// avoids the demand walk.
+	if h.pb != nil {
+		if pfn, attr, ok := h.pb.Lookup(vpn); ok {
+			h.stats.L2Hits++
+			h.prefetch.BufferHits++
+			single := Run{BaseVPN: vpn, BasePFN: pfn, Len: 1, Attr: attr}
+			h.insertL2(single)
+			h.insertL1(single)
+			return AccessResult{PFN: pfn, L2Hit: true}
+		}
+	}
+
+	// Step 2: L2 probe.
+	if pfn, ok := h.l2.Lookup(vpn); ok {
+		h.stats.L2Hits++
+		h.fillL1FromL2(vpn)
+		return AccessResult{PFN: pfn, L2Hit: true}
+	}
+	h.stats.L2Misses++
+
+	// Step 3: page walk; the LLC fill exposes the PTE's cache line to
+	// the coalescing logic.
+	info := h.walker.Walk(vpn)
+	h.stats.Walks++
+	h.stats.WalkCycles += uint64(info.Latency)
+	if !info.Found {
+		h.stats.Faults++
+		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}
+	}
+
+	res := AccessResult{Walked: true, WalkLatency: info.Latency}
+	if info.PTE.Huge {
+		res.PFN = info.PTE.PFN + arch.PFN(vpn%arch.PagesPerHuge)
+		h.sup.InsertHuge(vpn&^(arch.PagesPerHuge-1), info.PTE.PFN, info.PTE.Attr)
+		return res
+	}
+	res.PFN = info.PTE.PFN
+
+	// PolicySeqPrefetch: on a demand miss, prefetch the neighbours into
+	// the separate buffer. The prefetch walks are charged as bandwidth
+	// (PrefetchWalks), not critical-path latency.
+	if h.pb != nil {
+		for _, cand := range [2]arch.VPN{vpn + 1, vpn - 1} {
+			pf := h.walker.Walk(cand)
+			h.prefetch.PrefetchWalks++
+			if pf.Found && !pf.PTE.Huge {
+				h.pb.Insert(cand, pf.PTE.PFN, pf.PTE.Attr)
+			}
+		}
+	}
+
+	run := Single(vpn, info.PTE)
+	// The baseline has no coalescing logic; CoLT variants scan the
+	// fetched cache line for the contiguous run around the request.
+	if h.cfg.Policy != PolicyBaseline && h.cfg.Policy != PolicySeqPrefetch && info.HasLine {
+		run = FindRun(info.Line, vpn)
+	}
+	if run.Len > 1 {
+		h.stats.CoalescedFills++
+	}
+	h.fill(vpn, run, info.PTE)
+	return res
+}
+
+// accessSubblock is the partial-subblock hierarchy's access path: the
+// same two-level organization with subblocked structures in place of
+// the set-associative TLBs.
+func (h *Hierarchy) accessSubblock(vpn arch.VPN) AccessResult {
+	h.stats.Accesses++
+	if pfn, ok := h.sb1.Lookup(vpn); ok {
+		h.stats.L1Hits++
+		return AccessResult{PFN: pfn, L1Hit: true}
+	}
+	if pfn, ok := h.sup.Lookup(vpn); ok {
+		h.stats.SupHits++
+		return AccessResult{PFN: pfn, L1Hit: true}
+	}
+	h.stats.L1Misses++
+	if pfn, ok := h.sb2.Lookup(vpn); ok {
+		h.stats.L2Hits++
+		h.sb1.Insert(vpn, pfn, 0)
+		return AccessResult{PFN: pfn, L2Hit: true}
+	}
+	h.stats.L2Misses++
+	info := h.walker.Walk(vpn)
+	h.stats.Walks++
+	h.stats.WalkCycles += uint64(info.Latency)
+	if !info.Found {
+		h.stats.Faults++
+		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}
+	}
+	res := AccessResult{Walked: true, WalkLatency: info.Latency}
+	if info.PTE.Huge {
+		res.PFN = info.PTE.PFN + arch.PFN(vpn%arch.PagesPerHuge)
+		h.sup.InsertHuge(vpn&^(arch.PagesPerHuge-1), info.PTE.PFN, info.PTE.Attr)
+		return res
+	}
+	res.PFN = info.PTE.PFN
+	if evictedVPN, evicted := h.sb2.Insert(vpn, info.PTE.PFN, info.PTE.Attr); evicted && h.cfg.InclusiveL2 {
+		for v := evictedVPN; v < evictedVPN+SubblockFactor; v++ {
+			h.sb1.Invalidate(v)
+		}
+	}
+	h.sb1.Insert(vpn, info.PTE.PFN, info.PTE.Attr)
+	return res
+}
+
+// fillL1FromL2 copies the (possibly coalesced) L2 entry covering vpn
+// into the L1, clipped to the L1's coalescing block. No new walk is
+// needed: the information already resides in the L2 entry.
+func (h *Hierarchy) fillL1FromL2(vpn arch.VPN) {
+	run, ok := h.l2.LookupRun(vpn)
+	if !ok {
+		return
+	}
+	h.insertL1(ClipToBlock(run, vpn, h.l1.Shift()))
+}
+
+// fill installs the coalesced run after an L2 miss according to the
+// active policy.
+func (h *Hierarchy) fill(vpn arch.VPN, run Run, pte arch.PTE) {
+	switch h.cfg.Policy {
+	case PolicyBaseline, PolicySeqPrefetch:
+		single := Single(vpn, pte)
+		h.insertL2(single)
+		h.insertL1(single)
+
+	case PolicyCoLTSA:
+		h.insertL2(ClipToBlock(run, vpn, h.l2.Shift()))
+		h.insertL1(ClipToBlock(run, vpn, h.l1.Shift()))
+
+	case PolicyCoLTFA:
+		if run.Len >= 2 {
+			h.sup.Insert(run)
+			if h.cfg.FAL2Fill {
+				// Bring just the requested translation into the L2 so
+				// an eviction from the small superpage TLB does not
+				// immediately cost a walk (§4.2.1). The L1 is left
+				// unaffected due to its small capacity.
+				h.insertL2(Single(vpn, pte))
+			}
+		} else {
+			single := Single(vpn, pte)
+			h.insertL2(single)
+			h.insertL1(single)
+		}
+
+	case PolicyCoLTAll:
+		if run.Len <= h.cfg.AllThreshold {
+			// The set-associative index scheme can accommodate this
+			// contiguity.
+			h.insertL2(ClipToBlock(run, vpn, h.l2.Shift()))
+			h.insertL1(ClipToBlock(run, vpn, h.l1.Shift()))
+		} else {
+			h.sup.Insert(run)
+			if h.cfg.AllL2Fill {
+				// Unlike CoLT-FA, bring as much of the run as the L2's
+				// index scheme permits (§4.3.1).
+				h.insertL2(ClipToBlock(run, vpn, h.l2.Shift()))
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) insertL1(run Run) {
+	h.l1.Insert(run)
+}
+
+// insertL2 fills the L2 and, when the hierarchy is inclusive,
+// back-invalidates L1 translations covered by the evicted L2 entry.
+func (h *Hierarchy) insertL2(run Run) {
+	evicted, was := h.l2.Insert(run)
+	if was && h.cfg.InclusiveL2 {
+		for v := evicted.BaseVPN; v < evicted.End(); v++ {
+			h.l1.Invalidate(v)
+		}
+	}
+}
+
+// Invalidate performs a TLB shootdown for vpn. The paper's base policy
+// flushes whole coalesced entries covering the victim (§4.1.5); with
+// the GracefulInvalidation refinement only the victim translation is
+// removed, preserving its coalesced siblings.
+func (h *Hierarchy) Invalidate(vpn arch.VPN) {
+	if h.pb != nil {
+		h.pb.Invalidate(vpn)
+	}
+	if h.sb1 != nil {
+		h.sb1.Invalidate(vpn)
+		h.sb2.Invalidate(vpn)
+	}
+	if h.cfg.Refinements.GracefulInvalidation {
+		h.l1.InvalidateOne(vpn)
+		h.l2.InvalidateOne(vpn)
+		h.sup.InvalidateOne(vpn)
+		return
+	}
+	h.l1.Invalidate(vpn)
+	h.l2.Invalidate(vpn)
+	h.sup.Invalidate(vpn)
+}
+
+// InvalidateAll flushes the entire hierarchy (context switch without
+// ASIDs).
+func (h *Hierarchy) InvalidateAll() {
+	h.l1.InvalidateAll()
+	h.l2.InvalidateAll()
+	h.sup.InvalidateAll()
+	if h.pb != nil {
+		h.pb.InvalidateAll()
+	}
+	if h.sb1 != nil {
+		h.sb1.InvalidateAll()
+		h.sb2.InvalidateAll()
+	}
+}

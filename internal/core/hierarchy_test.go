@@ -1,0 +1,435 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/mmu"
+	"colt/internal/pagetable"
+)
+
+type seqFrames struct{ next arch.PFN }
+
+func (s *seqFrames) AllocFrame() (arch.PFN, error) {
+	s.next++
+	return s.next, nil
+}
+func (s *seqFrames) FreeFrame(arch.PFN) {}
+
+func newWorld(t *testing.T) (*pagetable.Table, Walker) {
+	t.Helper()
+	tbl, err := pagetable.New(&seqFrames{next: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, mmu.NewWalker(tbl, cache.DefaultHierarchy(), mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
+}
+
+func mapRun(t *testing.T, tbl *pagetable.Table, baseVPN arch.VPN, basePFN arch.PFN, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := tbl.Map(baseVPN+arch.VPN(i), arch.PTE{PFN: basePFN + arch.PFN(i), Attr: testAttr})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHierarchyBaselineNoCoalescing(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 4)
+	h := NewHierarchy(BaselineConfig(), w)
+	for i := 0; i < 4; i++ {
+		res := h.Access(64 + arch.VPN(i))
+		if !res.Walked {
+			t.Fatalf("access %d did not walk in baseline", i)
+		}
+		if res.PFN != 5000+arch.PFN(i) {
+			t.Fatalf("access %d PFN = %d", i, res.PFN)
+		}
+	}
+	st := h.Stats()
+	if st.Walks != 4 || st.L2Misses != 4 || st.CoalescedFills != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-access: all L1 hits now.
+	for i := 0; i < 4; i++ {
+		if res := h.Access(64 + arch.VPN(i)); !res.L1Hit {
+			t.Fatalf("re-access %d missed L1", i)
+		}
+	}
+}
+
+func TestHierarchyCoLTSACoalesces(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 4) // aligned 4-block
+	h := NewHierarchy(CoLTSAConfig(2), w)
+	first := h.Access(64)
+	if !first.Walked || first.PFN != 5000 {
+		t.Fatalf("first access = %+v", first)
+	}
+	// The other three translations were coalesced in: all L1 hits.
+	for i := 1; i < 4; i++ {
+		res := h.Access(64 + arch.VPN(i))
+		if !res.L1Hit {
+			t.Fatalf("sibling %d missed (should be coalesced)", i)
+		}
+		if res.PFN != 5000+arch.PFN(i) {
+			t.Fatalf("sibling %d PFN = %d", i, res.PFN)
+		}
+	}
+	st := h.Stats()
+	if st.Walks != 1 || st.CoalescedFills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHierarchyCoLTSARespectsBlockClipping(t *testing.T) {
+	tbl, w := newWorld(t)
+	// 8 contiguous pages spanning two 4-blocks [64,68) and [68,72).
+	mapRun(t, tbl, 64, 5000, 8)
+	h := NewHierarchy(CoLTSAConfig(2), w)
+	h.Access(64)
+	// Pages of the second block were NOT coalesced (index scheme limit).
+	res := h.Access(68)
+	if res.L1Hit || res.L2Hit {
+		t.Fatalf("second block should miss: %+v", res)
+	}
+	if h.Stats().Walks != 2 {
+		t.Fatalf("Walks = %d", h.Stats().Walks)
+	}
+}
+
+func TestHierarchyCoLTFARangeFill(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 8)
+	h := NewHierarchy(CoLTFAConfig(), w)
+	h.Access(67)
+	// The whole 8-page run landed in the superpage TLB.
+	for i := 0; i < 8; i++ {
+		res := h.Access(64 + arch.VPN(i))
+		if !res.L1Hit {
+			t.Fatalf("page %d missed after FA fill", i)
+		}
+	}
+	st := h.Stats()
+	if st.Walks != 1 {
+		t.Fatalf("Walks = %d", st.Walks)
+	}
+	if st.SupHits != 8 {
+		t.Fatalf("SupHits = %d, want 8", st.SupHits)
+	}
+	// FAL2Fill: the requested translation also entered the L2.
+	if h.L2().Stats().Fills != 1 {
+		t.Fatalf("L2 fills = %d, want 1 (requested entry)", h.L2().Stats().Fills)
+	}
+	// Only the requested translation is in L2, as a single entry.
+	if run, ok := h.L2().LookupRun(67); !ok || run.Len != 1 {
+		t.Fatalf("L2 run = %+v, %v", run, ok)
+	}
+}
+
+func TestHierarchyCoLTFAL2FillAblation(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 8)
+	cfg := CoLTFAConfig()
+	cfg.FAL2Fill = false
+	h := NewHierarchy(cfg, w)
+	h.Access(67)
+	if h.L2().Stats().Fills != 0 {
+		t.Fatalf("L2 fills = %d with FAL2Fill off", h.L2().Stats().Fills)
+	}
+}
+
+func TestHierarchyCoLTFASingletonGoesSA(t *testing.T) {
+	tbl, w := newWorld(t)
+	// Isolated translation: no contiguity.
+	if err := tbl.Map(64, arch.PTE{PFN: 999, Attr: testAttr}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHierarchy(CoLTFAConfig(), w)
+	h.Access(64)
+	if h.Sup().Occupied() != 0 {
+		t.Fatal("singleton went to the superpage TLB")
+	}
+	if res := h.Access(64); !res.L1Hit {
+		t.Fatal("singleton not in L1")
+	}
+}
+
+func TestHierarchyCoLTAllThresholdRouting(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 3)  // short run: <= threshold 4
+	mapRun(t, tbl, 128, 7000, 8) // long run: > threshold
+	h := NewHierarchy(CoLTAllConfig(), w)
+
+	h.Access(64)
+	if h.Sup().Occupied() != 0 {
+		t.Fatal("short run routed to superpage TLB")
+	}
+	if res := h.Access(65); !res.L1Hit {
+		t.Fatal("short run not coalesced into SA TLBs")
+	}
+
+	h.Access(128)
+	if h.Sup().Occupied() != 1 {
+		t.Fatal("long run not routed to superpage TLB")
+	}
+	// AllL2Fill: the L2 received the clipped (4-page) version.
+	if run, ok := h.L2().LookupRun(128); !ok || run.Len != 4 {
+		t.Fatalf("L2 clipped run = %+v, %v", run, ok)
+	}
+	// All 8 pages hit at L1 level via the superpage TLB.
+	for i := 0; i < 8; i++ {
+		if res := h.Access(128 + arch.VPN(i)); !res.L1Hit {
+			t.Fatalf("long-run page %d missed", i)
+		}
+	}
+}
+
+func TestHierarchyCoLTAllL2FillAblation(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 128, 7000, 8)
+	cfg := CoLTAllConfig()
+	cfg.AllL2Fill = false
+	h := NewHierarchy(cfg, w)
+	h.Access(128)
+	if h.L2().Stats().Fills != 0 {
+		t.Fatalf("L2 fills = %d with AllL2Fill off", h.L2().Stats().Fills)
+	}
+}
+
+func TestHierarchyHugePagesGoToSup(t *testing.T) {
+	tbl, w := newWorld(t)
+	huge := arch.PTE{PFN: 512 * 10, Attr: testAttr, Huge: true}
+	if err := tbl.MapHuge(arch.PagesPerHuge*4, huge); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{BaselineConfig(), CoLTSAConfig(2), CoLTFAConfig(), CoLTAllConfig()} {
+		h := NewHierarchy(cfg, w)
+		res := h.Access(arch.PagesPerHuge*4 + 100)
+		if !res.Walked || res.PFN != 512*10+100 {
+			t.Fatalf("%v: huge walk = %+v", cfg.Policy, res)
+		}
+		if h.Sup().Occupied() != 1 {
+			t.Fatalf("%v: superpage not in sup TLB", cfg.Policy)
+		}
+		if res := h.Access(arch.PagesPerHuge * 4); !res.L1Hit {
+			t.Fatalf("%v: superpage re-access missed", cfg.Policy)
+		}
+	}
+}
+
+func TestHierarchyFault(t *testing.T) {
+	_, w := newWorld(t)
+	h := NewHierarchy(BaselineConfig(), w)
+	res := h.Access(12345)
+	if !res.Fault || !res.Walked {
+		t.Fatalf("unmapped access = %+v", res)
+	}
+	if h.Stats().Faults != 1 {
+		t.Fatal("fault not counted")
+	}
+}
+
+func TestHierarchyL2HitRefillsL1(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 0, 100, 1)
+	mapRun(t, tbl, 8, 900, 1) // same L1 set (1 set), different L2 set
+	cfg := BaselineConfig()
+	cfg.L1Sets, cfg.L1Ways = 1, 1
+	h := NewHierarchy(cfg, w)
+	h.Access(0) // fills L1+L2
+	h.Access(8) // evicts VPN 0 from the 1-entry L1
+	res := h.Access(0)
+	if res.L1Hit || !res.L2Hit {
+		t.Fatalf("expected L2 hit, got %+v", res)
+	}
+	// The L2 hit refilled L1.
+	if res := h.Access(0); !res.L1Hit {
+		t.Fatal("L1 refill from L2 hit did not happen")
+	}
+}
+
+func TestHierarchyL2HitRefillsL1Coalesced(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 4)
+	mapRun(t, tbl, 8, 900, 1)
+	cfg := CoLTSAConfig(2)
+	cfg.L1Sets, cfg.L1Ways = 1, 1
+	h := NewHierarchy(cfg, w)
+	h.Access(64) // coalesced into L1+L2
+	h.Access(8)  // evicts the coalesced entry from the 1-entry L1
+	if res := h.Access(65); !res.L2Hit {
+		t.Fatal("expected L2 hit")
+	}
+	// The refilled L1 entry is the full coalesced run.
+	for _, v := range []arch.VPN{64, 66, 67} {
+		if res := h.Access(v); !res.L1Hit {
+			t.Fatalf("VPN %d missed after coalesced refill", v)
+		}
+	}
+}
+
+func TestHierarchyInclusiveBackInvalidation(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 0, 100, 1)
+	mapRun(t, tbl, 32, 900, 1) // same L2 set when L2 has 1 set... use custom config
+	cfg := BaselineConfig()
+	cfg.L1Sets, cfg.L1Ways = 4, 4 // roomy L1
+	cfg.L2Sets, cfg.L2Ways = 1, 1 // tiny L2 to force eviction
+	h := NewHierarchy(cfg, w)
+	h.Access(0)
+	h.Access(32) // evicts VPN 0 from L2; inclusion must purge L1 too
+	res := h.Access(0)
+	if res.L1Hit {
+		t.Fatal("inclusive back-invalidation missing: VPN 0 still in L1")
+	}
+	// Without inclusion the L1 hit survives.
+	cfg.InclusiveL2 = false
+	h2 := NewHierarchy(cfg, w)
+	h2.Access(0)
+	h2.Access(32)
+	if res := h2.Access(0); !res.L1Hit {
+		t.Fatal("non-inclusive config purged L1 anyway")
+	}
+}
+
+func TestHierarchyInvalidate(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 8)
+	h := NewHierarchy(CoLTAllConfig(), w)
+	h.Access(64)
+	h.Invalidate(66)
+	res := h.Access(66)
+	if res.L1Hit || res.L2Hit {
+		t.Fatalf("access after shootdown = %+v", res)
+	}
+	h.Access(64)
+	h.InvalidateAll()
+	if res := h.Access(64); res.L1Hit || res.L2Hit {
+		t.Fatal("InvalidateAll incomplete")
+	}
+}
+
+func TestHierarchyStatsRates(t *testing.T) {
+	var s Stats
+	if s.L1MissRate() != 0 || s.L2MissRate() != 0 {
+		t.Fatal("zero stats rates")
+	}
+	s = Stats{Accesses: 100, L1Misses: 25, L2Misses: 10}
+	if s.L1MissRate() != 0.25 || s.L2MissRate() != 0.10 {
+		t.Fatal("rates wrong")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyBaseline: "baseline", PolicyCoLTSA: "colt-sa",
+		PolicyCoLTFA: "colt-fa", PolicyCoLTAll: "colt-all",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Policy(99).String() != "policy(99)" {
+		t.Fatal("unknown policy string")
+	}
+}
+
+// TestHierarchyOracle drives every policy over random contiguous
+// regions with random accesses and checks each returned frame against
+// the page table: CoLT must never change a translation's result.
+func TestHierarchyOracle(t *testing.T) {
+	tbl, w := newWorld(t)
+	rng := rand.New(rand.NewSource(42))
+	var mapped []arch.VPN
+	// A mix of contiguous regions of varying lengths and scattered
+	// singletons, plus a superpage.
+	nextPFN := arch.PFN(1 << 22)
+	base := arch.VPN(0)
+	for r := 0; r < 40; r++ {
+		n := 1 + rng.Intn(30)
+		base += arch.VPN(rng.Intn(64) + 1)
+		for i := 0; i < n; i++ {
+			if err := tbl.Map(base+arch.VPN(i), arch.PTE{PFN: nextPFN, Attr: testAttr}); err != nil {
+				t.Fatal(err)
+			}
+			mapped = append(mapped, base+arch.VPN(i))
+			nextPFN++
+		}
+		base += arch.VPN(n)
+		nextPFN += arch.PFN(rng.Intn(5)) // occasional physical gaps
+	}
+	hugeBase := arch.VPN(1 << 25)
+	if err := tbl.MapHuge(hugeBase, arch.PTE{PFN: 1 << 21, Attr: testAttr, Huge: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		mapped = append(mapped, hugeBase+arch.VPN(rng.Intn(arch.PagesPerHuge)))
+	}
+
+	for _, cfg := range []Config{BaselineConfig(), CoLTSAConfig(1), CoLTSAConfig(2), CoLTSAConfig(3), CoLTFAConfig(), CoLTAllConfig()} {
+		h := NewHierarchy(cfg, w)
+		for i := 0; i < 20000; i++ {
+			vpn := mapped[rng.Intn(len(mapped))]
+			res := h.Access(vpn)
+			want, _, ok := tbl.Resolve(vpn)
+			if !ok {
+				t.Fatal("test bug: unmapped probe")
+			}
+			if res.Fault || res.PFN != want {
+				t.Fatalf("%v: Access(%d) = %+v, want PFN %d", cfg.Policy, vpn, res, want)
+			}
+		}
+		st := h.Stats()
+		if st.Accesses != 20000 || st.L1Hits+st.SupHits+st.L1Misses != st.Accesses {
+			t.Fatalf("%v: inconsistent stats %+v", cfg.Policy, st)
+		}
+		if st.L2Hits+st.L2Misses != st.L1Misses {
+			t.Fatalf("%v: L2 accounting broken %+v", cfg.Policy, st)
+		}
+	}
+}
+
+// TestHierarchyCoLTReducesMisses checks the headline direction on a
+// coalescing-friendly workload: every CoLT variant must eliminate a
+// large fraction of baseline misses.
+func TestHierarchyCoLTReducesMisses(t *testing.T) {
+	tbl, w := newWorld(t)
+	// 4096 pages in 16-page contiguous chunks.
+	for c := 0; c < 256; c++ {
+		mapRun(t, tbl, arch.VPN(c*16), arch.PFN(1<<22+c*16), 16)
+	}
+	rng := rand.New(rand.NewSource(7))
+	access := func(h *Hierarchy) Stats {
+		for i := 0; i < 100000; i++ {
+			// Random page with some spatial locality: pick a chunk,
+			// then sweep a few pages.
+			c := rng.Intn(256)
+			p := rng.Intn(12)
+			for j := 0; j < 4; j++ {
+				h.Access(arch.VPN(c*16 + p + j))
+			}
+		}
+		return h.Stats()
+	}
+	rng = rand.New(rand.NewSource(7))
+	base := access(NewHierarchy(BaselineConfig(), w))
+	for _, cfg := range []Config{CoLTSAConfig(2), CoLTFAConfig(), CoLTAllConfig()} {
+		rng = rand.New(rand.NewSource(7))
+		st := access(NewHierarchy(cfg, w))
+		if st.L2Misses >= base.L2Misses {
+			t.Fatalf("%v did not reduce L2 misses: %d vs baseline %d", cfg.Policy, st.L2Misses, base.L2Misses)
+		}
+		elim := 100 * float64(base.L2Misses-st.L2Misses) / float64(base.L2Misses)
+		if elim < 20 {
+			t.Fatalf("%v eliminated only %.1f%% of L2 misses", cfg.Policy, elim)
+		}
+		t.Logf("%v: L1 elim %.1f%%, L2 elim %.1f%%", cfg.Policy,
+			100*float64(base.L1Misses-st.L1Misses)/float64(base.L1Misses), elim)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+// This file implements the paper's stated future-work refinements
+// (§4.1.5, §4.2.3), each switchable so the ablation benchmarks can
+// quantify them against the baseline CoLT designs:
+//
+//   - Graceful uncoalescing: "Gracefully uncoalescing TLB entries and
+//     only invalidating victim translations will perform even better.
+//     This too is the subject of future work."
+//   - Coalescing-aware replacement: "While there may be benefits in
+//     prioritizing entries with different coalescing amounts
+//     differently, we leave this for future work."
+//   - Per-translation attributes: "More sophisticated schemes
+//     supporting separate attribute bits per translation in a coalesced
+//     entry will improve our results."
+
+import (
+	"math/bits"
+
+	"colt/internal/arch"
+)
+
+// Refinements collects the future-work options for a hierarchy.
+type Refinements struct {
+	// GracefulInvalidation clears only the victim translation's valid
+	// bit (or splits an FA range around it) instead of flushing the
+	// whole coalesced entry.
+	GracefulInvalidation bool
+	// CoalescingAwareLRU biases replacement toward entries holding
+	// fewer translations: a victim is the entry with the lowest
+	// (coalescing, recency) priority, so large-reach entries survive
+	// longer.
+	CoalescingAwareLRU bool
+}
+
+// --- Graceful set-associative invalidation -------------------------
+
+// InvalidateOne clears only vpn's valid bit from any covering entry.
+// If the removal splits a run's valid bits into two groups, the lower
+// group keeps the entry (base PPN unchanged) and the upper group is
+// reinserted as its own entry, preserving every sibling translation.
+// Returns true if a translation was removed.
+func (t *SetAssocTLB) InvalidateOne(vpn arch.VPN) bool {
+	set, tag, off := t.index(vpn)
+	base := set * t.ways
+	removed := false
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if !e.valid || e.tag != tag || e.vbits&(1<<off) == 0 {
+			continue
+		}
+		removed = true
+		t.stats.Invalidates++
+		lower := e.vbits & (1<<off - 1)
+		upper := e.vbits &^ (1<<off - 1) &^ (1 << off)
+		switch {
+		case lower == 0 && upper == 0:
+			e.valid = false
+		case lower == 0:
+			// Slide the base PPN up past the removed translation.
+			dist := bits.OnesCount8(e.vbits & (1<<off - 1 | 1<<off))
+			e.basePPN += arch.PFN(dist)
+			e.vbits = upper
+		case upper == 0:
+			e.vbits = lower
+		default:
+			// Split: keep the lower half in place, reinsert the upper
+			// half as a separate run in the same set.
+			upperRun := t.entryRunFromBits(vpn, upper, e.basePPN+arch.PFN(bits.OnesCount8(lower))+1, e.attr)
+			e.vbits = lower
+			t.Insert(upperRun)
+		}
+	}
+	return removed
+}
+
+// entryRunFromBits rebuilds a Run from a contiguous valid-bit group.
+func (t *SetAssocTLB) entryRunFromBits(vpn arch.VPN, vbits uint8, basePPN arch.PFN, attr arch.Attr) Run {
+	blockStart := vpn &^ (arch.VPN(1)<<t.shift - 1)
+	lo := uint(bits.TrailingZeros8(vbits))
+	return Run{
+		BaseVPN: blockStart + arch.VPN(lo),
+		BasePFN: basePPN,
+		Len:     bits.OnesCount8(vbits),
+		Attr:    attr,
+	}
+}
+
+// --- Graceful fully-associative invalidation -----------------------
+
+// InvalidateOne splits any covering range around vpn, keeping both
+// remainders resident (the second remainder re-enters through Insert
+// and may evict the LRU entry if the structure is full). Superpage
+// entries are still flushed whole: a 2 MB mapping has no partial
+// invalidation. Returns true if a translation was removed.
+func (t *FullyAssocTLB) InvalidateOne(vpn arch.VPN) bool {
+	removed := false
+	var reinserts []Run
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid || !e.contains(vpn) {
+			continue
+		}
+		removed = true
+		t.stats.Invalidates++
+		if e.huge {
+			e.valid = false
+			continue
+		}
+		leftLen := int(vpn - e.baseVPN)
+		rightLen := e.length - leftLen - 1
+		switch {
+		case leftLen == 0 && rightLen == 0:
+			e.valid = false
+		case leftLen == 0:
+			e.baseVPN++
+			e.basePFN++
+			e.length = rightLen
+		case rightLen == 0:
+			e.length = leftLen
+		default:
+			e.length = leftLen
+			reinserts = append(reinserts, Run{
+				BaseVPN: vpn + 1,
+				BasePFN: e.basePFN + arch.PFN(leftLen) + 1,
+				Len:     rightLen,
+				Attr:    e.attr,
+			})
+		}
+	}
+	for _, r := range reinserts {
+		t.Insert(r)
+	}
+	return removed
+}
+
+// --- Coalescing-aware replacement ----------------------------------
+
+// SetReplacementBias switches the set-associative TLB to
+// coalescing-aware replacement: among the least-recently-used half of a
+// set, prefer evicting the entry covering the fewest translations.
+func (t *SetAssocTLB) SetReplacementBias(enabled bool) { t.coalesceBias = enabled }
+
+// SetReplacementBias is the fully-associative analogue: prefer evicting
+// short ranges over long ones among stale entries.
+func (t *FullyAssocTLB) SetReplacementBias(enabled bool) { t.coalesceBias = enabled }

@@ -1,0 +1,111 @@
+package core
+
+import "colt/internal/arch"
+
+// The paper positions CoLT against TLB prefetching (§2.1, §2.4,
+// references [11,19]): prefetchers also exploit spatial regularity but
+// need a separate buffer, extra page walks for bandwidth, and can evict
+// useful entries on bad guesses. This file provides that comparison
+// point: a classic sequential (±1) TLB prefetcher with a small
+// fully-associative prefetch buffer, usable as its own hierarchy policy
+// so the experiments can put CoLT and prefetching side by side on the
+// identical reference stream.
+
+// DefaultPrefetchEntries sizes the prefetch buffer like the literature's
+// small distance/stride buffers.
+const DefaultPrefetchEntries = 16
+
+// pbEntry is one prefetched translation (always a single page).
+type pbEntry struct {
+	valid bool
+	vpn   arch.VPN
+	pfn   arch.PFN
+	attr  arch.Attr
+	lru   uint64
+}
+
+// PrefetchBuffer is a small fully-associative buffer of prefetched
+// translations, separate from the TLBs (the structural cost the paper
+// contrasts CoLT against).
+type PrefetchBuffer struct {
+	entries []pbEntry
+	tick    uint64
+	hits    uint64
+	misses  uint64
+	filled  uint64
+}
+
+// NewPrefetchBuffer builds an empty buffer.
+func NewPrefetchBuffer(capacity int) *PrefetchBuffer {
+	if capacity <= 0 {
+		panic("core: prefetch buffer needs positive capacity")
+	}
+	return &PrefetchBuffer{entries: make([]pbEntry, capacity)}
+}
+
+// Lookup consumes a prefetched translation: on a hit the entry is
+// removed (it moves into the TLBs proper) and returned.
+func (p *PrefetchBuffer) Lookup(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.vpn == vpn {
+			p.hits++
+			e.valid = false
+			return e.pfn, e.attr, true
+		}
+	}
+	p.misses++
+	return 0, 0, false
+}
+
+// Insert stores a prefetched translation, evicting the LRU slot.
+func (p *PrefetchBuffer) Insert(vpn arch.VPN, pfn arch.PFN, attr arch.Attr) {
+	p.tick++
+	p.filled++
+	victim := &p.entries[0]
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.vpn == vpn {
+			victim = e
+			break
+		}
+		if (!e.valid && victim.valid) || (e.valid == victim.valid && e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	*victim = pbEntry{valid: true, vpn: vpn, pfn: pfn, attr: attr, lru: p.tick}
+}
+
+// Invalidate drops any entry for vpn.
+func (p *PrefetchBuffer) Invalidate(vpn arch.VPN) {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].vpn == vpn {
+			p.entries[i].valid = false
+		}
+	}
+}
+
+// InvalidateAll flushes the buffer.
+func (p *PrefetchBuffer) InvalidateAll() {
+	for i := range p.entries {
+		p.entries[i].valid = false
+	}
+}
+
+// Hits, Misses, and Filled report buffer activity. Filled minus Hits is
+// the wasted-prefetch count (the bandwidth objection).
+func (p *PrefetchBuffer) Hits() uint64   { return p.hits }
+func (p *PrefetchBuffer) Misses() uint64 { return p.misses }
+func (p *PrefetchBuffer) Filled() uint64 { return p.filled }
+
+// PrefetchStats extends the hierarchy stats for the prefetch policy.
+type PrefetchStats struct {
+	// BufferHits are L2 misses satisfied by the prefetch buffer
+	// without a demand walk.
+	BufferHits uint64
+	// PrefetchWalks counts the extra page-table walks issued to fill
+	// the buffer (bandwidth overhead; off the critical path).
+	PrefetchWalks uint64
+	// Wasted counts prefetched translations evicted unused.
+	Wasted uint64
+}

@@ -1,0 +1,102 @@
+// Package core implements the paper's contribution: Coalesced
+// Large-Reach TLBs. It provides the set-associative TLB with
+// left-shifted set indexing and valid-bit coalescing (CoLT-SA, §4.1),
+// the fully-associative range-coalescing superpage TLB (CoLT-FA, §4.2),
+// the threshold-routed combined design (CoLT-All, §4.3), the coalescing
+// logic that scans the eight PTEs of a page-walk cache line, and the
+// two-level TLB hierarchy that ties them together.
+package core
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// Run is a coalesced group of translations: Len consecutive virtual
+// pages starting at BaseVPN mapped to Len consecutive physical frames
+// starting at BasePFN, all sharing Attr. Len == 1 is an ordinary
+// translation.
+type Run struct {
+	BaseVPN arch.VPN
+	BasePFN arch.PFN
+	Len     int
+	Attr    arch.Attr
+}
+
+// End returns one past the last VPN of the run.
+func (r Run) End() arch.VPN { return r.BaseVPN + arch.VPN(r.Len) }
+
+// Contains reports whether the run translates vpn.
+func (r Run) Contains(vpn arch.VPN) bool {
+	return vpn >= r.BaseVPN && vpn < r.End()
+}
+
+// Translate returns the frame backing vpn; Contains must hold.
+func (r Run) Translate(vpn arch.VPN) arch.PFN {
+	return r.BasePFN + arch.PFN(vpn-r.BaseVPN)
+}
+
+// Single builds a one-page run from a translation.
+func Single(vpn arch.VPN, pte arch.PTE) Run {
+	return Run{BaseVPN: vpn, BasePFN: pte.PFN, Len: 1, Attr: pte.Attr}
+}
+
+// String implements fmt.Stringer.
+func (r Run) String() string {
+	return fmt.Sprintf("Run{v%d->p%d x%d}", r.BaseVPN, r.BasePFN, r.Len)
+}
+
+// FindRun scans a page-walk cache line (eight translations with
+// consecutive VPNs) for the maximal contiguous, attribute-matching run
+// containing req, which must be one of the line's VPNs. This is the
+// coalescing logic of §4.1.1/§4.1.4: it inspects only the translations
+// that the walk's 64-byte LLC fill already fetched, so detecting the
+// run costs no extra memory references and coalescing is bounded at
+// eight translations.
+func FindRun(line [arch.PTEsPerLine]arch.Translation, req arch.VPN) Run {
+	idx := int(req - line[0].VPN)
+	if idx < 0 || idx >= arch.PTEsPerLine || line[idx].VPN != req {
+		panic(fmt.Sprintf("core: requested VPN %d not in line starting at %d", req, line[0].VPN))
+	}
+	lo, hi := idx, idx
+	for lo > 0 && line[lo-1].ContiguousWith(line[lo]) {
+		lo--
+	}
+	for hi < arch.PTEsPerLine-1 && line[hi].ContiguousWith(line[hi+1]) {
+		hi++
+	}
+	base := line[lo]
+	return Run{
+		BaseVPN: base.VPN,
+		BasePFN: base.PTE.PFN,
+		Len:     hi - lo + 1,
+		Attr:    base.PTE.Attr,
+	}
+}
+
+// ClipToBlock intersects the run with the aligned 2^shift-page block
+// containing req — the largest group of translations a set-associative
+// TLB indexed with a shift-bit left-shifted index can hold in one entry
+// (§4.1.2). req must be inside the run.
+func ClipToBlock(r Run, req arch.VPN, shift uint) Run {
+	if !r.Contains(req) {
+		panic(fmt.Sprintf("core: ClipToBlock: %v does not contain %d", r, req))
+	}
+	blockSize := arch.VPN(1) << shift
+	blockStart := req &^ (blockSize - 1)
+	start := r.BaseVPN
+	if blockStart > start {
+		start = blockStart
+	}
+	end := r.End()
+	if blockEnd := blockStart + blockSize; blockEnd < end {
+		end = blockEnd
+	}
+	return Run{
+		BaseVPN: start,
+		BasePFN: r.BasePFN + arch.PFN(start-r.BaseVPN),
+		Len:     int(end - start),
+		Attr:    r.Attr,
+	}
+}

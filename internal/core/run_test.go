@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"colt/internal/arch"
+)
+
+const testAttr = arch.AttrPresent | arch.AttrWritable | arch.AttrUser
+
+// makeLine builds a PTE cache line of 8 translations starting at
+// baseVPN; pfns[i] < 0 marks slot i absent.
+func makeLine(baseVPN arch.VPN, pfns [8]int64) [arch.PTEsPerLine]arch.Translation {
+	var line [arch.PTEsPerLine]arch.Translation
+	for i := range line {
+		line[i].VPN = baseVPN + arch.VPN(i)
+		if pfns[i] >= 0 {
+			line[i].PTE = arch.PTE{PFN: arch.PFN(pfns[i]), Attr: testAttr}
+		}
+	}
+	return line
+}
+
+func TestRunBasics(t *testing.T) {
+	r := Run{BaseVPN: 10, BasePFN: 100, Len: 4, Attr: testAttr}
+	if r.End() != 14 {
+		t.Fatalf("End = %d", r.End())
+	}
+	if !r.Contains(10) || !r.Contains(13) || r.Contains(14) || r.Contains(9) {
+		t.Fatal("Contains wrong")
+	}
+	if r.Translate(12) != 102 {
+		t.Fatalf("Translate = %d", r.Translate(12))
+	}
+	s := Single(5, arch.PTE{PFN: 50, Attr: testAttr})
+	if s.Len != 1 || s.BaseVPN != 5 || s.BasePFN != 50 {
+		t.Fatalf("Single = %+v", s)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestFindRunFullLine(t *testing.T) {
+	line := makeLine(16, [8]int64{200, 201, 202, 203, 204, 205, 206, 207})
+	r := FindRun(line, 19)
+	if r.BaseVPN != 16 || r.BasePFN != 200 || r.Len != 8 {
+		t.Fatalf("run = %+v", r)
+	}
+}
+
+func TestFindRunMidLineBreaks(t *testing.T) {
+	// PFNs: contiguous 0-2, gap, contiguous 4-7.
+	line := makeLine(16, [8]int64{200, 201, 202, 900, 204, 205, 206, 207})
+	if r := FindRun(line, 17); r.BaseVPN != 16 || r.Len != 3 {
+		t.Fatalf("left run = %+v", r)
+	}
+	if r := FindRun(line, 19); r.Len != 1 || r.BasePFN != 900 {
+		t.Fatalf("isolated run = %+v", r)
+	}
+	if r := FindRun(line, 21); r.BaseVPN != 20 || r.BasePFN != 204 || r.Len != 4 {
+		t.Fatalf("right run = %+v", r)
+	}
+}
+
+func TestFindRunAbsentNeighbors(t *testing.T) {
+	line := makeLine(0, [8]int64{-1, 101, 102, -1, -1, -1, -1, -1})
+	r := FindRun(line, 2)
+	if r.BaseVPN != 1 || r.Len != 2 {
+		t.Fatalf("run = %+v", r)
+	}
+}
+
+func TestFindRunAttrBreaks(t *testing.T) {
+	line := makeLine(8, [8]int64{300, 301, 302, 303, -1, -1, -1, -1})
+	line[2].PTE.Attr = arch.AttrPresent // different attributes
+	r := FindRun(line, 9)
+	if r.Len != 2 || r.BaseVPN != 8 {
+		t.Fatalf("attr-limited run = %+v", r)
+	}
+	// The differently-attributed page starts its own run.
+	r2 := FindRun(line, 10)
+	if r2.Len != 1 {
+		t.Fatalf("run at attr boundary = %+v", r2)
+	}
+}
+
+func TestFindRunPanicsOutsideLine(t *testing.T) {
+	line := makeLine(8, [8]int64{1, 2, 3, 4, 5, 6, 7, 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-line VPN")
+		}
+	}()
+	FindRun(line, 99)
+}
+
+func TestClipToBlock(t *testing.T) {
+	r := Run{BaseVPN: 14, BasePFN: 140, Len: 8, Attr: testAttr} // covers 14..21
+	// Blocks of 4: [12,16) and [16,20) and [20,24).
+	c := ClipToBlock(r, 15, 2)
+	if c.BaseVPN != 14 || c.Len != 2 || c.BasePFN != 140 {
+		t.Fatalf("clip lower = %+v", c)
+	}
+	c = ClipToBlock(r, 17, 2)
+	if c.BaseVPN != 16 || c.Len != 4 || c.BasePFN != 142 {
+		t.Fatalf("clip middle = %+v", c)
+	}
+	c = ClipToBlock(r, 21, 2)
+	if c.BaseVPN != 20 || c.Len != 2 || c.BasePFN != 146 {
+		t.Fatalf("clip upper = %+v", c)
+	}
+	// shift 0: always a single page.
+	c = ClipToBlock(r, 18, 0)
+	if c.Len != 1 || c.BaseVPN != 18 || c.BasePFN != 144 {
+		t.Fatalf("clip shift0 = %+v", c)
+	}
+	// shift 3: block [16,24) clips to 16..21.
+	c = ClipToBlock(r, 18, 3)
+	if c.BaseVPN != 16 || c.Len != 6 {
+		t.Fatalf("clip shift3 = %+v", c)
+	}
+}
+
+func TestClipToBlockPanicsOutside(t *testing.T) {
+	r := Run{BaseVPN: 4, BasePFN: 40, Len: 2, Attr: testAttr}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ClipToBlock(r, 10, 2)
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"colt/internal/arch"
+)
+
+// MaxSAShift bounds the left-shift of the set-index bits: a shift of 3
+// coalesces up to eight translations, the most a single page-walk cache
+// line can supply (§4.1.4).
+const MaxSAShift = 3
+
+// TLBStats counts one TLB structure's activity.
+type TLBStats struct {
+	Lookups     uint64
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	CoalescedIn uint64 // translations inserted beyond the requested one
+	Evictions   uint64
+	Invalidates uint64
+}
+
+// saEntry is one CoLT-SA TLB entry (§4.1.3, Figure 4 top): the tag is
+// the VPN bits above the (shifted) index; vbits has one valid bit per
+// possible translation of the aligned coalescing block; BasePPN is the
+// frame of the first valid translation; a single attribute set covers
+// the whole entry.
+type saEntry struct {
+	valid   bool
+	tag     uint64
+	vbits   uint8
+	basePPN arch.PFN
+	attr    arch.Attr
+	lru     uint64
+}
+
+// SetAssocTLB is a set-associative TLB supporting CoLT-SA coalescing.
+// With Shift()==0 it behaves as a conventional TLB (one translation per
+// entry): the baseline configuration.
+type SetAssocTLB struct {
+	sets    int
+	ways    int
+	shift   uint // log2(max translations per entry)
+	setBits uint
+	entries []saEntry
+	tick    uint64
+	stats   TLBStats
+	// coalesceBias enables coalescing-aware replacement (future work
+	// of paper §4.1.5): see SetReplacementBias.
+	coalesceBias bool
+}
+
+// NewSetAssocTLB builds a TLB with the given geometry. shift selects
+// the indexing scheme: set index = VPN[shift+log2(sets)-1 : shift],
+// so up to 2^shift consecutive translations share a set and may be
+// coalesced into one entry.
+func NewSetAssocTLB(sets, ways int, shift uint) *SetAssocTLB {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("core: set count %d must be a power of two", sets))
+	}
+	if ways <= 0 {
+		panic("core: ways must be positive")
+	}
+	if shift > MaxSAShift {
+		panic(fmt.Sprintf("core: shift %d exceeds max %d", shift, MaxSAShift))
+	}
+	return &SetAssocTLB{
+		sets:    sets,
+		ways:    ways,
+		shift:   shift,
+		setBits: uint(bits.TrailingZeros(uint(sets))),
+		entries: make([]saEntry, sets*ways),
+	}
+}
+
+// Entries returns the capacity in entries (sets × ways).
+func (t *SetAssocTLB) Entries() int { return t.sets * t.ways }
+
+// Sets returns the set count.
+func (t *SetAssocTLB) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *SetAssocTLB) Ways() int { return t.ways }
+
+// Shift returns the index left-shift (log2 max coalescing).
+func (t *SetAssocTLB) Shift() uint { return t.shift }
+
+// MaxCoalesce returns the most translations one entry can hold.
+func (t *SetAssocTLB) MaxCoalesce() int { return 1 << t.shift }
+
+// Stats returns a snapshot of the counters.
+func (t *SetAssocTLB) Stats() TLBStats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *SetAssocTLB) ResetStats() { t.stats = TLBStats{} }
+
+func (t *SetAssocTLB) index(vpn arch.VPN) (set int, tag uint64, off uint) {
+	block := uint64(vpn) >> t.shift
+	return int(block & uint64(t.sets-1)), block >> t.setBits, uint(vpn) & (uint(1)<<t.shift - 1)
+}
+
+// Lookup translates vpn. On a hit the physical frame is reconstructed
+// by the PPN Generation Logic of §4.1.3: the stored base PPN plus the
+// number of valid bits between the first valid translation and the
+// requested one.
+func (t *SetAssocTLB) Lookup(vpn arch.VPN) (arch.PFN, bool) {
+	t.stats.Lookups++
+	set, tag, off := t.index(vpn)
+	base := set * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.tag == tag && e.vbits&(1<<off) != 0 {
+			t.stats.Hits++
+			t.tick++
+			e.lru = t.tick
+			return e.basePPN + arch.PFN(bits.OnesCount8(e.vbits&(1<<off-1))), true
+		}
+	}
+	t.stats.Misses++
+	return 0, false
+}
+
+// LookupRun returns the full coalesced run covering vpn, used to copy
+// an L2 entry down into the L1 on an L2 hit without a new page walk.
+// It does not update recency or counters.
+func (t *SetAssocTLB) LookupRun(vpn arch.VPN) (Run, bool) {
+	set, tag, off := t.index(vpn)
+	base := set * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.tag == tag && e.vbits&(1<<off) != 0 {
+			return t.entryRun(e, vpn), true
+		}
+	}
+	return Run{}, false
+}
+
+// entryRun reconstructs the Run stored in e; vpn identifies the block.
+func (t *SetAssocTLB) entryRun(e *saEntry, vpn arch.VPN) Run {
+	blockStart := vpn &^ (arch.VPN(1)<<t.shift - 1)
+	lo := uint(bits.TrailingZeros8(e.vbits))
+	n := bits.OnesCount8(e.vbits)
+	return Run{
+		BaseVPN: blockStart + arch.VPN(lo),
+		BasePFN: e.basePPN,
+		Len:     n,
+		Attr:    e.attr,
+	}
+}
+
+// Insert fills one coalesced entry holding run, which must lie within a
+// single aligned coalescing block (use ClipToBlock first). If a
+// resident entry for the same block overlaps the run it is replaced;
+// otherwise the set's LRU way is evicted. Insert returns the evicted
+// run (for inclusive back-invalidation) and whether an eviction
+// happened.
+func (t *SetAssocTLB) Insert(run Run) (evicted Run, wasEvicted bool) {
+	if run.Len <= 0 || run.Len > t.MaxCoalesce() {
+		panic(fmt.Sprintf("core: insert of %v into TLB with max coalesce %d", run, t.MaxCoalesce()))
+	}
+	set, tag, off := t.index(run.BaseVPN)
+	if endSet, endTag, _ := t.index(run.End() - 1); endSet != set || endTag != tag {
+		panic(fmt.Sprintf("core: %v spans coalescing blocks", run))
+	}
+	var vbits uint8
+	for i := 0; i < run.Len; i++ {
+		vbits |= 1 << (off + uint(i))
+	}
+	t.tick++
+	t.stats.Fills++
+	t.stats.CoalescedIn += uint64(run.Len - 1)
+
+	base := set * t.ways
+	victim := base
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.tag == tag && e.vbits&vbits != 0 {
+			// Same block, overlapping coverage: replace in place.
+			*e = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick}
+			return Run{}, false
+		}
+		if lessEntryLRU(&t.entries[base+i], &t.entries[victim]) {
+			victim = base + i
+		}
+	}
+	if t.coalesceBias {
+		victim = t.biasedVictim(base)
+	}
+	v := &t.entries[victim]
+	if v.valid {
+		t.stats.Evictions++
+		evicted = t.entryRun(v, t.victimVPN(victim, v))
+		wasEvicted = true
+	}
+	*v = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick}
+	return evicted, wasEvicted
+}
+
+// biasedVictim picks a victim among the set's stale half, preferring
+// entries that coalesce the fewest translations (so large-reach entries
+// survive). Invalid ways still win outright.
+func (t *SetAssocTLB) biasedVictim(base int) int {
+	victim := base
+	for i := 0; i < t.ways; i++ {
+		a, b := &t.entries[base+i], &t.entries[victim]
+		if a.valid != b.valid {
+			if !a.valid {
+				victim = base + i
+			}
+			continue
+		}
+		ca, cb := bits.OnesCount8(a.vbits), bits.OnesCount8(b.vbits)
+		if ca != cb {
+			if ca < cb {
+				victim = base + i
+			}
+			continue
+		}
+		if a.lru < b.lru {
+			victim = base + i
+		}
+	}
+	return victim
+}
+
+// victimVPN reconstructs a VPN inside the victim entry's block from its
+// set index and tag.
+func (t *SetAssocTLB) victimVPN(idx int, e *saEntry) arch.VPN {
+	set := idx / t.ways
+	block := e.tag<<t.setBits | uint64(set)
+	return arch.VPN(block << t.shift)
+}
+
+func lessEntryLRU(a, b *saEntry) bool {
+	if a.valid != b.valid {
+		return !a.valid
+	}
+	return a.lru < b.lru
+}
+
+// Invalidate drops any entry translating vpn. Entire coalesced entries
+// are flushed, losing the sibling translations (§4.1.5). Returns true
+// if an entry was removed.
+func (t *SetAssocTLB) Invalidate(vpn arch.VPN) bool {
+	set, tag, off := t.index(vpn)
+	base := set * t.ways
+	removed := false
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.tag == tag && e.vbits&(1<<off) != 0 {
+			e.valid = false
+			removed = true
+			t.stats.Invalidates++
+		}
+	}
+	return removed
+}
+
+// InvalidateAll flushes the TLB.
+func (t *SetAssocTLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+	t.stats.Invalidates++
+}
+
+// Occupied returns the number of valid entries; coalesced entries count
+// once.
+func (t *SetAssocTLB) Occupied() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

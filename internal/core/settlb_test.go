@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colt/internal/arch"
+)
+
+func TestSetTLBBaselineSingleEntry(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 0)
+	if tlb.Entries() != 32 || tlb.MaxCoalesce() != 1 {
+		t.Fatalf("geometry: %d entries, max %d", tlb.Entries(), tlb.MaxCoalesce())
+	}
+	if _, ok := tlb.Lookup(5); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tlb.Insert(Run{BaseVPN: 5, BasePFN: 50, Len: 1, Attr: testAttr})
+	pfn, ok := tlb.Lookup(5)
+	if !ok || pfn != 50 {
+		t.Fatalf("Lookup = %d, %v", pfn, ok)
+	}
+	// Neighbor must miss in a baseline TLB.
+	if _, ok := tlb.Lookup(6); ok {
+		t.Fatal("baseline TLB hit for uninserted neighbor")
+	}
+	st := tlb.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Misses != 2 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSetTLBCoalescedPPNGeneration(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 2)
+	// Run covering offsets 1..3 of block [100..104): VPNs 101,102,103.
+	tlb.Insert(Run{BaseVPN: 101, BasePFN: 700, Len: 3, Attr: testAttr})
+	for i, want := range map[arch.VPN]arch.PFN{101: 700, 102: 701, 103: 702} {
+		pfn, ok := tlb.Lookup(i)
+		if !ok || pfn != want {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", i, pfn, ok, want)
+		}
+	}
+	if _, ok := tlb.Lookup(100); ok {
+		t.Fatal("offset 0 should miss (valid bit clear)")
+	}
+	if _, ok := tlb.Lookup(104); ok {
+		t.Fatal("next block should miss")
+	}
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d, want 1 coalesced entry", tlb.Occupied())
+	}
+}
+
+func TestSetTLBIndexScheme(t *testing.T) {
+	// 8 sets, shift 2 => VPN[4-2] selects the set (paper §4.1.2).
+	tlb := NewSetAssocTLB(8, 1, 2)
+	// VPNs 0..3 (block 0) map to set 0; VPNs 4..7 to set 1; with one
+	// way, inserting 9 distinct blocks must wrap and evict block 0.
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 10, Len: 4, Attr: testAttr})
+	if _, ok := tlb.Lookup(3); !ok {
+		t.Fatal("block 0 missing")
+	}
+	// Same set (set 0) is hit again by block 8 (VPN 32..35).
+	tlb.Insert(Run{BaseVPN: 32, BasePFN: 20, Len: 4, Attr: testAttr})
+	if _, ok := tlb.Lookup(3); ok {
+		t.Fatal("conflict eviction did not happen: 1-way set should hold one block")
+	}
+	if _, ok := tlb.Lookup(33); !ok {
+		t.Fatal("new block missing")
+	}
+	// A block in a different set must not conflict.
+	tlb.Insert(Run{BaseVPN: 4, BasePFN: 30, Len: 4, Attr: testAttr})
+	if _, ok := tlb.Lookup(33); !ok {
+		t.Fatal("cross-set insert evicted unrelated entry")
+	}
+}
+
+func TestSetTLBLRUWithinSet(t *testing.T) {
+	tlb := NewSetAssocTLB(2, 2, 0)
+	// Set 0 receives VPNs 0, 2, 4 (even VPNs).
+	tlb.Insert(Single(0, arch.PTE{PFN: 1, Attr: testAttr}))
+	tlb.Insert(Single(2, arch.PTE{PFN: 2, Attr: testAttr}))
+	tlb.Lookup(0) // touch 0; 2 becomes LRU
+	tlb.Insert(Single(4, arch.PTE{PFN: 3, Attr: testAttr}))
+	if _, ok := tlb.Lookup(0); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if _, ok := tlb.Lookup(2); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestSetTLBInsertReturnsEvicted(t *testing.T) {
+	tlb := NewSetAssocTLB(2, 1, 1)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 40, Len: 2, Attr: testAttr})
+	evicted, was := tlb.Insert(Run{BaseVPN: 4, BasePFN: 80, Len: 2, Attr: testAttr}) // same set 0
+	if !was {
+		t.Fatal("eviction not reported")
+	}
+	if evicted.BaseVPN != 0 || evicted.Len != 2 || evicted.BasePFN != 40 {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	if _, was := tlb.Insert(Run{BaseVPN: 2, BasePFN: 90, Len: 2, Attr: testAttr}); was {
+		t.Fatal("insert into other set reported eviction")
+	}
+}
+
+func TestSetTLBOverlapReplacesInPlace(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 2)
+	tlb.Insert(Run{BaseVPN: 0, BasePFN: 100, Len: 2, Attr: testAttr}) // offs 0-1
+	tlb.Insert(Run{BaseVPN: 1, BasePFN: 201, Len: 3, Attr: testAttr}) // offs 1-3, overlaps
+	if tlb.Occupied() != 1 {
+		t.Fatalf("Occupied = %d, want in-place replacement", tlb.Occupied())
+	}
+	pfn, ok := tlb.Lookup(2)
+	if !ok || pfn != 202 {
+		t.Fatalf("Lookup(2) = %d,%v", pfn, ok)
+	}
+	// Non-overlapping same-block runs coexist in different ways.
+	tlb.Insert(Run{BaseVPN: 8, BasePFN: 300, Len: 2, Attr: testAttr})  // block 2, offs 0-1
+	tlb.Insert(Run{BaseVPN: 11, BasePFN: 511, Len: 1, Attr: testAttr}) // block 2, off 3
+	if tlb.Occupied() != 3 {
+		t.Fatalf("Occupied = %d, want 3", tlb.Occupied())
+	}
+	if pfn, _ := tlb.Lookup(11); pfn != 511 {
+		t.Fatalf("disjoint sibling lookup = %d", pfn)
+	}
+	if pfn, _ := tlb.Lookup(9); pfn != 301 {
+		t.Fatalf("first sibling lookup = %d", pfn)
+	}
+}
+
+func TestSetTLBInvalidateFlushesWholeEntry(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 2)
+	tlb.Insert(Run{BaseVPN: 100, BasePFN: 900, Len: 4, Attr: testAttr})
+	if !tlb.Invalidate(102) {
+		t.Fatal("Invalidate found nothing")
+	}
+	// The whole coalesced entry is gone, including untouched siblings.
+	for v := arch.VPN(100); v < 104; v++ {
+		if _, ok := tlb.Lookup(v); ok {
+			t.Fatalf("VPN %d survived entry invalidation", v)
+		}
+	}
+	if tlb.Invalidate(102) {
+		t.Fatal("second Invalidate reported removal")
+	}
+}
+
+func TestSetTLBInvalidateAll(t *testing.T) {
+	tlb := NewSetAssocTLB(4, 2, 1)
+	for v := arch.VPN(0); v < 16; v += 2 {
+		tlb.Insert(Run{BaseVPN: v, BasePFN: arch.PFN(v + 100), Len: 2, Attr: testAttr})
+	}
+	tlb.InvalidateAll()
+	if tlb.Occupied() != 0 {
+		t.Fatal("entries survived InvalidateAll")
+	}
+}
+
+func TestSetTLBLookupRun(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 2)
+	in := Run{BaseVPN: 21, BasePFN: 555, Len: 3, Attr: testAttr}
+	tlb.Insert(in)
+	got, ok := tlb.LookupRun(22)
+	if !ok || got != in {
+		t.Fatalf("LookupRun = %+v, %v", got, ok)
+	}
+	if _, ok := tlb.LookupRun(20); ok {
+		t.Fatal("LookupRun hit uncovered offset")
+	}
+}
+
+func TestSetTLBInsertPanics(t *testing.T) {
+	tlb := NewSetAssocTLB(8, 4, 1)
+	for _, run := range []Run{
+		{BaseVPN: 0, BasePFN: 1, Len: 0, Attr: testAttr},
+		{BaseVPN: 0, BasePFN: 1, Len: 3, Attr: testAttr}, // exceeds max 2
+		{BaseVPN: 1, BasePFN: 1, Len: 2, Attr: testAttr}, // spans blocks [0,2) and [2,4)
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("insert %+v did not panic", run)
+				}
+			}()
+			tlb.Insert(run)
+		}()
+	}
+}
+
+func TestSetTLBConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSetAssocTLB(3, 2, 0) },
+		func() { NewSetAssocTLB(0, 2, 0) },
+		func() { NewSetAssocTLB(4, 0, 0) },
+		func() { NewSetAssocTLB(4, 2, MaxSAShift+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSetTLBPropertyMatchesReference inserts random runs and checks
+// every lookup against a reference translation map built from the same
+// runs: the TLB may miss (capacity) but must never return a wrong
+// frame.
+func TestSetTLBPropertyMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shift := uint(rng.Intn(MaxSAShift + 1))
+		tlb := NewSetAssocTLB(8, 4, shift)
+		ref := make(map[arch.VPN]arch.PFN)
+		maxC := 1 << shift
+		for i := 0; i < 200; i++ {
+			vpn := arch.VPN(rng.Intn(512))
+			pfn := arch.PFN(rng.Intn(1 << 20))
+			length := 1 + rng.Intn(maxC)
+			run := Run{BaseVPN: vpn, BasePFN: pfn, Len: length, Attr: testAttr}
+			run = ClipToBlock(run, vpn, shift)
+			// Model the OS shootdown that accompanies any remapping:
+			// stale entries for the run's pages must be flushed first.
+			for v := run.BaseVPN; v < run.End(); v++ {
+				tlb.Invalidate(v)
+			}
+			tlb.Insert(run)
+			for v := run.BaseVPN; v < run.End(); v++ {
+				ref[v] = run.Translate(v)
+			}
+			// Random lookups: any hit must agree with the reference.
+			for j := 0; j < 4; j++ {
+				probe := arch.VPN(rng.Intn(512))
+				if got, ok := tlb.Lookup(probe); ok {
+					want, exists := ref[probe]
+					if !exists || got != want {
+						t.Logf("seed %d: Lookup(%d) = %d, ref %d (exists=%v)", seed, probe, got, want, exists)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

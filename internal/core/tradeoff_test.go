@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/mmu"
+	"colt/internal/pagetable"
+	"colt/internal/rng"
+)
+
+// buildSpace maps n pages whose physical contiguity comes in runs of
+// runLen (broken by frame jumps), over contiguous virtual addresses.
+func buildSpace(t *testing.T, n, runLen int) (*pagetable.Table, Walker) {
+	t.Helper()
+	tbl, w := newWorld(t)
+	pfn := arch.PFN(1 << 22)
+	for i := 0; i < n; i++ {
+		if runLen > 0 && i%runLen == 0 {
+			pfn += 1000
+		}
+		if err := tbl.Map(arch.VPN(i), arch.PTE{PFN: pfn, Attr: testAttr}); err != nil {
+			t.Fatal(err)
+		}
+		pfn++
+	}
+	return tbl, w
+}
+
+func missesAtShift(t *testing.T, pages, runLen int, shift uint) uint64 {
+	t.Helper()
+	tbl, _ := buildSpace(t, pages, runLen)
+	walker := mmu.NewWalker(tbl, cache.DefaultHierarchy(), mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
+	cfg := BaselineConfig()
+	if shift > 0 {
+		cfg = CoLTSAConfig(shift)
+	}
+	h := NewHierarchy(cfg, walker)
+	r := rng.New(99)
+	for i := 0; i < 120_000; i++ {
+		h.Access(arch.VPN(r.Zipf(pages, 0.7)))
+	}
+	return h.Stats().L2Misses
+}
+
+// TestShiftTradeoffHighContiguity reproduces the Figure-19 mechanism's
+// winning side: with ample contiguity, larger index shifts coalesce
+// more and eliminate more misses.
+func TestShiftTradeoffHighContiguity(t *testing.T) {
+	base := missesAtShift(t, 1500, 64, 0)
+	s1 := missesAtShift(t, 1500, 64, 1)
+	s2 := missesAtShift(t, 1500, 64, 2)
+	s3 := missesAtShift(t, 1500, 64, 3)
+	if !(s1 < base && s2 < s1 && s3 < s2) {
+		t.Fatalf("high contiguity: misses base=%d s1=%d s2=%d s3=%d (want strictly decreasing)", base, s1, s2, s3)
+	}
+}
+
+// TestShiftTradeoffLowContiguity reproduces the losing side: with no
+// contiguity to coalesce, left-shifted indexing concentrates
+// consecutive virtual pages into the same set and conflict misses grow
+// with the shift — the paper's argument for stopping at shift 2.
+func TestShiftTradeoffLowContiguity(t *testing.T) {
+	base := missesAtShift(t, 1500, 1, 0)
+	s3 := missesAtShift(t, 1500, 1, 3)
+	if s3 <= base {
+		t.Fatalf("low contiguity: shift-3 misses %d not worse than baseline %d", s3, base)
+	}
+	s2 := missesAtShift(t, 1500, 1, 2)
+	if s2 >= s3 {
+		t.Fatalf("shift-2 (%d) should hurt less than shift-3 (%d) without contiguity", s2, s3)
+	}
+}
+
+// TestHierarchyShootdownStorm injects invalidations between accesses
+// and checks the hierarchy never serves a stale translation after its
+// page is remapped (the compaction-migration pattern).
+func TestHierarchyShootdownStorm(t *testing.T) {
+	tbl, w := newWorld(t)
+	const pages = 512
+	for i := 0; i < pages; i++ {
+		if err := tbl.Map(arch.VPN(i), arch.PTE{PFN: arch.PFN(1<<21 + i), Attr: testAttr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cfg := range []Config{BaselineConfig(), CoLTSAConfig(2), CoLTFAConfig(), CoLTAllConfig()} {
+		h := NewHierarchy(cfg, w)
+		r := rng.New(5)
+		next := arch.PFN(1 << 23)
+		for i := 0; i < 50_000; i++ {
+			vpn := arch.VPN(r.Intn(pages))
+			if r.Bool(0.01) {
+				// Migrate the page: remap + shootdown, like compaction.
+				if err := tbl.Remap(vpn, next); err != nil {
+					t.Fatal(err)
+				}
+				next++
+				h.Invalidate(vpn)
+			}
+			res := h.Access(vpn)
+			want, _, _ := tbl.Resolve(vpn)
+			if res.PFN != want {
+				t.Fatalf("%v: stale translation for %d after %d ops: got %d want %d",
+					cfg.Policy, vpn, i, res.PFN, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colt/internal/core"
+	"colt/internal/stats"
+	"colt/internal/workload"
+)
+
+// This file holds the experiments that go beyond the paper's evaluation:
+// the prefetching comparison the paper argues against qualitatively
+// (§2.1/§2.4), ablations of the paper's stated future-work refinements
+// (§4.1.5/§4.2.3), and sensitivity sweeps over the structure sizes the
+// paper fixes.
+
+// ---------------------------------------------------------------------
+// CoLT vs sequential TLB prefetching.
+// ---------------------------------------------------------------------
+
+// PrefetchRow compares miss elimination and walk traffic: prefetching
+// buys its hits with extra page walks, CoLT's coalescing is free.
+type PrefetchRow struct {
+	Bench string
+	// Elimination of baseline L2 misses (demand walks).
+	PrefetchElim, SAElim, AllElim float64
+	// WalkOverheadPct is the prefetcher's extra page-walk traffic as a
+	// percentage of the baseline's demand walks.
+	WalkOverheadPct float64
+}
+
+// PrefetchComparison runs baseline, the sequential prefetcher, CoLT-SA
+// and CoLT-All over the identical streams.
+func PrefetchComparison(opts Options) ([]PrefetchRow, error) {
+	variants := []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "seq-prefetch", Config: core.SeqPrefetchConfig()},
+		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
+		{Name: "colt-all", Config: core.CoLTAllConfig()},
+	}
+	var rows []PrefetchRow
+	for _, spec := range workload.All() {
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch comparison %s: %w", spec.Name, err)
+		}
+		base, _ := res.Variant("baseline")
+		pf, _ := res.Variant("seq-prefetch")
+		sa, _ := res.Variant("colt-sa")
+		all, _ := res.Variant("colt-all")
+		row := PrefetchRow{
+			Bench:        spec.Name,
+			PrefetchElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(pf.TLB.L2Misses)),
+			SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
+			AllElim:      stats.PercentEliminated(float64(base.TLB.L2Misses), float64(all.TLB.L2Misses)),
+		}
+		if base.TLB.Walks > 0 {
+			row.WalkOverheadPct = 100 * float64(pf.Prefetch.PrefetchWalks) / float64(base.TLB.Walks)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPrefetchComparison formats the comparison as text.
+func RenderPrefetchComparison(rows []PrefetchRow) string {
+	t := stats.NewTable("Benchmark", "Prefetch L2 elim", "CoLT-SA L2 elim", "CoLT-All L2 elim", "Prefetch walk overhead")
+	var p, sa, all, ov stats.Summary
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.PrefetchElim, r.SAElim, r.AllElim, r.WalkOverheadPct)
+		p.Add(r.PrefetchElim)
+		sa.Add(r.SAElim)
+		all.Add(r.AllElim)
+		ov.Add(r.WalkOverheadPct)
+	}
+	t.AddRow("Average", p.Mean(), sa.Mean(), all.Mean(), ov.Mean())
+	return "Extension: CoLT vs sequential TLB prefetching (% of baseline L2 misses eliminated;\n" +
+		"prefetch overhead = extra walks as % of baseline demand walks)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------
+// CoLT vs partial-subblock TLBs (§2.3's prior approach).
+// ---------------------------------------------------------------------
+
+// SubblockRow compares the alignment-restricted partial-subblock TLB
+// against CoLT-SA at identical geometry.
+type SubblockRow struct {
+	Bench string
+	// Elimination of baseline L2 misses.
+	SubblockElim, SAElim float64
+	// RejectedPct is the share of subblock fills that could not share
+	// an entry because the frame was misaligned.
+	RejectedPct float64
+}
+
+// SubblockComparison runs baseline, partial-subblock, and CoLT-SA.
+func SubblockComparison(opts Options) ([]SubblockRow, error) {
+	variants := []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "partial-subblock", Config: core.PartialSubblockConfig()},
+		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
+	}
+	var rows []SubblockRow
+	for _, spec := range workload.All() {
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+		if err != nil {
+			return nil, fmt.Errorf("subblock comparison %s: %w", spec.Name, err)
+		}
+		base, _ := res.Variant("baseline")
+		sb, _ := res.Variant("partial-subblock")
+		sa, _ := res.Variant("colt-sa")
+		row := SubblockRow{
+			Bench:        spec.Name,
+			SubblockElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sb.TLB.L2Misses)),
+			SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
+			RejectedPct:  sb.SubblockRejectedPct,
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSubblockComparison formats the comparison as text.
+func RenderSubblockComparison(rows []SubblockRow) string {
+	t := stats.NewTable("Benchmark", "Subblock L2 elim", "CoLT-SA L2 elim", "Align-rejected %")
+	var sb, sa, rj stats.Summary
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.SubblockElim, r.SAElim, r.RejectedPct)
+		sb.Add(r.SubblockElim)
+		sa.Add(r.SAElim)
+		rj.Add(r.RejectedPct)
+	}
+	t.AddRow("Average", sb.Mean(), sa.Mean(), rj.Mean())
+	return "Extension: CoLT-SA vs partial-subblock TLBs (Talluri & Hill; §2.3)\n" +
+		"(elim = % of baseline L2 misses; align-rejected = subblock fills blocked by physical misalignment)\n" +
+		t.String()
+}
+
+// ---------------------------------------------------------------------
+// Future-work refinements ablation (§4.1.5/§4.2.3).
+// ---------------------------------------------------------------------
+
+// RefinementVariants returns CoLT-All plus each refinement toggled.
+func RefinementVariants() []Variant {
+	graceful := core.CoLTAllConfig()
+	graceful.Refinements.GracefulInvalidation = true
+	biased := core.CoLTAllConfig()
+	biased.Refinements.CoalescingAwareLRU = true
+	both := core.CoLTAllConfig()
+	both.Refinements.GracefulInvalidation = true
+	both.Refinements.CoalescingAwareLRU = true
+	return []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "colt-all", Config: core.CoLTAllConfig()},
+		{Name: "all+graceful", Config: graceful},
+		{Name: "all+biaslru", Config: biased},
+		{Name: "all+both", Config: both},
+	}
+}
+
+// RefinementsAblation evaluates the paper's future-work options.
+func RefinementsAblation(opts Options) (*Evaluation, error) {
+	return RunEvaluation(opts, RefinementVariants())
+}
+
+// ---------------------------------------------------------------------
+// Sensitivity sweeps.
+// ---------------------------------------------------------------------
+
+// SupSizeRow sweeps the coalesced superpage TLB's capacity for CoLT-FA
+// (the paper fixes 8 entries to pay for range comparators; this
+// quantifies what that conservatism costs).
+type SupSizeRow struct {
+	Bench string
+	// Elim maps superpage-TLB entry count to % of baseline L2 misses
+	// eliminated by CoLT-FA at that size.
+	Elim map[int]float64
+}
+
+// SupSizes swept by SupSizeSensitivity.
+var SupSizes = []int{4, 8, 16, 32}
+
+// SupSizeSensitivity runs CoLT-FA at several superpage-TLB sizes.
+func SupSizeSensitivity(opts Options) ([]SupSizeRow, error) {
+	variants := []Variant{{Name: "baseline", Config: core.BaselineConfig()}}
+	for _, n := range SupSizes {
+		cfg := core.CoLTFAConfig()
+		cfg.SupEntries = n
+		variants = append(variants, Variant{Name: fmt.Sprintf("fa-%d", n), Config: cfg})
+	}
+	var rows []SupSizeRow
+	for _, spec := range workload.All() {
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+		if err != nil {
+			return nil, fmt.Errorf("sup-size sweep %s: %w", spec.Name, err)
+		}
+		base, _ := res.Variant("baseline")
+		row := SupSizeRow{Bench: spec.Name, Elim: map[int]float64{}}
+		for _, n := range SupSizes {
+			v, _ := res.Variant(fmt.Sprintf("fa-%d", n))
+			row.Elim[n] = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSupSizeSensitivity formats the sweep as text.
+func RenderSupSizeSensitivity(rows []SupSizeRow) string {
+	header := []string{"Benchmark"}
+	for _, n := range SupSizes {
+		header = append(header, fmt.Sprintf("FA %d-entry", n))
+	}
+	t := stats.NewTable(header...)
+	sums := map[int]*stats.Summary{}
+	for _, r := range rows {
+		cells := []any{r.Bench}
+		for _, n := range SupSizes {
+			cells = append(cells, r.Elim[n])
+			if sums[n] == nil {
+				sums[n] = &stats.Summary{}
+			}
+			sums[n].Add(r.Elim[n])
+		}
+		t.AddRow(cells...)
+	}
+	avg := []any{"Average"}
+	for _, n := range SupSizes {
+		avg = append(avg, sums[n].Mean())
+	}
+	t.AddRow(avg...)
+	return "Extension: CoLT-FA superpage-TLB size sensitivity (% of baseline L2 misses eliminated)\n" + t.String()
+}
+
+// L2SizeRow sweeps the L2 TLB's capacity for the baseline and CoLT-SA:
+// how much conventional capacity does coalescing substitute for?
+type L2SizeRow struct {
+	Bench string
+	// MissesPerM maps "<entries>/<variant>" to L2 MPMI.
+	BaseMPMI map[int]float64
+	SAMPMI   map[int]float64
+}
+
+// L2Sizes swept by L2SizeSensitivity (entries; 4-way throughout).
+var L2Sizes = []int{64, 128, 256, 512}
+
+// L2SizeSensitivity runs baseline and CoLT-SA across L2 TLB sizes.
+func L2SizeSensitivity(opts Options) ([]L2SizeRow, error) {
+	var variants []Variant
+	for _, n := range L2Sizes {
+		base := core.BaselineConfig()
+		base.L2Sets = n / base.L2Ways
+		sa := core.CoLTSAConfig(core.DefaultCoLTShift)
+		sa.L2Sets = n / sa.L2Ways
+		variants = append(variants,
+			Variant{Name: fmt.Sprintf("base-%d", n), Config: base},
+			Variant{Name: fmt.Sprintf("sa-%d", n), Config: sa})
+	}
+	var rows []L2SizeRow
+	for _, spec := range workload.All() {
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+		if err != nil {
+			return nil, fmt.Errorf("l2-size sweep %s: %w", spec.Name, err)
+		}
+		row := L2SizeRow{Bench: spec.Name, BaseMPMI: map[int]float64{}, SAMPMI: map[int]float64{}}
+		for _, n := range L2Sizes {
+			if v, ok := res.Variant(fmt.Sprintf("base-%d", n)); ok {
+				_, row.BaseMPMI[n] = v.MPMI()
+			}
+			if v, ok := res.Variant(fmt.Sprintf("sa-%d", n)); ok {
+				_, row.SAMPMI[n] = v.MPMI()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderL2SizeSensitivity formats the sweep as text.
+func RenderL2SizeSensitivity(rows []L2SizeRow) string {
+	header := []string{"Benchmark"}
+	for _, n := range L2Sizes {
+		header = append(header, fmt.Sprintf("base-%d", n), fmt.Sprintf("sa-%d", n))
+	}
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []any{r.Bench}
+		for _, n := range L2Sizes {
+			cells = append(cells, r.BaseMPMI[n], r.SAMPMI[n])
+		}
+		t.AddRow(cells...)
+	}
+	return "Extension: L2 TLB size sensitivity (L2 misses per million instructions)\n" + t.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"colt/internal/mm"
+	"colt/internal/vm"
+	"colt/internal/workload"
+)
+
+// TestTinyMachineOOMIsGraceful: a workload far too big for the machine
+// must fail with an error, not a panic, and leave the allocator
+// consistent.
+func TestTinyMachineOOMIsGraceful(t *testing.T) {
+	opts := QuickOptions()
+	opts.Frames = 1 << 11 // 8 MB machine
+	opts.Scale = 1.0      // full footprints
+	spec, _ := workload.ByName("Mcf")
+	_, err := RunBenchmark(spec, SetupTHSOnNormal, opts, StandardVariants()[:1])
+	if err == nil {
+		t.Fatal("oversized run succeeded on a tiny machine")
+	}
+}
+
+// TestThrashingRunStillSound: oversubscribe on purpose (big footprint +
+// memhog) and verify the TLB simulation completes with the oracle checks
+// intact and major faults recorded.
+func TestThrashingRunStillSound(t *testing.T) {
+	opts := QuickOptions()
+	opts.Refs = 30_000
+	opts.Warmup = 2_000
+	opts.Scale = 0.4 // large relative to the 32k-frame quick machine
+	setup := SetupTHSOnMemhog50
+	spec, _ := workload.ByName("Tigr")
+	res, err := RunBenchmark(spec, setup, opts, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := res.Variant("baseline")
+	if base.TLB.Accesses != uint64(opts.Refs) {
+		t.Fatalf("accesses = %d", base.TLB.Accesses)
+	}
+	if base.TLB.Faults != 0 {
+		t.Fatal("unresolved faults leaked into the TLB stats")
+	}
+}
+
+// TestCompactionDuringSimulationShootsDown: verify that migrations
+// during the measured run reach the simulators as shootdowns and never
+// leave stale translations (the oracle inside RunBenchmark checks every
+// 1024th access; here we force heavy compaction via a fragmented
+// mid-run churn).
+func TestCompactionDuringSimulationShootsDown(t *testing.T) {
+	opts := QuickOptions()
+	opts.Refs = 40_000
+	opts.MidRunChurn = true
+	spec, _ := workload.ByName("Gobmk")
+	res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Variants {
+		if v.TLB.Faults != 0 {
+			t.Fatalf("%s: faults = %d", v.Name, v.TLB.Faults)
+		}
+	}
+}
+
+// TestLowCompactionModeEndToEnd runs the worst-case kernel setting.
+func TestLowCompactionModeEndToEnd(t *testing.T) {
+	opts := QuickOptions()
+	opts.Refs = 10_000
+	spec, _ := workload.ByName("FastaProt")
+	res, err := RunBenchmark(spec, SetupTHSOffLow, opts, StandardVariants()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Setup.Compaction != mm.CompactionLow {
+		t.Fatal("setup not propagated")
+	}
+	if res.Contig.SuperPages != 0 {
+		t.Fatal("THS-off produced superpages")
+	}
+	_ = vm.Config{}
+}

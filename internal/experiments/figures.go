@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"colt/internal/contig"
+	"colt/internal/core"
+	"colt/internal/perf"
+	"colt/internal/stats"
+	"colt/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Table 1: real-system L1/L2 TLB MPMI with THS on and off.
+// ---------------------------------------------------------------------
+
+// Table1Row is one benchmark's miss rates on the characterization
+// platform (64-entry L1 / 512-entry L2 TLBs).
+type Table1Row struct {
+	Bench, Suite                             string
+	OnL1MPMI, OnL2MPMI, OffL1MPMI, OffL2MPMI float64
+}
+
+// Table1 regenerates the paper's Table 1.
+func Table1(opts Options) ([]Table1Row, error) {
+	variant := []Variant{{Name: "real-system", Config: core.RealSystemBaselineConfig()}}
+	var rows []Table1Row
+	for _, spec := range workload.All() {
+		row := Table1Row{Bench: spec.Name, Suite: spec.Suite}
+		for _, ths := range []bool{true, false} {
+			setup := SetupTHSOnNormal
+			if !ths {
+				setup = SetupTHSOffNormal
+			}
+			res, err := RunBenchmark(spec, setup, opts, variant)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+			}
+			v := res.Variants[0]
+			l1, l2 := v.MPMI()
+			if ths {
+				row.OnL1MPMI, row.OnL2MPMI = l1, l2
+			} else {
+				row.OffL1MPMI, row.OffL2MPMI = l1, l2
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table 1 as text.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Benchmark", "Suite", "THS-on L1/L2 MPMI", "THS-off L1/L2 MPMI")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.Suite,
+			fmt.Sprintf("%.0f/%.0f", r.OnL1MPMI, r.OnL2MPMI),
+			fmt.Sprintf("%.0f/%.0f", r.OffL1MPMI, r.OffL2MPMI))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figures 7-15: contiguity CDFs per kernel configuration.
+// ---------------------------------------------------------------------
+
+// ContiguityRow is one benchmark's contiguity distribution.
+type ContiguityRow struct {
+	Bench       string
+	Average     float64       // page-weighted
+	RunAverage  float64       // run-weighted (the paper's legend metric)
+	Points      []stats.Point // CDF sampled at contig.PaperXAxis
+	FracOver512 float64
+	SuperPages  int
+}
+
+// ContiguityCDFs regenerates one CDF figure group: Figures 7-9 for
+// SetupTHSOnNormal, 10-12 for SetupTHSOffNormal, 13-15 for
+// SetupTHSOffLow.
+func ContiguityCDFs(setup SystemSetup, opts Options) ([]ContiguityRow, error) {
+	var rows []ContiguityRow
+	for _, spec := range workload.All() {
+		res, err := RunContiguity(spec, setup, opts)
+		if err != nil {
+			return nil, fmt.Errorf("contiguity %s under %s: %w", spec.Name, setup.Name, err)
+		}
+		rows = append(rows, ContiguityRow{
+			Bench:       spec.Name,
+			Average:     res.AverageContiguity(),
+			RunAverage:  res.RunWeightedAverage(),
+			Points:      res.CDF.SampleAt(contig.PaperXAxis),
+			FracOver512: res.FractionAtLeast(513),
+			SuperPages:  res.SuperPages,
+		})
+	}
+	return rows, nil
+}
+
+// RenderContiguity formats a CDF figure group as text.
+func RenderContiguity(setup SystemSetup, rows []ContiguityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Contiguity CDFs — %s\n", setup.Name)
+	t := stats.NewTable("Benchmark", "PageAvg", "RunAvg", "P(<=1)", "P(<=4)", "P(<=16)", "P(<=64)", "P(<=256)", "P(<=1024)", ">512 frac")
+	var avg, ravg stats.Summary
+	for _, r := range rows {
+		cells := []any{r.Bench, r.Average, r.RunAverage}
+		for _, p := range r.Points {
+			cells = append(cells, p.CumFrac)
+		}
+		cells = append(cells, r.FracOver512)
+		t.AddRow(cells...)
+		avg.Add(r.Average)
+		ravg.Add(r.RunAverage)
+	}
+	t.AddRow("Average", avg.Mean(), ravg.Mean(), "", "", "", "", "", "", "")
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figures 16-17: average contiguity vs memhog load.
+// ---------------------------------------------------------------------
+
+// MemhogRow is one benchmark's average contiguity under increasing
+// synthetic load.
+type MemhogRow struct {
+	Bench                        string
+	NoMemhog, Memhog25, Memhog50 float64
+}
+
+// Figure16 (THS on) and Figure17 (THS off) regenerate the memhog sweeps.
+func Figure16(opts Options) ([]MemhogRow, error) { return memhogSweep(opts, true) }
+
+// Figure17 is the THS-off variant of the sweep.
+func Figure17(opts Options) ([]MemhogRow, error) { return memhogSweep(opts, false) }
+
+func memhogSweep(opts Options, ths bool) ([]MemhogRow, error) {
+	var rows []MemhogRow
+	for _, spec := range workload.All() {
+		row := MemhogRow{Bench: spec.Name}
+		for _, pct := range []int{0, 25, 50} {
+			setup := SetupTHSOnNormal
+			if !ths {
+				setup = SetupTHSOffNormal
+			}
+			setup.MemhogPct = pct
+			setup.Name = fmt.Sprintf("%s, memhog(%d)", setup.Name, pct)
+			res, err := RunContiguity(spec, setup, opts)
+			if err != nil {
+				return nil, fmt.Errorf("memhog sweep %s pct %d: %w", spec.Name, pct, err)
+			}
+			switch pct {
+			case 0:
+				row.NoMemhog = res.AverageContiguity()
+			case 25:
+				row.Memhog25 = res.AverageContiguity()
+			case 50:
+				row.Memhog50 = res.AverageContiguity()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderMemhog formats Figure 16 or 17 as text.
+func RenderMemhog(title string, rows []MemhogRow) string {
+	t := stats.NewTable("Benchmark", "No Memhog", "Memhog(25)", "Memhog(50)")
+	var a0, a25, a50 stats.Summary
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.NoMemhog, r.Memhog25, r.Memhog50)
+		a0.Add(r.NoMemhog)
+		a25.Add(r.Memhog25)
+		a50.Add(r.Memhog50)
+	}
+	t.AddRow("Average", a0.Mean(), a25.Mean(), a50.Mean())
+	return title + "\n" + t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figures 18/21 share one evaluation run over the standard variants.
+// ---------------------------------------------------------------------
+
+// Evaluation holds the per-benchmark results of one variant set run
+// under the paper's default kernel configuration.
+type Evaluation struct {
+	Results  []*BenchResult
+	Baseline string // name of the baseline variant
+}
+
+// RunEvaluation runs every benchmark under the default kernel setup
+// with the given TLB variants (the first is treated as the baseline).
+func RunEvaluation(opts Options, variants []Variant) (*Evaluation, error) {
+	ev := &Evaluation{Baseline: variants[0].Name}
+	for _, spec := range workload.All() {
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+		if err != nil {
+			return nil, fmt.Errorf("evaluation %s: %w", spec.Name, err)
+		}
+		ev.Results = append(ev.Results, res)
+	}
+	return ev, nil
+}
+
+// RunStandardEvaluation runs baseline + CoLT-SA/FA/All (Figures 18 and
+// 21 derive from the same run).
+func RunStandardEvaluation(opts Options) (*Evaluation, error) {
+	return RunEvaluation(opts, StandardVariants())
+}
+
+// EliminationRow reports, per benchmark, the percentage of baseline L1
+// and L2 TLB misses each variant eliminates.
+type EliminationRow struct {
+	Bench string
+	L1    map[string]float64
+	L2    map[string]float64
+}
+
+// Eliminations computes Figure 18 (or 19, depending on the variant set)
+// from the evaluation.
+func (e *Evaluation) Eliminations() []EliminationRow {
+	var rows []EliminationRow
+	for _, res := range e.Results {
+		base, ok := res.Variant(e.Baseline)
+		if !ok {
+			continue
+		}
+		row := EliminationRow{Bench: res.Bench, L1: map[string]float64{}, L2: map[string]float64{}}
+		for _, v := range res.Variants {
+			if v.Name == e.Baseline {
+				continue
+			}
+			row.L1[v.Name] = stats.PercentEliminated(float64(base.TLB.L1Misses), float64(v.TLB.L1Misses))
+			row.L2[v.Name] = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderEliminations formats an elimination figure as text.
+func RenderEliminations(title string, variantNames []string, rows []EliminationRow) string {
+	header := []string{"Benchmark"}
+	for _, n := range variantNames {
+		header = append(header, "L1 "+n, "L2 "+n)
+	}
+	t := stats.NewTable(header...)
+	sums := make(map[string]*stats.Summary)
+	for _, r := range rows {
+		cells := []any{r.Bench}
+		for _, n := range variantNames {
+			cells = append(cells, r.L1[n], r.L2[n])
+			for lvl, v := range map[string]float64{"L1 " + n: r.L1[n], "L2 " + n: r.L2[n]} {
+				if sums[lvl] == nil {
+					sums[lvl] = &stats.Summary{}
+				}
+				sums[lvl].Add(v)
+			}
+		}
+		t.AddRow(cells...)
+	}
+	avg := []any{"Average"}
+	for _, n := range variantNames {
+		avg = append(avg, sums["L1 "+n].Mean(), sums["L2 "+n].Mean())
+	}
+	t.AddRow(avg...)
+	return title + "\n" + t.String()
+}
+
+// PerfRow is one benchmark's Figure-21 bar group: speedup (%) from a
+// perfect TLB and from each CoLT variant.
+type PerfRow struct {
+	Bench   string
+	Perfect float64
+	Gains   map[string]float64
+}
+
+// Performance computes Figure 21 from the evaluation using the default
+// cycle model.
+func (e *Evaluation) Performance() []PerfRow {
+	model := perf.Default()
+	var rows []PerfRow
+	for _, res := range e.Results {
+		base, ok := res.Variant(e.Baseline)
+		if !ok {
+			continue
+		}
+		row := PerfRow{Bench: res.Bench, Gains: map[string]float64{}}
+		row.Perfect = model.PerfectImprovement(base.Run)
+		for _, v := range res.Variants {
+			if v.Name == e.Baseline {
+				continue
+			}
+			row.Gains[v.Name] = model.Improvement(base.Run, v.Run)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderPerformance formats Figure 21 as text.
+func RenderPerformance(variantNames []string, rows []PerfRow) string {
+	header := []string{"Benchmark", "Perfect"}
+	header = append(header, variantNames...)
+	t := stats.NewTable(header...)
+	var perfSum stats.Summary
+	sums := make(map[string]*stats.Summary)
+	for _, r := range rows {
+		cells := []any{r.Bench, r.Perfect}
+		perfSum.Add(r.Perfect)
+		for _, n := range variantNames {
+			cells = append(cells, r.Gains[n])
+			if sums[n] == nil {
+				sums[n] = &stats.Summary{}
+			}
+			sums[n].Add(r.Gains[n])
+		}
+		t.AddRow(cells...)
+	}
+	avg := []any{"Average", perfSum.Mean()}
+	for _, n := range variantNames {
+		avg = append(avg, sums[n].Mean())
+	}
+	t.AddRow(avg...)
+	return "Figure 21: performance improvement (%) over baseline\n" + t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 19: CoLT-SA index left-shift sweep.
+// ---------------------------------------------------------------------
+
+// ShiftVariants returns baseline plus CoLT-SA at shifts 1, 2, 3.
+func ShiftVariants() []Variant {
+	return []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "shift-1", Config: core.CoLTSAConfig(1)},
+		{Name: "shift-2", Config: core.CoLTSAConfig(2)},
+		{Name: "shift-3", Config: core.CoLTSAConfig(3)},
+	}
+}
+
+// Figure19 runs the shift sweep and returns elimination rows.
+func Figure19(opts Options) (*Evaluation, error) {
+	return RunEvaluation(opts, ShiftVariants())
+}
+
+// ---------------------------------------------------------------------
+// Figure 20: associativity study on the L2 TLB.
+// ---------------------------------------------------------------------
+
+// AssocRow reports the percentage of the 4-way no-CoLT L2 misses
+// eliminated by each alternative.
+type AssocRow struct {
+	Bench             string
+	SA4, NoCoLT8, SA8 float64
+}
+
+// Figure20 runs the associativity study: fixed 128-entry L2 at 4-way
+// vs 8-way, with and without CoLT-SA.
+func Figure20(opts Options) ([]AssocRow, error) {
+	base8 := core.BaselineConfig()
+	base8.L2Sets, base8.L2Ways = 16, 8
+	sa8 := core.CoLTSAConfig(core.DefaultCoLTShift)
+	sa8.L2Sets, sa8.L2Ways = 16, 8
+	variants := []Variant{
+		{Name: "base-4way", Config: core.BaselineConfig()},
+		{Name: "sa-4way", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
+		{Name: "base-8way", Config: base8},
+		{Name: "sa-8way", Config: sa8},
+	}
+	ev, err := RunEvaluation(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AssocRow
+	for _, res := range ev.Results {
+		base, _ := res.Variant("base-4way")
+		row := AssocRow{Bench: res.Bench}
+		if v, ok := res.Variant("sa-4way"); ok {
+			row.SA4 = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+		}
+		if v, ok := res.Variant("base-8way"); ok {
+			row.NoCoLT8 = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+		}
+		if v, ok := res.Variant("sa-8way"); ok {
+			row.SA8 = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure20 formats the associativity study as text.
+func RenderFigure20(rows []AssocRow) string {
+	t := stats.NewTable("Benchmark", "4-way CoLT-SA", "8-way no CoLT", "8-way CoLT-SA")
+	var s4, n8, s8 stats.Summary
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.SA4, r.NoCoLT8, r.SA8)
+		s4.Add(r.SA4)
+		n8.Add(r.NoCoLT8)
+		s8.Add(r.SA8)
+	}
+	t.AddRow("Average", s4.Mean(), n8.Mean(), s8.Mean())
+	return "Figure 20: % of baseline (4-way, no CoLT) L2 misses eliminated\n" + t.String()
+}
+
+// ---------------------------------------------------------------------
+// §7.1.3 ablations: the L2 fill policies of CoLT-FA and CoLT-All.
+// ---------------------------------------------------------------------
+
+// AblationFAL2Fill compares CoLT-FA with and without bringing the
+// requested translation into the L2 TLB.
+func AblationFAL2Fill(opts Options) (*Evaluation, error) {
+	noFill := core.CoLTFAConfig()
+	noFill.FAL2Fill = false
+	return RunEvaluation(opts, []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "fa-l2fill", Config: core.CoLTFAConfig()},
+		{Name: "fa-nofill", Config: noFill},
+	})
+}
+
+// AblationAllL2Fill compares CoLT-All with and without inserting the
+// clipped coalesced entry into the L2 TLB.
+func AblationAllL2Fill(opts Options) (*Evaluation, error) {
+	noFill := core.CoLTAllConfig()
+	noFill.AllL2Fill = false
+	return RunEvaluation(opts, []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "all-l2fill", Config: core.CoLTAllConfig()},
+		{Name: "all-nofill", Config: noFill},
+	})
+}

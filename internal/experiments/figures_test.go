@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"colt/internal/workload"
+)
+
+// quickest shrinks even below QuickOptions for driver shape tests.
+func quickest() Options {
+	o := QuickOptions()
+	o.Refs = 8_000
+	o.Warmup = 1_000
+	return o
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(quickest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 || rows[0].Bench != "Mcf" {
+		t.Fatalf("rows = %d, first = %s", len(rows), rows[0].Bench)
+	}
+	for _, r := range rows {
+		// THS-on can legitimately reach zero misses at quick scale
+		// (tiny footprints fully superpage-covered); THS-off cannot.
+		if r.OffL1MPMI <= 0 {
+			t.Fatalf("%s: degenerate THS-off MPMI %+v", r.Bench, r)
+		}
+		if r.OnL2MPMI > r.OnL1MPMI+1e-9 || r.OffL2MPMI > r.OffL1MPMI+1e-9 {
+			t.Fatalf("%s: L2 MPMI exceeds L1 MPMI", r.Bench)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Mcf") || !strings.Contains(out, "Milc") {
+		t.Fatal("render missing benchmarks")
+	}
+}
+
+func TestContiguityCDFShape(t *testing.T) {
+	rows, err := ContiguityCDFs(SetupTHSOffNormal, quickest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Average < 1 || r.RunAverage < 1 {
+			t.Fatalf("%s: averages %v/%v", r.Bench, r.Average, r.RunAverage)
+		}
+		if len(r.Points) != 6 {
+			t.Fatalf("%s: %d CDF points", r.Bench, len(r.Points))
+		}
+		prev := 0.0
+		for _, p := range r.Points {
+			if p.CumFrac < prev {
+				t.Fatalf("%s: CDF not monotone", r.Bench)
+			}
+			prev = p.CumFrac
+		}
+		if r.Points[5].CumFrac != 1 {
+			t.Fatalf("%s: CDF does not reach 1 at 1024", r.Bench)
+		}
+	}
+	out := RenderContiguity(SetupTHSOffNormal, rows)
+	if !strings.Contains(out, "Average") {
+		t.Fatal("render missing average row")
+	}
+}
+
+func TestEvaluationDerivations(t *testing.T) {
+	// Two benchmarks' worth of a standard evaluation via RunBenchmark,
+	// assembled manually to avoid the full 14-benchmark cost.
+	ev := &Evaluation{Baseline: "baseline"}
+	for _, name := range []string{"Mcf", "Gobmk"} {
+		spec, _ := workload.ByName(name)
+		res, err := RunBenchmark(spec, SetupTHSOnNormal, quickest(), StandardVariants())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Results = append(ev.Results, res)
+	}
+	elims := ev.Eliminations()
+	if len(elims) != 2 {
+		t.Fatalf("eliminations rows = %d", len(elims))
+	}
+	for _, row := range elims {
+		for _, name := range []string{"colt-sa", "colt-fa", "colt-all"} {
+			if _, ok := row.L1[name]; !ok {
+				t.Fatalf("%s: missing variant %s", row.Bench, name)
+			}
+			if row.L1[name] > 100 || row.L2[name] > 100 {
+				t.Fatalf("%s/%s: elimination above 100%%", row.Bench, name)
+			}
+		}
+	}
+	perf := ev.Performance()
+	if len(perf) != 2 {
+		t.Fatalf("performance rows = %d", len(perf))
+	}
+	for _, row := range perf {
+		if row.Perfect <= 0 {
+			t.Fatalf("%s: perfect speedup %v", row.Bench, row.Perfect)
+		}
+		for name, gain := range row.Gains {
+			if gain > row.Perfect+1e-9 {
+				t.Fatalf("%s/%s: gain %v exceeds perfect %v", row.Bench, name, gain, row.Perfect)
+			}
+		}
+	}
+	text := RenderEliminations("t", []string{"colt-sa", "colt-fa", "colt-all"}, elims)
+	if !strings.Contains(text, "Average") {
+		t.Fatal("eliminations render missing average")
+	}
+	text = RenderPerformance([]string{"colt-sa", "colt-fa", "colt-all"}, perf)
+	if !strings.Contains(text, "Perfect") {
+		t.Fatal("performance render missing perfect column")
+	}
+}
+
+func TestMemhogSweepRow(t *testing.T) {
+	opts := quickest()
+	spec, _ := workload.ByName("Gobmk")
+	for _, pct := range []int{0, 25, 50} {
+		setup := SetupTHSOnNormal
+		setup.MemhogPct = pct
+		res, err := RunContiguity(spec, setup, opts)
+		if err != nil {
+			t.Fatalf("pct %d: %v", pct, err)
+		}
+		if res.NonSuperPages == 0 {
+			t.Fatalf("pct %d: empty scan", pct)
+		}
+	}
+	out := RenderMemhog("title", []MemhogRow{{Bench: "x", NoMemhog: 1, Memhog25: 2, Memhog50: 3}})
+	if !strings.Contains(out, "Memhog(25)") {
+		t.Fatal("memhog render malformed")
+	}
+}
+
+func TestFigure20Quick(t *testing.T) {
+	// Exercise the associativity variants on one benchmark by hand.
+	spec, _ := workload.ByName("Bzip2")
+	base8 := StandardVariants()[0]
+	res, err := RunBenchmark(spec, SetupTHSOnNormal, quickest(), []Variant{base8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variants[0].TLB.Accesses == 0 {
+		t.Fatal("no accesses")
+	}
+	out := RenderFigure20([]AssocRow{{Bench: "x", SA4: 40, NoCoLT8: 10, SA8: 60}})
+	if !strings.Contains(out, "8-way CoLT-SA") {
+		t.Fatal("figure 20 render malformed")
+	}
+}

@@ -1,0 +1,382 @@
+// Package experiments reproduces the paper's evaluation: every table
+// and figure has a driver here that builds the simulated system,
+// fragments it with background load, runs the benchmark models, and
+// simulates all TLB configurations over one identical reference stream.
+// DESIGN.md's per-experiment index maps paper artifacts to the drivers
+// in this package.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/contig"
+	"colt/internal/core"
+	"colt/internal/mm"
+	"colt/internal/mmu"
+	"colt/internal/perf"
+	"colt/internal/rng"
+	"colt/internal/vm"
+	"colt/internal/workload"
+)
+
+// SystemSetup is one kernel configuration of paper §5.1.1.
+type SystemSetup struct {
+	Name       string
+	THP        bool
+	Compaction mm.CompactionMode
+	MemhogPct  int
+}
+
+// The five configurations the paper focuses on.
+var (
+	SetupTHSOnNormal   = SystemSetup{Name: "THS on, normal compaction", THP: true, Compaction: mm.CompactionNormal}
+	SetupTHSOffNormal  = SystemSetup{Name: "THS off, normal compaction", THP: false, Compaction: mm.CompactionNormal}
+	SetupTHSOffLow     = SystemSetup{Name: "THS off, low compaction", THP: false, Compaction: mm.CompactionLow}
+	SetupTHSOnMemhog25 = SystemSetup{Name: "THS on, normal compaction, memhog(25)", THP: true, Compaction: mm.CompactionNormal, MemhogPct: 25}
+	SetupTHSOnMemhog50 = SystemSetup{Name: "THS on, normal compaction, memhog(50)", THP: true, Compaction: mm.CompactionNormal, MemhogPct: 50}
+)
+
+// Setups returns the paper's five studied configurations.
+func Setups() []SystemSetup {
+	return []SystemSetup{SetupTHSOnNormal, SetupTHSOffNormal, SetupTHSOffLow, SetupTHSOnMemhog25, SetupTHSOnMemhog50}
+}
+
+// Options controls simulation size. Defaults reproduce the paper at a
+// laptop-feasible scale; Quick shrinks everything for tests.
+type Options struct {
+	Frames int     // physical memory frames
+	Scale  float64 // workload footprint scale factor
+	// ColdScale additionally scales only the bulk data, mapping the
+	// paper's footprint-to-memory ratios onto the simulated machine.
+	ColdScale float64
+	ChurnOps  int // background fragmentation operations before the run
+	Warmup    int // warmup references (stats reset afterwards)
+	Refs      int // measured references
+	Seed      uint64
+	// MidRunChurn injects OS activity (small alloc/free bursts, hence
+	// compaction and shootdowns) during the measured run.
+	MidRunChurn bool
+}
+
+// DefaultOptions sizes a full experiment run: a 1 GB machine with
+// footprints scaled so that the biggest benchmarks occupy the same
+// fraction of memory as on the paper's 3 GB testbed (Mcf's 1.7 GB maps
+// to ~53%), and two million measured references per benchmark.
+func DefaultOptions() Options {
+	return Options{
+		Frames:      1 << 18,
+		Scale:       1.0,
+		ColdScale:   3.4,
+		ChurnOps:    1200,
+		Warmup:      200_000,
+		Refs:        2_000_000,
+		Seed:        0xC017,
+		MidRunChurn: true,
+	}
+}
+
+// QuickOptions sizes a fast smoke run for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Frames:    1 << 15,
+		Scale:     0.05,
+		ColdScale: 1.0,
+		ChurnOps:  150,
+		Warmup:    5_000,
+		Refs:      60_000,
+		Seed:      0xC017,
+	}
+}
+
+// Variant names one TLB configuration under test.
+type Variant struct {
+	Name   string
+	Config core.Config
+}
+
+// StandardVariants returns the four configurations of Figures 18/21.
+func StandardVariants() []Variant {
+	return []Variant{
+		{Name: "baseline", Config: core.BaselineConfig()},
+		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
+		{Name: "colt-fa", Config: core.CoLTFAConfig()},
+		{Name: "colt-all", Config: core.CoLTAllConfig()},
+	}
+}
+
+// VariantResult is one TLB configuration's measurements.
+type VariantResult struct {
+	Name string
+	TLB  core.Stats
+	Run  perf.Run
+	// Prefetch is populated for PolicySeqPrefetch variants.
+	Prefetch core.PrefetchStats
+	// SubblockRejectedPct is populated for PolicyPartialSubblock
+	// variants: the share of L2 fills blocked from sharing by physical
+	// misalignment.
+	SubblockRejectedPct float64
+}
+
+// MPMI returns (L1, L2) misses per million instructions.
+func (v VariantResult) MPMI() (l1, l2 float64) {
+	return perf.MPMI(v.TLB.L1Misses, v.Run.Instructions),
+		perf.MPMI(v.TLB.L2Misses, v.Run.Instructions)
+}
+
+// BenchResult is one benchmark × system-setup run.
+type BenchResult struct {
+	Bench        string
+	Setup        SystemSetup
+	Contig       contig.Result
+	Instructions uint64
+	Variants     []VariantResult
+}
+
+// Variant returns the named variant's result.
+func (b *BenchResult) Variant(name string) (VariantResult, bool) {
+	for _, v := range b.Variants {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VariantResult{}, false
+}
+
+// simulator bundles one TLB variant's private state: its TLB hierarchy,
+// walker (with MMU cache), and cache hierarchy.
+type simulator struct {
+	name     string
+	hier     *core.Hierarchy
+	walker   *mmu.Walker
+	caches   *cache.Hierarchy
+	memStall uint64
+	pid      int
+}
+
+// Shootdown implements vm.ShootdownHandler: OS events (unmap, migrate,
+// THP split) flush this variant's TLBs and walk cache.
+func (s *simulator) Shootdown(pid int, vpn arch.VPN) {
+	if pid != s.pid {
+		return
+	}
+	s.hier.Invalidate(vpn)
+	s.walker.Flush()
+}
+
+const l1HitLatency = 4 // matches cache.DefaultHierarchy's L1
+
+func seedFor(base uint64, parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+	}
+	return base ^ h.Sum64()
+}
+
+// scaledSpec applies the run options' footprint scaling.
+func scaledSpec(spec workload.Spec, opts Options) workload.Spec {
+	spec = spec.Scale(opts.Scale)
+	if opts.ColdScale > 0 {
+		spec = spec.ScaleCold(opts.ColdScale)
+	}
+	return spec
+}
+
+// settlePasses lets kcompactd catch up after the churn phase (idle time
+// on a real machine between the fragmenting load and the benchmark).
+// Each pass is budget-bounded; CompactionLow systems skip settling.
+const settlePasses = 20
+
+// steadyStateSlots of background activity run between building a
+// workload and scanning its page table.
+const steadyStateSlots = 512
+
+// buildSystem boots and fragments a system per the setup, returning it
+// plus the master RNG for the benchmark.
+func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System, *rng.RNG, error) {
+	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: setup.THP, Compaction: setup.Compaction})
+	master := rng.New(seedFor(opts.Seed, benchName, setup.Name))
+	if opts.ChurnOps > 0 {
+		if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Fork()); err != nil {
+			return nil, nil, fmt.Errorf("background churn: %w", err)
+		}
+	}
+	if setup.Compaction == mm.CompactionNormal {
+		for i := 0; i < settlePasses; i++ {
+			sys.Compactor.Compact(-1)
+		}
+	}
+	if _, err := vm.StartMemhog(sys, setup.MemhogPct, master.Fork()); err != nil {
+		return nil, nil, fmt.Errorf("memhog: %w", err)
+	}
+	return sys, master, nil
+}
+
+// RunContiguity performs the paper's characterization for one
+// benchmark: build the system and the benchmark's memory, then scan its
+// page table (Figures 7-17).
+func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.Result, error) {
+	sys, master, err := buildSystem(setup, opts, spec.Name)
+	if err != nil {
+		return contig.Result{}, err
+	}
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return contig.Result{}, err
+	}
+	proc.EnableSwap()
+	if _, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork()); err != nil {
+		return contig.Result{}, fmt.Errorf("building %s: %w", spec.Name, err)
+	}
+	// Let the system reach steady state before scanning, as the paper's
+	// periodic page-table scans do: under oversubscription this is
+	// where swap thrash reshapes residency.
+	sys.Idle(steadyStateSlots)
+	return contig.Scan(proc.Table), nil
+}
+
+// RunBenchmark runs one benchmark under one system setup, simulating
+// every TLB variant over the identical reference stream (the paper's
+// trace-driven methodology, §5.2.1). All variants observe the same OS
+// events; each has private TLBs, MMU caches, and data caches.
+func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*BenchResult, error) {
+	sys, master, err := buildSystem(setup, opts, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	proc.EnableSwap()
+	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("building %s: %w", spec.Name, err)
+	}
+	contigRes := contig.Scan(proc.Table)
+
+	sims := make([]*simulator, len(variants))
+	for i, v := range variants {
+		caches := cache.DefaultHierarchy()
+		walker := mmu.NewWalker(proc.Table, caches, mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
+		sims[i] = &simulator{
+			name:   v.Name,
+			hier:   core.NewHierarchy(v.Config, walker),
+			walker: walker,
+			caches: caches,
+			pid:    proc.PID,
+		}
+		sys.AddShootdownHandler(sims[i])
+	}
+
+	churnRNG := master.Fork()
+	var churnProc *vm.Process
+	if opts.MidRunChurn {
+		churnProc, err = sys.NewProcess()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var instructions uint64
+	access := func(ref int) error {
+		va, write, gap := w.Next()
+		vpn := va.Page()
+		instructions += uint64(gap)
+		// A touched page may have been swapped out under memory
+		// pressure: service the major fault before the TLB probes.
+		if _, _, ok := proc.Resolve(vpn); !ok {
+			swappedIn, err := proc.EnsureResident(vpn)
+			if err != nil {
+				return err
+			}
+			if !swappedIn {
+				return fmt.Errorf("%s: reference to unmapped vpn %d", spec.Name, vpn)
+			}
+		}
+		for _, s := range sims {
+			res := s.hier.Access(vpn)
+			if res.Fault {
+				return fmt.Errorf("%s/%s: fault at vpn %d", spec.Name, s.name, vpn)
+			}
+			paddr := res.PFN.Addr() + arch.PAddr(va.Offset())
+			lat := s.caches.DataAccess(paddr, write)
+			if lat > l1HitLatency {
+				s.memStall += uint64(lat - l1HitLatency)
+			}
+		}
+		// Oracle check (sampled): every variant must agree with the
+		// page table.
+		if ref%1024 == 0 {
+			want, _, ok := proc.Resolve(vpn)
+			if !ok {
+				return fmt.Errorf("%s: vpn %d vanished", spec.Name, vpn)
+			}
+			for _, s := range sims {
+				if got, hit := s.hier.L2().LookupRun(vpn); hit && got.Translate(vpn) != want {
+					return fmt.Errorf("%s/%s: stale L2 entry for vpn %d", spec.Name, s.name, vpn)
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < opts.Warmup; i++ {
+		if err := access(i); err != nil {
+			return nil, err
+		}
+	}
+	instructions = 0
+	for _, s := range sims {
+		s.hier.ResetStats()
+		s.memStall = 0
+	}
+
+	churnEvery := 0
+	if opts.MidRunChurn && opts.Refs >= 8 {
+		churnEvery = opts.Refs / 8
+	}
+	for i := 0; i < opts.Refs; i++ {
+		if err := access(i); err != nil {
+			return nil, err
+		}
+		if churnEvery > 0 && i%churnEvery == churnEvery-1 {
+			// OS activity mid-run: small allocations and frees that can
+			// trigger compaction, THP splits, and TLB shootdowns.
+			if reg, err := churnProc.Malloc(churnRNG.IntRange(1, 32)); err == nil && churnRNG.Bool(0.5) {
+				if err := churnProc.Free(reg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res := &BenchResult{
+		Bench:        spec.Name,
+		Setup:        setup,
+		Contig:       contigRes,
+		Instructions: instructions,
+	}
+	for _, s := range sims {
+		st := s.hier.Stats()
+		var rejectedPct float64
+		if _, sb2 := s.hier.Subblock(); sb2 != nil && sb2.Stats().Fills > 0 {
+			rejectedPct = 100 * float64(sb2.Rejected()) / float64(sb2.Stats().Fills)
+		}
+		res.Variants = append(res.Variants, VariantResult{
+			Name:                s.name,
+			TLB:                 st,
+			Prefetch:            s.hier.PrefetchStats(),
+			SubblockRejectedPct: rejectedPct,
+			Run: perf.Run{
+				Instructions:   instructions,
+				MemStallCycles: s.memStall,
+				WalkCycles:     st.WalkCycles,
+			},
+		})
+	}
+	return res, nil
+}

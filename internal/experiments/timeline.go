@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"colt/internal/contig"
+	"colt/internal/stats"
+	"colt/internal/vm"
+	"colt/internal/workload"
+)
+
+// The paper's kernel instrumentation walks the page table every five
+// seconds, "capturing contiguity changes through the benchmark run"
+// (§5.1.1). ContiguityTimeline reproduces that methodology: it samples
+// the workload's page-table contiguity at regular points across the
+// run — after the build, and between slices of foreground references
+// interleaved with background system activity — rather than only once.
+
+// TimelinePoint is one periodic page-table scan.
+type TimelinePoint struct {
+	// RefsDone is how many foreground references had executed.
+	RefsDone int
+	// PageAvg and RunAvg are the two contiguity averages.
+	PageAvg, RunAvg float64
+	// MappedPages is the workload's resident page count (drops under
+	// swap pressure).
+	MappedPages int
+	// Superpages counts currently huge-mapped pages.
+	Superpages int
+}
+
+// ContiguityTimeline runs one benchmark under the setup and scans its
+// page table at `samples` evenly spaced points.
+func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, samples int) ([]TimelinePoint, error) {
+	if samples < 2 {
+		return nil, fmt.Errorf("timeline needs at least 2 samples, got %d", samples)
+	}
+	sys, master, err := buildSystem(setup, opts, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	proc.EnableSwap()
+	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork())
+	if err != nil {
+		return nil, fmt.Errorf("building %s: %w", spec.Name, err)
+	}
+	churnRNG := master.Fork()
+	churnProc, err := sys.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	var churnLive []*vm.Region
+
+	scan := func(refs int) TimelinePoint {
+		res := contig.Scan(proc.Table)
+		return TimelinePoint{
+			RefsDone:    refs,
+			PageAvg:     res.AverageContiguity(),
+			RunAvg:      res.RunWeightedAverage(),
+			MappedPages: res.NonSuperPages + res.SuperPages,
+			Superpages:  res.SuperPages,
+		}
+	}
+
+	points := []TimelinePoint{scan(0)}
+	slice := opts.Refs / (samples - 1)
+	if slice == 0 {
+		slice = 1
+	}
+	done := 0
+	for s := 1; s < samples; s++ {
+		for i := 0; i < slice; i++ {
+			va, _, _ := w.Next()
+			vpn := va.Page()
+			// Touch pages so swap pressure and re-faults happen as in
+			// a real run (no TLB simulation needed for contiguity).
+			if _, _, ok := proc.Resolve(vpn); !ok {
+				if _, err := proc.EnsureResident(vpn); err != nil {
+					return nil, err
+				}
+			}
+			done++
+			if i%512 == 511 {
+				// Background OS activity between slices of foreground
+				// work.
+				if reg, err := churnProc.Malloc(churnRNG.IntRange(1, 24)); err == nil {
+					churnLive = append(churnLive, reg)
+					if len(churnLive) > 32 {
+						if err := churnProc.Free(churnLive[0]); err != nil {
+							return nil, err
+						}
+						churnLive = churnLive[1:]
+					}
+				}
+			}
+		}
+		sys.Idle(32)
+		points = append(points, scan(done))
+	}
+	return points, nil
+}
+
+// RenderTimeline formats a timeline as text.
+func RenderTimeline(bench string, setup SystemSetup, points []TimelinePoint) string {
+	t := stats.NewTable("Refs", "PageAvg", "RunAvg", "Mapped", "Superpages")
+	for _, p := range points {
+		t.AddRow(p.RefsDone, p.PageAvg, p.RunAvg, p.MappedPages, p.Superpages)
+	}
+	return fmt.Sprintf("Contiguity over time: %s under %s\n%s", bench, setup.Name, t.String())
+}

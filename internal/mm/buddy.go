@@ -1,0 +1,467 @@
+package mm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"colt/internal/arch"
+)
+
+// MaxOrder is the number of buddy free lists, matching Linux's
+// MAX_ORDER=11: blocks of 2^0 .. 2^10 pages (4 KB .. 4 MB).
+const MaxOrder = 11
+
+// HugeOrder is the buddy order of one 2 MB superpage (order 9 = 512
+// pages). Buddy blocks are naturally aligned, so an order-9 allocation
+// satisfies THP's 2 MB alignment requirement for free.
+const HugeOrder = arch.HugePageShift - arch.PageShift
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied at
+// all, and ErrFragmented when enough pages are free but no contiguous
+// block of the requested order exists. The distinction drives the
+// compaction trigger: compacting helps fragmentation, not true OOM.
+var (
+	ErrOutOfMemory = errors.New("mm: out of physical memory")
+	ErrFragmented  = errors.New("mm: no contiguous block of requested order (memory fragmented)")
+)
+
+const nilPFN = int64(-1)
+
+// Run is a contiguous range of physical frames.
+type Run struct {
+	Base arch.PFN
+	Len  int
+}
+
+// End returns one past the last frame of the run.
+func (r Run) End() arch.PFN { return r.Base + arch.PFN(r.Len) }
+
+// BuddyStats counts allocator activity.
+type BuddyStats struct {
+	Allocs       uint64
+	Frees        uint64
+	Splits       uint64
+	Merges       uint64
+	AllocFails   uint64
+	FragFails    uint64 // failures with free memory available (fragmentation)
+	RangeFallbck uint64 // AllocRange calls that returned multiple runs
+}
+
+// Buddy is a Linux-style binary buddy allocator over a PhysMem
+// (paper §3.2.1, Figures 1-2). Free blocks of 2^k pages are kept on
+// order-k free lists; allocation splits larger blocks downward and
+// freeing iteratively merges buddy pairs upward, which is the mechanism
+// that regenerates large contiguous runs.
+type Buddy struct {
+	phys *PhysMem
+
+	// freeHead[k] is the PFN of the first free block of order k, or
+	// nilPFN. Blocks are intrusively double-linked through next/prev
+	// (indexed by block-head PFN), giving deterministic LIFO reuse.
+	freeHead [MaxOrder]int64
+	next     []int64
+	prev     []int64
+	// orderOf[pfn] is k when pfn heads a free block of order k, else -1.
+	orderOf []int8
+
+	freeBlocks [MaxOrder]int
+	freePages  uint64
+	stats      BuddyStats
+}
+
+// NewBuddy builds an allocator owning every frame of pm, initially all
+// free.
+func NewBuddy(pm *PhysMem) *Buddy {
+	b := &Buddy{
+		phys:    pm,
+		next:    make([]int64, pm.NumFrames()),
+		prev:    make([]int64, pm.NumFrames()),
+		orderOf: make([]int8, pm.NumFrames()),
+	}
+	for k := range b.freeHead {
+		b.freeHead[k] = nilPFN
+	}
+	for i := range b.orderOf {
+		b.orderOf[i] = -1
+		b.next[i] = nilPFN
+		b.prev[i] = nilPFN
+	}
+	// Seed the free lists by decomposing [0, n) into maximal aligned
+	// power-of-two blocks.
+	b.insertRange(0, pm.NumFrames())
+	return b
+}
+
+// insertRange frees the frames [base, base+n) as aligned blocks without
+// merge attempts (used only at init; frames must not be on free lists).
+func (b *Buddy) insertRange(base arch.PFN, n int) {
+	for n > 0 {
+		k := maxOrderFor(base, n)
+		b.pushFree(base, k)
+		base += arch.PFN(1) << k
+		n -= 1 << k
+	}
+}
+
+// maxOrderFor returns the largest order k (< MaxOrder) such that base is
+// 2^k-aligned and 2^k <= n.
+func maxOrderFor(base arch.PFN, n int) int {
+	k := MaxOrder - 1
+	if base != 0 {
+		if a := bits.TrailingZeros64(uint64(base)); a < k {
+			k = a
+		}
+	}
+	for (1 << k) > n {
+		k--
+	}
+	return k
+}
+
+func (b *Buddy) pushFree(pfn arch.PFN, order int) {
+	p := int64(pfn)
+	b.orderOf[p] = int8(order)
+	b.next[p] = b.freeHead[order]
+	b.prev[p] = nilPFN
+	if b.freeHead[order] != nilPFN {
+		b.prev[b.freeHead[order]] = p
+	}
+	b.freeHead[order] = p
+	b.freeBlocks[order]++
+	b.freePages += 1 << order
+}
+
+func (b *Buddy) removeFree(pfn arch.PFN, order int) {
+	p := int64(pfn)
+	if b.orderOf[p] != int8(order) {
+		panic(fmt.Sprintf("mm: removeFree(%d, %d) but block has order %d", pfn, order, b.orderOf[p]))
+	}
+	if b.prev[p] != nilPFN {
+		b.next[b.prev[p]] = b.next[p]
+	} else {
+		b.freeHead[order] = b.next[p]
+	}
+	if b.next[p] != nilPFN {
+		b.prev[b.next[p]] = b.prev[p]
+	}
+	b.orderOf[p] = -1
+	b.next[p], b.prev[p] = nilPFN, nilPFN
+	b.freeBlocks[order]--
+	b.freePages -= 1 << order
+}
+
+// FreePages returns the number of free frames.
+func (b *Buddy) FreePages() uint64 { return b.freePages }
+
+// FreeBlocksOfOrder returns how many free blocks of exactly order k
+// exist.
+func (b *Buddy) FreeBlocksOfOrder(k int) int { return b.freeBlocks[k] }
+
+// LargestFreeOrder returns the highest order with a free block, or -1
+// when memory is exhausted.
+func (b *Buddy) LargestFreeOrder() int {
+	for k := MaxOrder - 1; k >= 0; k-- {
+		if b.freeHead[k] != nilPFN {
+			return k
+		}
+	}
+	return -1
+}
+
+// Stats returns a snapshot of allocator counters.
+func (b *Buddy) Stats() BuddyStats { return b.stats }
+
+// AllocBlock allocates one naturally-aligned block of 2^order frames,
+// splitting a larger block if needed (Figure 2's walk up the free
+// lists). The returned block's frames are marked allocated; the caller
+// assigns ownership.
+func (b *Buddy) AllocBlock(order int) (arch.PFN, error) {
+	if order < 0 || order >= MaxOrder {
+		return 0, fmt.Errorf("mm: invalid order %d", order)
+	}
+	k := order
+	for k < MaxOrder && b.freeHead[k] == nilPFN {
+		k++
+	}
+	if k == MaxOrder {
+		b.stats.AllocFails++
+		if b.freePages >= uint64(1)<<order {
+			b.stats.FragFails++
+			return 0, ErrFragmented
+		}
+		return 0, ErrOutOfMemory
+	}
+	pfn := arch.PFN(b.freeHead[k])
+	b.removeFree(pfn, k)
+	// Iteratively halve the block, returning upper halves to their
+	// free lists, until we hold a block of the requested order.
+	for k > order {
+		k--
+		b.pushFree(pfn+arch.PFN(1)<<k, k)
+		b.stats.Splits++
+	}
+	b.markAllocated(pfn, 1<<order)
+	b.stats.Allocs++
+	return pfn, nil
+}
+
+// AllocRange allocates n contiguous frames when possible: it takes the
+// smallest block of at least n frames and frees the tail back. When no
+// single block is large enough it falls back to multiple smaller runs
+// (greedy largest-first), mirroring how the kernel satisfies a large
+// malloc when contiguity has run out. Returns ErrOutOfMemory (with
+// nothing allocated) if fewer than n frames are free.
+func (b *Buddy) AllocRange(n int) ([]Run, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mm: invalid range length %d", n)
+	}
+	if uint64(n) > b.freePages {
+		b.stats.AllocFails++
+		return nil, ErrOutOfMemory
+	}
+	if r, ok := b.allocSingleRun(n); ok {
+		return []Run{r}, nil
+	}
+	// Fragmented: gather multiple runs, largest blocks first.
+	b.stats.RangeFallbck++
+	var runs []Run
+	remaining := n
+	for remaining > 0 {
+		k := b.LargestFreeOrder()
+		if k < 0 {
+			// Cannot happen: freePages >= n was checked, but guard
+			// against bookkeeping bugs by rolling back.
+			for _, r := range runs {
+				b.FreeRange(r.Base, r.Len)
+			}
+			b.stats.AllocFails++
+			return nil, ErrOutOfMemory
+		}
+		for k > 0 && (1<<(k-1)) >= remaining {
+			k--
+		}
+		take := 1 << k
+		if take > remaining {
+			take = remaining
+		}
+		pfn, err := b.AllocBlock(k)
+		if err != nil {
+			for _, r := range runs {
+				b.FreeRange(r.Base, r.Len)
+			}
+			return nil, err
+		}
+		if take < 1<<k {
+			b.freeFramesNoStats(pfn+arch.PFN(take), (1<<k)-take)
+		}
+		runs = append(runs, Run{Base: pfn, Len: take})
+		remaining -= take
+	}
+	return runs, nil
+}
+
+// allocSingleRun tries to carve exactly n contiguous frames out of one
+// block, freeing the unused tail.
+func (b *Buddy) allocSingleRun(n int) (Run, bool) {
+	order := orderForCount(n)
+	if order >= MaxOrder {
+		return Run{}, false
+	}
+	pfn, err := b.AllocBlock(order)
+	if err != nil {
+		return Run{}, false
+	}
+	if tail := (1 << order) - n; tail > 0 {
+		b.freeFramesNoStats(pfn+arch.PFN(n), tail)
+	}
+	return Run{Base: pfn, Len: n}, true
+}
+
+// orderForCount returns ceil(log2(n)): the smallest order whose block
+// covers n pages (paper §3.2.1).
+func orderForCount(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// AllocSpecific allocates exactly the given free frame, splitting
+// whatever free block currently contains it. It is the primitive the
+// compaction daemon uses to claim migration targets taken from the top
+// of memory. Returns false if the frame is already allocated.
+func (b *Buddy) AllocSpecific(pfn arch.PFN) bool {
+	if !b.phys.Valid(pfn) || b.phys.Frame(pfn).Allocated {
+		return false
+	}
+	// Find the free block containing pfn: its head is pfn rounded down
+	// to the block's alignment for some order.
+	for k := 0; k < MaxOrder; k++ {
+		head := pfn &^ (arch.PFN(1)<<k - 1)
+		if b.orderOf[head] == int8(k) {
+			b.removeFree(head, k)
+			// Split off everything except pfn itself, re-freeing the
+			// fragments as maximal aligned blocks.
+			if before := int(pfn - head); before > 0 {
+				b.insertRange(head, before)
+			}
+			if after := int(head + arch.PFN(1)<<k - pfn - 1); after > 0 {
+				b.insertRange(pfn+1, after)
+			}
+			b.markAllocated(pfn, 1)
+			b.stats.Allocs++
+			return true
+		}
+	}
+	return false
+}
+
+// FreeBlock frees an aligned block previously returned by AllocBlock.
+func (b *Buddy) FreeBlock(pfn arch.PFN, order int) {
+	b.FreeRange(pfn, 1<<order)
+}
+
+// FreeRange frees the frames [pfn, pfn+n), which need not be aligned or
+// correspond to a single prior allocation (THP splitting and partial
+// munmap free arbitrary subranges). Freed frames are merged with their
+// buddies iteratively, the process that "leads to large amounts of
+// contiguity" (paper §3.2.1).
+func (b *Buddy) FreeRange(pfn arch.PFN, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mm: FreeRange length %d", n))
+	}
+	for i := 0; i < n; i++ {
+		f := b.phys.Frame(pfn + arch.PFN(i))
+		if !f.Allocated {
+			panic(fmt.Sprintf("mm: double free of frame %d", pfn+arch.PFN(i)))
+		}
+		f.Allocated = false
+		f.Movable = false
+		f.Owner = PageOwner{}
+	}
+	b.stats.Frees++
+	b.freeFrames(pfn, n)
+}
+
+// freeFramesNoStats returns still-marked-allocated frames to the free
+// lists after clearing their metadata; used for tails of oversized
+// blocks.
+func (b *Buddy) freeFramesNoStats(pfn arch.PFN, n int) {
+	for i := 0; i < n; i++ {
+		f := b.phys.Frame(pfn + arch.PFN(i))
+		f.Allocated = false
+		f.Movable = false
+		f.Owner = PageOwner{}
+	}
+	b.freeFrames(pfn, n)
+}
+
+// freeFrames inserts [pfn, pfn+n) into the free lists with buddy
+// merging. Frames must already be marked not-allocated.
+func (b *Buddy) freeFrames(pfn arch.PFN, n int) {
+	base := pfn
+	remaining := n
+	for remaining > 0 {
+		k := maxOrderFor(base, remaining)
+		b.freeOne(base, k)
+		base += arch.PFN(1) << k
+		remaining -= 1 << k
+	}
+}
+
+// freeOne frees a single aligned block with iterative buddy merging.
+func (b *Buddy) freeOne(pfn arch.PFN, order int) {
+	for order < MaxOrder-1 {
+		buddy := pfn ^ (arch.PFN(1) << order)
+		if !b.phys.Valid(buddy) || b.orderOf[buddy] != int8(order) {
+			break
+		}
+		b.removeFree(buddy, order)
+		if buddy < pfn {
+			pfn = buddy
+		}
+		order++
+		b.stats.Merges++
+	}
+	b.pushFree(pfn, order)
+}
+
+func (b *Buddy) markAllocated(pfn arch.PFN, n int) {
+	for i := 0; i < n; i++ {
+		f := b.phys.Frame(pfn + arch.PFN(i))
+		if f.Allocated {
+			panic(fmt.Sprintf("mm: frame %d allocated twice", pfn+arch.PFN(i)))
+		}
+		f.Allocated = true
+	}
+}
+
+// FragmentationIndex computes Linux's fragmentation index for the given
+// order in [0, 1]: values near 1 mean failures at that order are due to
+// fragmentation (compaction will help); near 0 means memory is simply
+// low. Returns 0 when a block of the order is already free.
+func (b *Buddy) FragmentationIndex(order int) float64 {
+	for k := order; k < MaxOrder; k++ {
+		if b.freeBlocks[k] > 0 {
+			return 0
+		}
+	}
+	var totalBlocks uint64
+	for k := 0; k < MaxOrder; k++ {
+		totalBlocks += uint64(b.freeBlocks[k])
+	}
+	if totalBlocks == 0 {
+		return 0 // true OOM, not fragmentation
+	}
+	requested := uint64(1) << order
+	return 1 - (1+float64(b.freePages)/float64(requested))/(1+float64(totalBlocks))
+}
+
+// CheckInvariants validates the free-list structure against frame
+// metadata; used by tests and returns an error describing the first
+// inconsistency found.
+func (b *Buddy) CheckInvariants() error {
+	seen := make(map[arch.PFN]bool)
+	var pages uint64
+	for k := 0; k < MaxOrder; k++ {
+		count := 0
+		for p := b.freeHead[k]; p != nilPFN; p = b.next[p] {
+			count++
+			head := arch.PFN(p)
+			if b.orderOf[p] != int8(k) {
+				return fmt.Errorf("block %d on list %d has orderOf %d", head, k, b.orderOf[p])
+			}
+			if uint64(head)%(1<<k) != 0 {
+				return fmt.Errorf("block %d on list %d is misaligned", head, k)
+			}
+			for i := 0; i < 1<<k; i++ {
+				f := head + arch.PFN(i)
+				if !b.phys.Valid(f) {
+					return fmt.Errorf("block %d order %d exceeds memory", head, k)
+				}
+				if seen[f] {
+					return fmt.Errorf("frame %d on two free blocks", f)
+				}
+				seen[f] = true
+				if b.phys.Frame(f).Allocated {
+					return fmt.Errorf("frame %d free but marked allocated", f)
+				}
+			}
+			pages += 1 << k
+		}
+		if count != b.freeBlocks[k] {
+			return fmt.Errorf("order %d: counted %d blocks, recorded %d", k, count, b.freeBlocks[k])
+		}
+	}
+	if pages != b.freePages {
+		return fmt.Errorf("counted %d free pages, recorded %d", pages, b.freePages)
+	}
+	for i := 0; i < b.phys.NumFrames(); i++ {
+		pfn := arch.PFN(i)
+		if !b.phys.Frame(pfn).Allocated && !seen[pfn] {
+			return fmt.Errorf("frame %d neither allocated nor on a free list", pfn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package mm
+
+import "colt/internal/arch"
+
+// Migrator is implemented by the virtual-memory layer: when the
+// compaction daemon moves a frame, the owning process's page table must
+// be rehomed to the new frame (and any TLB entries shot down).
+type Migrator interface {
+	MigratePage(owner PageOwner, from, to arch.PFN)
+}
+
+// CompactionMode selects how eagerly the compaction daemon runs,
+// modeling the Linux `defrag` flag the paper toggles (§5.1.1).
+type CompactionMode int
+
+const (
+	// CompactionNormal triggers direct compaction on every fragmented
+	// allocation failure and background compaction when the
+	// fragmentation index crosses a threshold.
+	CompactionNormal CompactionMode = iota
+	// CompactionLow models `defrag` disabled: no background runs and
+	// direct compaction only once every lowModePeriod fragmented
+	// failures ("greatly reduces the number of times the daemon runs").
+	CompactionLow
+)
+
+// String implements fmt.Stringer.
+func (m CompactionMode) String() string {
+	if m == CompactionLow {
+		return "low"
+	}
+	return "normal"
+}
+
+const (
+	// backgroundFragThreshold is the fragmentation index above which a
+	// background pass compacts (Linux uses 0.5 via
+	// sysctl_extfrag_threshold=500).
+	backgroundFragThreshold = 0.5
+	// lowModePeriod: in CompactionLow mode only every Nth fragmented
+	// failure triggers a direct compaction.
+	lowModePeriod = 100
+	// exitCheckInterval: how many migrations between checks whether the
+	// target order has been satisfied.
+	exitCheckInterval = 16
+	// maxMigratePerRun bounds one compaction pass's migration work,
+	// modeling Linux's deferred/partial compaction: a single run does a
+	// bounded amount of work rather than defragmenting the whole zone.
+	maxMigratePerRun = 4096
+	// maxDirectMigrate bounds a direct (allocation-failure) compaction:
+	// a faulting allocation cannot afford a full background pass.
+	maxDirectMigrate = 1024
+	// maxDeferShift: after an unsuccessful direct compaction, up to
+	// 2^maxDeferShift subsequent failures skip compaction (Linux's
+	// defer_compaction backoff).
+	maxDeferShift = 6
+	// backgroundCooldown: only every Nth eligible background tick
+	// actually compacts (kcompactd does not run continuously).
+	backgroundCooldown = 8
+)
+
+// CompactStats counts daemon activity.
+type CompactStats struct {
+	Runs       uint64
+	Migrated   uint64
+	Aborted    uint64 // runs that ended with scanners meeting
+	Background uint64
+	Direct     uint64
+	Skipped    uint64 // direct triggers suppressed by CompactionLow
+}
+
+// Compactor is the memory-compaction daemon of paper §3.2.2 / Figure 3:
+// a migrate scanner walks up from the bottom of physical memory
+// collecting movable allocated pages while a free scanner walks down
+// from the top claiming free target frames; movable pages migrate to the
+// top, and the buddy merge of the vacated bottom frames yields large
+// contiguous free blocks.
+type Compactor struct {
+	phys     *PhysMem
+	buddy    *Buddy
+	migrator Migrator
+	mode     CompactionMode
+
+	fragFailures uint64
+	bgTicks      uint64
+	deferShift   uint
+	deferCount   uint64
+	bgBackoff    uint
+	bgSkip       uint64
+	stats        CompactStats
+}
+
+// NewCompactor wires a compaction daemon to the allocator. migrator may
+// be nil when no page tables exist (tests).
+func NewCompactor(pm *PhysMem, b *Buddy, migrator Migrator, mode CompactionMode) *Compactor {
+	return &Compactor{phys: pm, buddy: b, migrator: migrator, mode: mode}
+}
+
+// Mode returns the configured compaction mode.
+func (c *Compactor) Mode() CompactionMode { return c.mode }
+
+// Stats returns a snapshot of daemon counters.
+func (c *Compactor) Stats() CompactStats { return c.stats }
+
+// OnAllocFailure is called by the VM layer when an allocation fails with
+// ErrFragmented. It decides, per the mode and the deferral backoff,
+// whether to run direct compaction targeting the failed order. Returns
+// true if a compaction run happened (the caller should retry its
+// allocation).
+func (c *Compactor) OnAllocFailure(order int) bool {
+	c.fragFailures++
+	if c.mode == CompactionLow && c.fragFailures%lowModePeriod != 0 {
+		c.stats.Skipped++
+		return false
+	}
+	// Deferral: if recent direct compactions failed to produce the
+	// order, back off exponentially before trying again.
+	if c.deferCount < (uint64(1)<<c.deferShift)-1 {
+		c.deferCount++
+		c.stats.Skipped++
+		return false
+	}
+	c.deferCount = 0
+	c.stats.Direct++
+	c.compact(order, maxDirectMigrate)
+	if c.orderSatisfied(order) {
+		c.deferShift = 0
+	} else if c.deferShift < maxDeferShift {
+		c.deferShift++
+	}
+	return true
+}
+
+// BackgroundTick gives the daemon a chance to run proactively, as
+// kcompactd does. In CompactionNormal mode it compacts when the
+// fragmentation index at HugeOrder exceeds the threshold. Returns true
+// if it ran.
+func (c *Compactor) BackgroundTick() bool {
+	if c.mode != CompactionNormal {
+		return false
+	}
+	if c.buddy.FragmentationIndex(HugeOrder) <= backgroundFragThreshold {
+		return false
+	}
+	c.bgTicks++
+	if c.bgTicks%backgroundCooldown != 1 {
+		return false
+	}
+	// No-progress backoff: when compaction repeatedly fails to build a
+	// huge-order block (pinned pages in the way), kcompactd defers
+	// exponentially instead of burning cycles re-scanning.
+	if c.bgSkip > 0 {
+		c.bgSkip--
+		c.stats.Skipped++
+		return false
+	}
+	c.stats.Background++
+	c.Compact(HugeOrder)
+	if c.orderSatisfied(HugeOrder) {
+		c.bgBackoff = 0
+	} else {
+		if c.bgBackoff < maxDeferShift {
+			c.bgBackoff++
+		}
+		c.bgSkip = uint64(1)<<c.bgBackoff - 1
+	}
+	return true
+}
+
+// Compact runs one compaction pass. targetOrder >= 0 lets the pass stop
+// early once a free block of that order exists; pass a negative order to
+// compact until the scanners meet. A pass migrates at most
+// maxMigratePerRun pages (partial compaction). Returns the number of
+// migrated pages.
+func (c *Compactor) Compact(targetOrder int) int {
+	return c.compact(targetOrder, maxMigratePerRun)
+}
+
+// maxMigrateRun caps how many pages migrate as one contiguous unit.
+const maxMigrateRun = 64
+
+func (c *Compactor) compact(targetOrder, budget int) int {
+	c.stats.Runs++
+	migScan := arch.PFN(0)
+	freeScan := arch.PFN(c.phys.NumFrames() - 1)
+	moved := 0
+	for migScan < freeScan && moved < budget {
+		if targetOrder >= 0 && moved%exitCheckInterval == 0 && c.orderSatisfied(targetOrder) {
+			return moved
+		}
+		f := c.phys.Frame(migScan)
+		if !f.Allocated || !f.Movable {
+			migScan++
+			continue
+		}
+		// Isolate a run of movable pages and migrate it to an equally
+		// long free run near the top, ascending within the run: page
+		// migration preserves the virtual-to-physical contiguity of
+		// what it moves.
+		k := 1
+		for k < maxMigrateRun && moved+k < budget && migScan+arch.PFN(k) < freeScan {
+			nf := c.phys.Frame(migScan + arch.PFN(k))
+			if !nf.Allocated || !nf.Movable {
+				break
+			}
+			k++
+		}
+		target, hint, ok := c.findFreeRun(migScan+arch.PFN(k), freeScan, k)
+		if !ok && k > 1 {
+			k = 1
+			target, hint, ok = c.findFreeRun(migScan+1, freeScan, 1)
+		}
+		if !ok {
+			break
+		}
+		freeScan = hint
+		for i := 0; i < k; i++ {
+			from := migScan + arch.PFN(i)
+			to := target + arch.PFN(i)
+			if !c.buddy.AllocSpecific(to) {
+				panic("mm: compaction target vanished")
+			}
+			owner := c.phys.Frame(from).Owner
+			c.phys.SetOwner(to, owner, true)
+			if c.migrator != nil {
+				c.migrator.MigratePage(owner, from, to)
+			}
+			c.buddy.FreeRange(from, 1)
+			moved++
+			c.stats.Migrated++
+		}
+		migScan += arch.PFN(k)
+	}
+	c.stats.Aborted++
+	return moved
+}
+
+// findFreeRun searches downward from hi for k consecutive free frames
+// strictly above lo, returning the run base and a new downward-scan
+// hint.
+func (c *Compactor) findFreeRun(lo, hi arch.PFN, k int) (base, hint arch.PFN, ok bool) {
+	run := 0
+	for p := hi; p > lo; p-- {
+		if !c.phys.Frame(p).Allocated {
+			run++
+		} else {
+			run = 0
+		}
+		if run == k {
+			hint = p - 1
+			if p == 0 {
+				hint = 0
+			}
+			return p, hint, true
+		}
+	}
+	return 0, lo, false
+}
+
+func (c *Compactor) orderSatisfied(order int) bool {
+	for k := order; k < MaxOrder; k++ {
+		if c.buddy.FreeBlocksOfOrder(k) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+// Package mm implements the OS memory-management substrate whose
+// behaviour the CoLT paper characterizes in §3: a Linux-style binary
+// buddy allocator, a memory-compaction daemon, and transparent hugepage
+// (THP) support. Together these are the mechanisms that "naturally
+// assign contiguous physical pages to contiguous virtual pages" and that
+// CoLT's coalescing hardware exploits.
+package mm
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// KernelPID identifies kernel-owned (pinned, unmovable) frames such as
+// page-table pages.
+const KernelPID = 0
+
+// PageOwner records which process virtual page a frame currently backs,
+// so the compaction daemon can rehome the mapping when it migrates the
+// frame.
+type PageOwner struct {
+	PID int
+	VPN arch.VPN
+}
+
+// Frame is the per-physical-frame metadata, the simulator's equivalent
+// of Linux's struct page.
+type Frame struct {
+	Allocated bool
+	// Movable marks frames the compaction daemon may migrate. User
+	// pages are movable; kernel and page-table pages are not
+	// (paper §3.2.2).
+	Movable bool
+	Owner   PageOwner
+}
+
+// PhysMem models the machine's physical memory as an array of frames.
+type PhysMem struct {
+	frames []Frame
+}
+
+// NewPhysMem creates a physical memory with n frames.
+func NewPhysMem(n int) *PhysMem {
+	if n <= 0 {
+		panic("mm: physical memory must have at least one frame")
+	}
+	return &PhysMem{frames: make([]Frame, n)}
+}
+
+// NumFrames returns the total number of frames.
+func (pm *PhysMem) NumFrames() int { return len(pm.frames) }
+
+// Bytes returns the physical memory size in bytes.
+func (pm *PhysMem) Bytes() uint64 { return uint64(len(pm.frames)) * arch.PageSize }
+
+// Frame returns a pointer to the metadata for pfn.
+func (pm *PhysMem) Frame(pfn arch.PFN) *Frame {
+	return &pm.frames[pfn]
+}
+
+// Valid reports whether pfn addresses a frame inside this memory.
+func (pm *PhysMem) Valid(pfn arch.PFN) bool {
+	return uint64(pfn) < uint64(len(pm.frames))
+}
+
+// SetOwner marks a frame's owner and movability in one step.
+func (pm *PhysMem) SetOwner(pfn arch.PFN, owner PageOwner, movable bool) {
+	f := &pm.frames[pfn]
+	f.Owner = owner
+	f.Movable = movable
+}
+
+// AllocatedFrames counts currently allocated frames (O(n); intended for
+// tests and reporting, not hot paths).
+func (pm *PhysMem) AllocatedFrames() int {
+	n := 0
+	for i := range pm.frames {
+		if pm.frames[i].Allocated {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes occupancy.
+func (pm *PhysMem) String() string {
+	return fmt.Sprintf("PhysMem{%d frames, %d allocated}", len(pm.frames), pm.AllocatedFrames())
+}

@@ -1,0 +1,172 @@
+// Package mmu models the hardware page-table walker: on a last-level
+// TLB miss it walks the four-level radix page table, fetching PTEs
+// through the cache hierarchy (entering at the LLC, per the paper), and
+// accelerates upper levels with a small MMU page-walk cache — the
+// paper's "more realistic TLB hierarchy with 22-entry MMU caches"
+// (§5.2.1). The walker also hands back the eight translations sharing
+// the leaf PTE's cache line, which is the raw material for CoLT's
+// coalescing logic.
+package mmu
+
+import (
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/pagetable"
+)
+
+// DefaultWalkCacheEntries matches the paper's 22-entry MMU cache.
+const DefaultWalkCacheEntries = 22
+
+// walkCacheHitLatency is the cycles to read one cached upper-level
+// entry instead of fetching it from the memory hierarchy.
+const walkCacheHitLatency = 1
+
+// WalkCache is a small fully-associative LRU cache over upper-level
+// page-table entries, keyed by the entry's physical address (which is
+// uniquely determined by the virtual-address prefix it translates).
+type WalkCache struct {
+	capacity int
+	tick     uint64
+	entries  map[arch.PAddr]uint64 // addr -> last-use tick
+	hits     uint64
+	misses   uint64
+}
+
+// NewWalkCache creates a cache holding up to capacity entries; a
+// capacity of 0 disables caching (every level goes to memory).
+func NewWalkCache(capacity int) *WalkCache {
+	return &WalkCache{capacity: capacity, entries: make(map[arch.PAddr]uint64)}
+}
+
+// Lookup reports whether addr is cached, updating recency.
+func (w *WalkCache) Lookup(addr arch.PAddr) bool {
+	w.tick++
+	if _, ok := w.entries[addr]; ok {
+		w.entries[addr] = w.tick
+		w.hits++
+		return true
+	}
+	w.misses++
+	return false
+}
+
+// Insert caches addr, evicting the LRU entry if full.
+func (w *WalkCache) Insert(addr arch.PAddr) {
+	if w.capacity == 0 {
+		return
+	}
+	w.tick++
+	if len(w.entries) >= w.capacity {
+		if _, ok := w.entries[addr]; !ok {
+			var victim arch.PAddr
+			oldest := ^uint64(0)
+			for a, t := range w.entries {
+				if t < oldest {
+					oldest, victim = t, a
+				}
+			}
+			delete(w.entries, victim)
+		}
+	}
+	w.entries[addr] = w.tick
+}
+
+// Flush empties the cache (TLB shootdown side effect).
+func (w *WalkCache) Flush() { clear(w.entries) }
+
+// Hits and Misses report lookup counters.
+func (w *WalkCache) Hits() uint64   { return w.hits }
+func (w *WalkCache) Misses() uint64 { return w.misses }
+
+// Len returns the number of resident entries.
+func (w *WalkCache) Len() int { return len(w.entries) }
+
+// WalkInfo is the result of one page walk.
+type WalkInfo struct {
+	Found bool
+	PTE   arch.PTE
+	// Latency is the serialized walk cost in cycles.
+	Latency int
+	// Line holds the eight translations of the leaf PTE's cache line
+	// when HasLine is true (base-page walks only).
+	Line    [arch.PTEsPerLine]arch.Translation
+	HasLine bool
+	// LineAddr is the physical address of that cache line.
+	LineAddr arch.PAddr
+}
+
+// WalkerStats counts walker activity.
+type WalkerStats struct {
+	Walks        uint64
+	Failed       uint64
+	TotalLatency uint64
+	LevelFetches uint64 // PTE fetches that went to the memory hierarchy
+	PWCHits      uint64 // upper-level fetches short-circuited by the MMU cache
+}
+
+// Walker performs page walks for one process's page table.
+type Walker struct {
+	table *pagetable.Table
+	mem   *cache.Hierarchy
+	pwc   *WalkCache
+	stats WalkerStats
+}
+
+// NewWalker builds a walker over table using mem for PTE fetches. pwc
+// may be nil to disable the MMU cache.
+func NewWalker(table *pagetable.Table, mem *cache.Hierarchy, pwc *WalkCache) *Walker {
+	if pwc == nil {
+		pwc = NewWalkCache(0)
+	}
+	return &Walker{table: table, mem: mem, pwc: pwc}
+}
+
+// SetTable points the walker at a different process's page table
+// (context switch).
+func (w *Walker) SetTable(table *pagetable.Table) {
+	w.table = table
+	w.pwc.Flush()
+}
+
+// Table returns the current page table.
+func (w *Walker) Table() *pagetable.Table { return w.table }
+
+// Stats returns a snapshot of walker counters.
+func (w *Walker) Stats() WalkerStats { return w.stats }
+
+// Flush empties the MMU walk cache (shootdown).
+func (w *Walker) Flush() { w.pwc.Flush() }
+
+// Walk translates vpn, charging the serialized latency of each level's
+// PTE fetch. Upper (non-leaf) levels may hit the MMU walk cache; the
+// leaf fetch always goes to the memory hierarchy, and its cache line of
+// eight PTEs is returned for coalescing.
+func (w *Walker) Walk(vpn arch.VPN) WalkInfo {
+	w.stats.Walks++
+	res := w.table.Walk(vpn)
+	info := WalkInfo{Found: res.Found, PTE: res.PTE}
+	for i, addr := range res.Levels {
+		leaf := i == len(res.Levels)-1
+		if !leaf && w.pwc.Lookup(addr) {
+			info.Latency += walkCacheHitLatency
+			w.stats.PWCHits++
+			continue
+		}
+		info.Latency += w.mem.WalkAccess(addr)
+		w.stats.LevelFetches++
+		if !leaf {
+			w.pwc.Insert(addr)
+		}
+	}
+	if !res.Found {
+		w.stats.Failed++
+	} else if !res.PTE.Huge {
+		if line, lineAddr, ok := w.table.Line(vpn); ok {
+			info.Line = line
+			info.HasLine = true
+			info.LineAddr = lineAddr
+		}
+	}
+	w.stats.TotalLatency += uint64(info.Latency)
+	return info
+}

@@ -1,0 +1,187 @@
+package mmu
+
+import (
+	"testing"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/pagetable"
+)
+
+type seqFrames struct{ next arch.PFN }
+
+func (s *seqFrames) AllocFrame() (arch.PFN, error) {
+	s.next++
+	return s.next, nil
+}
+func (s *seqFrames) FreeFrame(arch.PFN) {}
+
+func walkWorld(t *testing.T) (*pagetable.Table, *Walker) {
+	t.Helper()
+	tbl, err := pagetable.New(&seqFrames{next: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(tbl, cache.DefaultHierarchy(), NewWalkCache(DefaultWalkCacheEntries))
+	return tbl, w
+}
+
+func pte(pfn arch.PFN) arch.PTE {
+	return arch.PTE{PFN: pfn, Attr: arch.AttrPresent | arch.AttrUser}
+}
+
+func TestWalkCacheLRU(t *testing.T) {
+	c := NewWalkCache(2)
+	c.Insert(10)
+	c.Insert(20)
+	if !c.Lookup(10) || !c.Lookup(20) {
+		t.Fatal("inserted entries missing")
+	}
+	c.Insert(30) // evicts 10 (LRU)
+	if c.Lookup(10) {
+		t.Fatal("LRU entry survived")
+	}
+	if !c.Lookup(30) || !c.Lookup(20) {
+		t.Fatal("wrong victim")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Lookup(20) {
+		t.Fatal("Flush incomplete")
+	}
+	if c.Hits() == 0 || c.Misses() == 0 {
+		t.Fatal("counters not recorded")
+	}
+}
+
+func TestWalkCacheZeroCapacity(t *testing.T) {
+	c := NewWalkCache(0)
+	c.Insert(5)
+	if c.Lookup(5) {
+		t.Fatal("zero-capacity cache cached something")
+	}
+}
+
+func TestWalkCacheReinsertWhenFull(t *testing.T) {
+	c := NewWalkCache(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(2) // re-insert must not evict
+	if !c.Lookup(1) {
+		t.Fatal("re-insert evicted a live entry")
+	}
+}
+
+func TestWalkBasic(t *testing.T) {
+	tbl, w := walkWorld(t)
+	if err := tbl.Map(0x123456, pte(42)); err != nil {
+		t.Fatal(err)
+	}
+	info := w.Walk(0x123456)
+	if !info.Found || info.PTE.PFN != 42 {
+		t.Fatalf("walk = %+v", info)
+	}
+	if !info.HasLine {
+		t.Fatal("base-page walk returned no line")
+	}
+	if info.Latency <= 0 {
+		t.Fatal("no latency charged")
+	}
+	if w.Stats().Walks != 1 || w.Stats().LevelFetches != pagetable.Levels {
+		t.Fatalf("stats = %+v", w.Stats())
+	}
+}
+
+func TestWalkUsesPWCForUpperLevels(t *testing.T) {
+	tbl, w := walkWorld(t)
+	if err := tbl.Map(1000, pte(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(1001, pte(2)); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Walk(1000)
+	second := w.Walk(1001) // same upper levels: 3 PWC hits + leaf fetch
+	if second.Latency >= first.Latency {
+		t.Fatalf("PWC did not accelerate: %d then %d", first.Latency, second.Latency)
+	}
+	if w.Stats().PWCHits != 3 {
+		t.Fatalf("PWCHits = %d, want 3", w.Stats().PWCHits)
+	}
+}
+
+func TestWalkHugeNoLine(t *testing.T) {
+	tbl, w := walkWorld(t)
+	h := arch.PTE{PFN: 512, Attr: arch.AttrPresent, Huge: true}
+	if err := tbl.MapHuge(arch.PagesPerHuge*2, h); err != nil {
+		t.Fatal(err)
+	}
+	info := w.Walk(arch.PagesPerHuge*2 + 7)
+	if !info.Found || !info.PTE.Huge {
+		t.Fatalf("huge walk = %+v", info)
+	}
+	if info.HasLine {
+		t.Fatal("huge walk returned a coalescing line")
+	}
+}
+
+func TestWalkMiss(t *testing.T) {
+	_, w := walkWorld(t)
+	info := w.Walk(555)
+	if info.Found || info.HasLine {
+		t.Fatalf("hole walk = %+v", info)
+	}
+	if w.Stats().Failed != 1 {
+		t.Fatal("Failed not counted")
+	}
+}
+
+func TestWalkLineContents(t *testing.T) {
+	tbl, w := walkWorld(t)
+	for i := 0; i < 8; i++ {
+		if err := tbl.Map(arch.VPN(64+i), pte(arch.PFN(500+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := w.Walk(67)
+	if !info.HasLine {
+		t.Fatal("no line")
+	}
+	for i, tr := range info.Line {
+		if tr.VPN != arch.VPN(64+i) || tr.PTE.PFN != arch.PFN(500+i) {
+			t.Fatalf("line[%d] = %+v", i, tr)
+		}
+	}
+	if uint64(info.LineAddr)%arch.CacheLineSize != 0 {
+		t.Fatal("line address misaligned")
+	}
+}
+
+func TestSetTableFlushesPWC(t *testing.T) {
+	tbl, w := walkWorld(t)
+	if err := tbl.Map(77, pte(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Walk(77)
+	tbl2, err := pagetable.New(&seqFrames{next: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl2.Map(77, pte(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.SetTable(tbl2)
+	if w.Table() != tbl2 {
+		t.Fatal("table not switched")
+	}
+	info := w.Walk(77)
+	if info.PTE.PFN != 2 {
+		t.Fatalf("stale translation after context switch: %+v", info)
+	}
+	// All four levels must have been fetched fresh (PWC flushed).
+	if w.Stats().PWCHits != 0 {
+		t.Fatalf("PWCHits = %d after flush", w.Stats().PWCHits)
+	}
+}

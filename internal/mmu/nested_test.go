@@ -1,0 +1,190 @@
+package mmu
+
+import (
+	"testing"
+
+	"colt/internal/arch"
+	"colt/internal/cache"
+	"colt/internal/pagetable"
+)
+
+// nestedWorld builds a guest table over guest-physical frames and a
+// host table mapping those guest frames to host frames with the given
+// host-side contiguity offset.
+func nestedWorld(t *testing.T, pages int, hostContig bool) (*pagetable.Table, *pagetable.Table, *NestedWalker) {
+	t.Helper()
+	guest, err := pagetable.New(&seqFrames{next: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := pagetable.New(&seqFrames{next: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := arch.AttrPresent | arch.AttrWritable | arch.AttrUser
+	for i := 0; i < pages; i++ {
+		// Guest VPN i -> guest PFN 5000+i (contiguous in the guest).
+		if err := guest.Map(arch.VPN(i), arch.PTE{PFN: arch.PFN(5000 + i), Attr: attr}); err != nil {
+			t.Fatal(err)
+		}
+		// Host maps guest frame 5000+i.
+		hpfn := arch.PFN(9000 + i)
+		if !hostContig {
+			hpfn = arch.PFN(9000 + i*7) // break host-side contiguity
+		}
+		if err := host.Map(arch.VPN(5000+i), arch.PTE{PFN: hpfn, Attr: attr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The guest's own table frames must also be host-mapped: table
+	// frames start at 100 (seqFrames); map a generous window identity+x.
+	for f := arch.VPN(100); f < 200; f++ {
+		if err := host.Map(f, arch.PTE{PFN: arch.PFN(f) + 50000, Attr: attr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := NewNestedWalker(guest, host, cache.DefaultHierarchy(),
+		NewWalkCache(DefaultWalkCacheEntries), NewWalkCache(DefaultWalkCacheEntries))
+	return guest, host, w
+}
+
+func TestNestedWalkComposes(t *testing.T) {
+	_, _, w := nestedWorld(t, 16, true)
+	info := w.Walk(3)
+	if !info.Found {
+		t.Fatal("nested walk failed")
+	}
+	if info.PTE.PFN != 9003 {
+		t.Fatalf("composed PFN = %d, want 9003", info.PTE.PFN)
+	}
+	if w.Stats().HostWalks == 0 {
+		t.Fatal("no host walks charged")
+	}
+}
+
+func TestNestedWalkCostExceedsFlat(t *testing.T) {
+	guest, _, w := nestedWorld(t, 16, true)
+	flat := NewWalker(guest, cache.DefaultHierarchy(), NewWalkCache(DefaultWalkCacheEntries))
+	nested := w.Walk(5)
+	plain := flat.Walk(5)
+	if nested.Latency <= plain.Latency {
+		t.Fatalf("2D walk (%d cycles) not costlier than flat (%d)", nested.Latency, plain.Latency)
+	}
+}
+
+func TestNestedLineComposition(t *testing.T) {
+	_, _, w := nestedWorld(t, 16, true)
+	info := w.Walk(8)
+	if !info.HasLine {
+		t.Fatal("no coalescing line")
+	}
+	// Host-contiguous mapping: the composed line is coalescible.
+	for i := 1; i < len(info.Line); i++ {
+		if !info.Line[i-1].ContiguousWith(info.Line[i]) {
+			t.Fatalf("composed line not contiguous at %d: %+v %+v", i, info.Line[i-1], info.Line[i])
+		}
+	}
+	// Broken host contiguity: the composed line must not pretend to be
+	// contiguous.
+	_, _, w2 := nestedWorld(t, 16, false)
+	info2 := w2.Walk(8)
+	if !info2.HasLine {
+		t.Fatal("no line on scattered host")
+	}
+	for i := 1; i < len(info2.Line); i++ {
+		if info2.Line[i-1].ContiguousWith(info2.Line[i]) {
+			t.Fatal("scattered host mapping reported as contiguous")
+		}
+	}
+}
+
+func TestNestedWalkUnmappedGuest(t *testing.T) {
+	_, _, w := nestedWorld(t, 8, true)
+	info := w.Walk(5000)
+	if info.Found {
+		t.Fatal("hole translated")
+	}
+	if w.Stats().Failed == 0 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestNestedWalkUnmappedHost(t *testing.T) {
+	guest, _, w := nestedWorld(t, 8, true)
+	// Add a guest mapping whose guest frame the host does not map.
+	attr := arch.AttrPresent | arch.AttrUser
+	if err := guest.Map(700, arch.PTE{PFN: 777777, Attr: attr}); err != nil {
+		t.Fatal(err)
+	}
+	info := w.Walk(700)
+	if info.Found {
+		t.Fatal("guest frame without host mapping translated")
+	}
+}
+
+func TestNestedFlush(t *testing.T) {
+	_, _, w := nestedWorld(t, 8, true)
+	first := w.Walk(1)
+	second := w.Walk(2) // warm caches: cheaper
+	if second.Latency >= first.Latency {
+		t.Fatalf("walk caches ineffective: %d then %d", first.Latency, second.Latency)
+	}
+	w.Flush()
+	third := w.Walk(3)
+	if third.Latency <= second.Latency {
+		t.Fatalf("flush had no effect: %d then %d", second.Latency, third.Latency)
+	}
+}
+
+func TestNestedGuestHugeSynthesizedLine(t *testing.T) {
+	guest, err := pagetable.New(&seqFrames{next: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := pagetable.New(&seqFrames{next: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := arch.AttrPresent | arch.AttrWritable | arch.AttrUser
+	// Guest superpage at guest VPN 512, guest PFN 1024.
+	if err := guest.MapHuge(arch.PagesPerHuge, arch.PTE{PFN: 1024, Attr: attr, Huge: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Host backs guest frames 1024..1536 contiguously, and the guest
+	// table frames too.
+	for g := arch.VPN(1024); g < 1024+arch.PagesPerHuge; g++ {
+		if err := host.Map(g, arch.PTE{PFN: arch.PFN(g) + 70000, Attr: attr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := arch.VPN(100); f < 120; f++ {
+		if err := host.Map(f, arch.PTE{PFN: arch.PFN(f) + 50000, Attr: attr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := NewNestedWalker(guest, host, cache.DefaultHierarchy(), nil, nil)
+	info := w.Walk(arch.PagesPerHuge + 17)
+	if !info.Found || info.PTE.Huge {
+		t.Fatalf("composed leaf = %+v", info.PTE)
+	}
+	if info.PTE.PFN != 1024+17+70000 {
+		t.Fatalf("composed PFN = %d", info.PTE.PFN)
+	}
+	if !info.HasLine {
+		t.Fatal("guest-huge walk produced no synthesized line")
+	}
+	for i := 1; i < len(info.Line); i++ {
+		if !info.Line[i-1].ContiguousWith(info.Line[i]) {
+			t.Fatalf("synthesized line not contiguous at %d", i)
+		}
+	}
+	// A walk at the superpage's first line: entries before the huge
+	// start must be absent.
+	info2 := w.Walk(arch.PagesPerHuge)
+	if !info2.HasLine {
+		t.Fatal("no line at superpage start")
+	}
+	if !info2.Line[0].PTE.Present() {
+		t.Fatal("first in-superpage slot absent")
+	}
+}

@@ -1,0 +1,447 @@
+// Package pagetable implements an x86-64-style four-level radix page
+// table whose interior nodes are backed by simulated physical frames.
+// Because every PTE therefore has a concrete physical address, the page
+// walker can model PTE fetches through the cache hierarchy, and the
+// coalescing logic can see exactly the eight PTEs sharing the 64-byte
+// cache line brought in by a walk — the opportunity window CoLT
+// exploits (paper §4.1.4).
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// Geometry of the radix tree: 4 levels of 9 bits cover a 48-bit virtual
+// address space (36-bit VPNs).
+const (
+	Levels       = 4
+	bitsPerLevel = 9
+	fanout       = 1 << bitsPerLevel
+	indexMask    = fanout - 1
+	// LeafLevel is the level holding 4 KB PTEs; HugeLevel (the PMD)
+	// holds 2 MB mappings.
+	LeafLevel = Levels - 1
+	HugeLevel = Levels - 2
+)
+
+// FrameSource supplies physical frames for page-table nodes. The VM
+// layer adapts the buddy allocator; tests may use a simple counter.
+type FrameSource interface {
+	AllocFrame() (arch.PFN, error)
+	FreeFrame(arch.PFN)
+}
+
+// Mapping errors.
+var (
+	ErrAlreadyMapped = errors.New("pagetable: virtual page already mapped")
+	ErrNotMapped     = errors.New("pagetable: virtual page not mapped")
+	ErrHugeConflict  = errors.New("pagetable: range conflicts with an existing mapping")
+)
+
+// node is one radix-tree table, occupying one simulated frame.
+type node struct {
+	pfn      arch.PFN
+	children [fanout]*node    // interior links (levels 0..2)
+	ptes     [fanout]arch.PTE // leaf PTEs (level 3) or huge PTEs (level 2)
+	live     int              // number of present children+ptes, for pruning
+}
+
+// Table is one process's page table.
+type Table struct {
+	frames FrameSource
+	root   *node
+	// mappedBase counts 4 KB mappings; mappedHuge counts 2 MB mappings.
+	mappedBase int
+	mappedHuge int
+}
+
+// WalkResult describes one page-table walk: the physical address of the
+// table entry read at each level (top-down) and the leaf PTE found.
+type WalkResult struct {
+	Found bool
+	PTE   arch.PTE
+	// Levels holds the PTE physical addresses touched, ending at the
+	// leaf (length 4 for a base page, 3 for a huge page, shorter if the
+	// walk hit a hole).
+	Levels []arch.PAddr
+}
+
+// New creates an empty table, allocating its root frame.
+func New(fs FrameSource) (*Table, error) {
+	pfn, err := fs.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: allocating root: %w", err)
+	}
+	return &Table{frames: fs, root: &node{pfn: pfn}}, nil
+}
+
+func levelIndex(vpn arch.VPN, level int) int {
+	return int(vpn>>uint(bitsPerLevel*(LeafLevel-level))) & indexMask
+}
+
+// entryAddr is the physical address of entry idx in node n.
+func entryAddr(n *node, idx int) arch.PAddr {
+	return n.pfn.Addr() + arch.PAddr(idx*arch.PTESize)
+}
+
+// MappedBase and MappedHuge report the current mapping counts.
+func (t *Table) MappedBase() int { return t.mappedBase }
+func (t *Table) MappedHuge() int { return t.mappedHuge }
+
+// MappedPages returns total 4 KB-page-equivalents mapped.
+func (t *Table) MappedPages() int {
+	return t.mappedBase + t.mappedHuge*arch.PagesPerHuge
+}
+
+// Map installs a 4 KB translation for vpn. The PTE must be present and
+// not huge.
+func (t *Table) Map(vpn arch.VPN, pte arch.PTE) error {
+	if pte.Huge || !pte.Present() {
+		return fmt.Errorf("pagetable: Map requires a present base-page PTE, got %v", pte)
+	}
+	n := t.root
+	for level := 0; level < LeafLevel; level++ {
+		idx := levelIndex(vpn, level)
+		if level == HugeLevel && n.ptes[idx].Present() {
+			return ErrHugeConflict
+		}
+		child := n.children[idx]
+		if child == nil {
+			pfn, err := t.frames.AllocFrame()
+			if err != nil {
+				return fmt.Errorf("pagetable: allocating level-%d table: %w", level+1, err)
+			}
+			child = &node{pfn: pfn}
+			n.children[idx] = child
+			n.live++
+		}
+		n = child
+	}
+	idx := levelIndex(vpn, LeafLevel)
+	if n.ptes[idx].Present() {
+		return ErrAlreadyMapped
+	}
+	n.ptes[idx] = pte
+	n.live++
+	t.mappedBase++
+	return nil
+}
+
+// MapHuge installs a 2 MB translation: baseVPN must be 512-aligned and
+// pte.Huge set with a 512-aligned PFN.
+func (t *Table) MapHuge(baseVPN arch.VPN, pte arch.PTE) error {
+	if !pte.Huge || !pte.Present() {
+		return fmt.Errorf("pagetable: MapHuge requires a present huge PTE, got %v", pte)
+	}
+	if baseVPN%arch.PagesPerHuge != 0 || pte.PFN%arch.PagesPerHuge != 0 {
+		return fmt.Errorf("pagetable: MapHuge requires 2MB alignment (vpn=%d pfn=%d)", baseVPN, pte.PFN)
+	}
+	n := t.root
+	for level := 0; level < HugeLevel; level++ {
+		idx := levelIndex(baseVPN, level)
+		child := n.children[idx]
+		if child == nil {
+			pfn, err := t.frames.AllocFrame()
+			if err != nil {
+				return fmt.Errorf("pagetable: allocating level-%d table: %w", level+1, err)
+			}
+			child = &node{pfn: pfn}
+			n.children[idx] = child
+			n.live++
+		}
+		n = child
+	}
+	idx := levelIndex(baseVPN, HugeLevel)
+	if n.ptes[idx].Present() || n.children[idx] != nil {
+		return ErrHugeConflict
+	}
+	n.ptes[idx] = pte
+	n.live++
+	t.mappedHuge++
+	return nil
+}
+
+// Reserve allocates the interior table nodes for vpn's leaf without
+// installing a mapping, so a subsequent Map performs no table-frame
+// allocations. The page-fault handler uses this to order its
+// allocations: table pages first, then the data frame, keeping the
+// buddy allocator's sequential drain intact for consecutive faults.
+func (t *Table) Reserve(vpn arch.VPN) error {
+	n := t.root
+	for level := 0; level < LeafLevel; level++ {
+		idx := levelIndex(vpn, level)
+		if level == HugeLevel && n.ptes[idx].Present() {
+			return ErrHugeConflict
+		}
+		child := n.children[idx]
+		if child == nil {
+			pfn, err := t.frames.AllocFrame()
+			if err != nil {
+				return fmt.Errorf("pagetable: reserving level-%d table: %w", level+1, err)
+			}
+			child = &node{pfn: pfn}
+			n.children[idx] = child
+			n.live++
+		}
+		n = child
+	}
+	return nil
+}
+
+// path returns the nodes visited from root toward vpn's leaf, stopping
+// early at a hole or a huge mapping.
+func (t *Table) path(vpn arch.VPN) []*node {
+	nodes := make([]*node, 0, Levels)
+	n := t.root
+	for level := 0; level < LeafLevel; level++ {
+		nodes = append(nodes, n)
+		idx := levelIndex(vpn, level)
+		if level == HugeLevel && n.ptes[idx].Present() {
+			return nodes
+		}
+		if n.children[idx] == nil {
+			return nodes
+		}
+		n = n.children[idx]
+	}
+	return append(nodes, n)
+}
+
+// Lookup returns the leaf PTE mapping vpn: a base PTE, or the covering
+// huge PTE (with Huge set and the block's base PFN).
+func (t *Table) Lookup(vpn arch.VPN) (arch.PTE, bool) {
+	nodes := t.path(vpn)
+	last := nodes[len(nodes)-1]
+	switch len(nodes) {
+	case Levels: // reached the PT level
+		pte := last.ptes[levelIndex(vpn, LeafLevel)]
+		return pte, pte.Present()
+	case HugeLevel + 1: // stopped at the PMD
+		pte := last.ptes[levelIndex(vpn, HugeLevel)]
+		if pte.Present() && pte.Huge {
+			return pte, true
+		}
+	}
+	return arch.PTE{}, false
+}
+
+// Resolve translates vpn to its physical frame, flattening huge
+// mappings to the exact backing frame.
+func (t *Table) Resolve(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
+	pte, ok := t.Lookup(vpn)
+	if !ok {
+		return 0, 0, false
+	}
+	if pte.Huge {
+		return pte.PFN + arch.PFN(vpn%arch.PagesPerHuge), pte.Attr, true
+	}
+	return pte.PFN, pte.Attr, true
+}
+
+// Walk performs a full walk for vpn, reporting the physical address of
+// every table entry the hardware would read.
+func (t *Table) Walk(vpn arch.VPN) WalkResult {
+	var res WalkResult
+	n := t.root
+	for level := 0; level < Levels; level++ {
+		idx := levelIndex(vpn, level)
+		res.Levels = append(res.Levels, entryAddr(n, idx))
+		if level == LeafLevel {
+			pte := n.ptes[idx]
+			res.Found = pte.Present()
+			res.PTE = pte
+			return res
+		}
+		if level == HugeLevel {
+			if pte := n.ptes[idx]; pte.Present() && pte.Huge {
+				res.Found = true
+				res.PTE = pte
+				return res
+			}
+		}
+		if n.children[idx] == nil {
+			return res
+		}
+		n = n.children[idx]
+	}
+	return res
+}
+
+// Line returns the eight translations sharing the 64-byte cache line of
+// vpn's leaf PTE — exactly what a page walk's LLC fill exposes to the
+// coalescing logic — plus that line's physical address. ok is false for
+// unmapped or huge-mapped pages (huge PTEs live at the PMD and are not
+// coalescing candidates).
+func (t *Table) Line(vpn arch.VPN) (group [arch.PTEsPerLine]arch.Translation, lineAddr arch.PAddr, ok bool) {
+	nodes := t.path(vpn)
+	if len(nodes) != Levels {
+		return group, 0, false
+	}
+	leaf := nodes[Levels-1]
+	idx := levelIndex(vpn, LeafLevel)
+	if !leaf.ptes[idx].Present() {
+		return group, 0, false
+	}
+	groupStart := idx &^ (arch.PTEsPerLine - 1)
+	baseVPN := vpn - arch.VPN(idx-groupStart)
+	for i := 0; i < arch.PTEsPerLine; i++ {
+		group[i] = arch.Translation{VPN: baseVPN + arch.VPN(i), PTE: leaf.ptes[groupStart+i]}
+	}
+	lineAddr = entryAddr(leaf, groupStart)
+	return group, lineAddr, true
+}
+
+// Unmap removes the 4 KB mapping for vpn, pruning emptied tables.
+func (t *Table) Unmap(vpn arch.VPN) error {
+	nodes := t.path(vpn)
+	if len(nodes) != Levels {
+		return ErrNotMapped
+	}
+	leaf := nodes[Levels-1]
+	idx := levelIndex(vpn, LeafLevel)
+	if !leaf.ptes[idx].Present() {
+		return ErrNotMapped
+	}
+	leaf.ptes[idx] = arch.PTE{}
+	leaf.live--
+	t.mappedBase--
+	t.prune(nodes, vpn)
+	return nil
+}
+
+// UnmapHuge removes the 2 MB mapping at baseVPN.
+func (t *Table) UnmapHuge(baseVPN arch.VPN) error {
+	nodes := t.path(baseVPN)
+	last := nodes[len(nodes)-1]
+	if len(nodes) != HugeLevel+1 {
+		return ErrNotMapped
+	}
+	idx := levelIndex(baseVPN, HugeLevel)
+	if pte := last.ptes[idx]; !pte.Present() || !pte.Huge {
+		return ErrNotMapped
+	}
+	last.ptes[idx] = arch.PTE{}
+	last.live--
+	t.mappedHuge--
+	t.prune(nodes, baseVPN)
+	return nil
+}
+
+// prune frees table nodes that became empty, bottom-up (never the root).
+func (t *Table) prune(nodes []*node, vpn arch.VPN) {
+	for level := len(nodes) - 1; level > 0; level-- {
+		n := nodes[level]
+		if n.live > 0 {
+			return
+		}
+		parent := nodes[level-1]
+		idx := levelIndex(vpn, level-1)
+		parent.children[idx] = nil
+		parent.live--
+		t.frames.FreeFrame(n.pfn)
+	}
+}
+
+// Remap changes the physical frame backing an existing 4 KB mapping —
+// the page-migration primitive used by the compaction daemon. The
+// caller is responsible for the corresponding TLB shootdown.
+func (t *Table) Remap(vpn arch.VPN, newPFN arch.PFN) error {
+	nodes := t.path(vpn)
+	if len(nodes) != Levels {
+		return ErrNotMapped
+	}
+	leaf := nodes[Levels-1]
+	idx := levelIndex(vpn, LeafLevel)
+	if !leaf.ptes[idx].Present() {
+		return ErrNotMapped
+	}
+	leaf.ptes[idx].PFN = newPFN
+	return nil
+}
+
+// SplitHuge demotes the 2 MB mapping at baseVPN into 512 base-page
+// PTEs over the same frames (full residual contiguity), the operation
+// THP's pressure daemon performs.
+func (t *Table) SplitHuge(baseVPN arch.VPN) error {
+	nodes := t.path(baseVPN)
+	if len(nodes) != HugeLevel+1 {
+		return ErrNotMapped
+	}
+	pmd := nodes[HugeLevel]
+	idx := levelIndex(baseVPN, HugeLevel)
+	pte := pmd.ptes[idx]
+	if !pte.Present() || !pte.Huge {
+		return ErrNotMapped
+	}
+	pfn, err := t.frames.AllocFrame()
+	if err != nil {
+		return fmt.Errorf("pagetable: allocating PT for split: %w", err)
+	}
+	pt := &node{pfn: pfn}
+	for i := 0; i < fanout; i++ {
+		pt.ptes[i] = arch.PTE{PFN: pte.PFN + arch.PFN(i), Attr: pte.Attr}
+	}
+	pt.live = fanout
+	pmd.ptes[idx] = arch.PTE{}
+	pmd.children[idx] = pt
+	// live count unchanged: the huge PTE became a child link.
+	t.mappedHuge--
+	t.mappedBase += fanout
+	return nil
+}
+
+// Each visits every mapping in ascending VPN order: base mappings as
+// single translations and huge mappings as one Translation with
+// PTE.Huge set (VPN = block base). Return false from fn to stop early.
+func (t *Table) Each(fn func(arch.Translation) bool) {
+	t.each(t.root, 0, 0, fn)
+}
+
+func (t *Table) each(n *node, level int, prefix arch.VPN, fn func(arch.Translation) bool) bool {
+	for i := 0; i < fanout; i++ {
+		vpn := prefix | arch.VPN(i)<<uint(bitsPerLevel*(LeafLevel-level))
+		if level == LeafLevel {
+			if pte := n.ptes[i]; pte.Present() {
+				if !fn(arch.Translation{VPN: vpn, PTE: pte}) {
+					return false
+				}
+			}
+			continue
+		}
+		if level == HugeLevel {
+			if pte := n.ptes[i]; pte.Present() {
+				if !fn(arch.Translation{VPN: vpn, PTE: pte}) {
+					return false
+				}
+				continue
+			}
+		}
+		if child := n.children[i]; child != nil {
+			if !t.each(child, level+1, vpn, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Release frees every table frame (the process exited). The leaf data
+// frames are the VM layer's responsibility.
+func (t *Table) Release() {
+	t.release(t.root, 0)
+	t.root = nil
+}
+
+func (t *Table) release(n *node, level int) {
+	if level < LeafLevel {
+		for _, c := range n.children {
+			if c != nil {
+				t.release(c, level+1)
+			}
+		}
+	}
+	t.frames.FreeFrame(n.pfn)
+}

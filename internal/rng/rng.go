@@ -1,0 +1,84 @@
+// Package rng provides a small, fast, deterministic random-number
+// generator (splitmix64) used by the workload models and the OS
+// simulator. Determinism matters here: the paper's methodology is
+// reproduced by running the identical allocation and access history
+// against each TLB configuration, which requires bit-identical
+// randomness across runs.
+package rng
+
+import "math"
+
+// RNG is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform int in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of the parent's current state, for giving subcomponents
+// their own streams.
+func (r *RNG) Fork() *RNG { return New(r.Uint64()) }
+
+// Zipf returns a value in [0, n) following an approximate Zipf
+// distribution with exponent s > 0: low indices are much more likely.
+// It uses the inverse-CDF power-law approximation, which is accurate
+// enough for workload skew modeling.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	if s == 1 {
+		s = 1.0000001 // the inverse CDF below is singular at s=1
+	}
+	u := r.Float64()
+	// Inverse CDF of p(x) ~ x^{-s} over [1, n+1).
+	x := math.Pow(float64(n)+1, 1-s)
+	v := math.Pow(u*(x-1)+1, 1/(1-s))
+	idx := int(v) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

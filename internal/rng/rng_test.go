@@ -1,0 +1,112 @@
+package rng
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+	}
+	if r.IntRange(3, 3) != 3 {
+		t.Fatal("degenerate range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range did not panic")
+		}
+	}()
+	r.IntRange(5, 4)
+}
+
+func TestFloat64AndBool(t *testing.T) {
+	r := New(11)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2500 || trues > 3500 {
+		t.Fatalf("Bool(0.3) fired %d/10000 times", trues)
+	}
+}
+
+func TestFork(t *testing.T) {
+	r := New(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams identical")
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	r := New(13)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := r.Zipf(100, 1.0)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// s=0 degenerates to uniform.
+	u := r.Zipf(10, 0)
+	if u < 0 || u >= 10 {
+		t.Fatal("uniform fallback out of range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf(0) did not panic")
+		}
+	}()
+	r.Zipf(0, 1)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	_ = r.Uint64()
+}

@@ -1,0 +1,122 @@
+// Package trace records and replays memory-reference streams: the
+// simulator's equivalent of the paper's Simics-derived traces (§5.2.1).
+// A record carries the virtual address, the read/write flag, and the
+// number of instructions executed since the previous reference, which
+// the performance model uses to reconstruct instruction counts.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"colt/internal/arch"
+)
+
+// Record is one memory reference.
+type Record struct {
+	VAddr arch.VAddr
+	Write bool
+	// InstGap counts instructions executed up to and including this
+	// reference since the previous record (always >= 1).
+	InstGap uint32
+}
+
+// Trace is an in-memory reference stream.
+type Trace struct {
+	recs []Record
+}
+
+// Append adds a record.
+func (t *Trace) Append(r Record) { t.recs = append(t.recs, r) }
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.recs) }
+
+// At returns record i.
+func (t *Trace) At(i int) Record { return t.recs[i] }
+
+// Records returns the underlying slice (not a copy).
+func (t *Trace) Records() []Record { return t.recs }
+
+// Instructions returns the total instruction count the trace spans.
+func (t *Trace) Instructions() uint64 {
+	var total uint64
+	for i := range t.recs {
+		total += uint64(t.recs[i].InstGap)
+	}
+	return total
+}
+
+// Binary format: 8-byte magic, then per record a 64-bit word packing
+// the 52-bit VPN+offset address, write bit, and a 32-bit gap.
+var magic = [8]byte{'C', 'O', 'L', 'T', 'T', 'R', 'C', '1'}
+
+const writeBit = uint64(1) << 63
+
+// ErrBadMagic reports a stream that is not a CoLT trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a CoLT trace)")
+
+// Write encodes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [12]byte
+	for _, r := range t.recs {
+		word := uint64(r.VAddr)
+		if word&writeBit != 0 {
+			return fmt.Errorf("trace: address %#x overflows encoding", uint64(r.VAddr))
+		}
+		if r.Write {
+			word |= writeBit
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], word)
+		binary.LittleEndian.PutUint32(buf[8:12], r.InstGap)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	t := &Trace{}
+	var buf [12]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		word := binary.LittleEndian.Uint64(buf[0:8])
+		t.Append(Record{
+			VAddr:   arch.VAddr(word &^ writeBit),
+			Write:   word&writeBit != 0,
+			InstGap: binary.LittleEndian.Uint32(buf[8:12]),
+		})
+	}
+}
+
+// Replay feeds every record to fn, stopping early if fn returns false.
+func (t *Trace) Replay(fn func(Record) bool) {
+	for _, r := range t.recs {
+		if !fn(r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"colt/internal/arch"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := &Trace{}
+	in.Append(Record{VAddr: 0x1000, Write: false, InstGap: 1})
+	in.Append(Record{VAddr: 0xdeadbeef000, Write: true, InstGap: 250})
+	in.Append(Record{VAddr: 0, Write: false, InstGap: 4_000_000_000})
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatalf("Len = %d, want %d", out.Len(), in.Len())
+	}
+	for i := 0; i < in.Len(); i++ {
+		if out.At(i) != in.At(i) {
+			t.Fatalf("record %d: %+v != %+v", i, out.At(i), in.At(i))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint16) bool {
+		in := &Trace{}
+		for i, a := range addrs {
+			gap := uint32(1)
+			if i < len(gaps) {
+				gap = uint32(gaps[i]) + 1
+			}
+			in.Append(Record{VAddr: arch.VAddr(a) << 12, Write: a%3 == 0, InstGap: gap})
+		}
+		var buf bytes.Buffer
+		if err := in.Write(&buf); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil || out.Len() != in.Len() {
+			return false
+		}
+		for i := range in.Records() {
+			if out.At(i) != in.At(i) {
+				return false
+			}
+		}
+		return out.Instructions() == in.Instructions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	tr := &Trace{}
+	if tr.Instructions() != 0 {
+		t.Fatal("empty trace instructions != 0")
+	}
+	tr.Append(Record{InstGap: 10})
+	tr.Append(Record{InstGap: 5})
+	if tr.Instructions() != 15 {
+		t.Fatalf("Instructions = %d", tr.Instructions())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE!!!"))); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{}
+	tr.Append(Record{VAddr: 0x1000, InstGap: 1})
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestAddressOverflowRejected(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Record{VAddr: arch.VAddr(writeBit), InstGap: 1})
+	if err := tr.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("overflowing address accepted")
+	}
+}
+
+func TestReplayEarlyStop(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Append(Record{VAddr: arch.VAddr(i), InstGap: 1})
+	}
+	n := 0
+	tr.Replay(func(Record) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("replayed %d records", n)
+	}
+}

@@ -1,0 +1,328 @@
+package vm
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+	"colt/internal/rng"
+)
+
+// Memhog is the memory-fragmentation utility of paper §5.1.1: a process
+// that pins down a percentage of physical memory in randomly-sized
+// chunks and then pokes holes in them, fragmenting the machine and
+// raising allocation pressure. Under OOM pressure it gives memory back
+// (its reclaimer models the kernel swapping memhog's cold pages out).
+type Memhog struct {
+	proc    *Process
+	r       *rng.RNG
+	regions []*Region
+	target  int
+	held    int
+	// chunks is a shuffled list of small page ranges used by reclaim:
+	// swap-out evicts scattered cold pages, not one giant span, so the
+	// memory given back under pressure is fragmented.
+	chunks []memhogChunk
+}
+
+type memhogChunk struct {
+	reg *Region
+	off int
+}
+
+// reclaimChunkPages is the granularity of swap-out.
+const reclaimChunkPages = 2
+
+// Process returns memhog's process.
+func (m *Memhog) Process() *Process { return m.proc }
+
+// StartMemhog launches memhog holding approximately pct percent of
+// physical memory. A pct of zero returns nil (no memhog).
+func StartMemhog(sys *System, pct int, r *rng.RNG) (*Memhog, error) {
+	if pct <= 0 {
+		return nil, nil
+	}
+	if pct >= 95 {
+		return nil, fmt.Errorf("vm: memhog pct %d leaves no memory", pct)
+	}
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	m := &Memhog{proc: proc, r: r}
+	m.target = sys.Phys.NumFrames() * pct / 100
+	for m.held < m.target {
+		chunk := r.IntRange(16, 1024)
+		if chunk > m.target-m.held {
+			chunk = m.target - m.held
+		}
+		reg, err := proc.Malloc(chunk)
+		if err != nil {
+			// Memory exhausted before reaching the target: hold what
+			// we have.
+			break
+		}
+		m.regions = append(m.regions, reg)
+		m.held += chunk
+	}
+	m.fragment()
+	m.buildReclaimChunks()
+	sys.AddReclaimer(m.reclaim)
+	// Memhog is a running loop, not a one-shot allocation: whenever the
+	// OOM reclaimer swaps its pages out, it faults them back in,
+	// competing with the benchmark for memory (the thrash the paper
+	// notes "causes page fault rates to greatly increase").
+	sys.AddBackgroundWork(m.grow)
+	return m, nil
+}
+
+// growBurst bounds how many pages memhog re-faults per scheduling slot.
+const growBurst = 256
+
+// grindThreshold: when free memory falls below this fraction of the
+// machine, memhog's touch loop starts forcing swap traffic.
+const grindThreshold = 0.15
+
+// grow re-faults swapped-out memhog memory back up toward the target,
+// and once at target keeps churning under system-wide memory pressure:
+// memhog is a running loop touching all its pages, so on a nearly-full
+// machine it continuously steals contiguous free memory and gives back
+// scattered swap-freed pages, shattering the free pool (the paper's
+// memhog(50) regime where "page fault rates greatly increase").
+func (m *Memhog) grow() {
+	if m.held >= m.target {
+		m.grind()
+		return
+	}
+	n := m.target - m.held
+	if n > growBurst {
+		n = growBurst
+	}
+	reg, err := m.proc.Malloc(n)
+	if err != nil {
+		return
+	}
+	m.regions = append(m.regions, reg)
+	m.held += n
+	m.appendChunks(reg)
+}
+
+// grind performs one steady-state thrash step when memory is tight.
+func (m *Memhog) grind() {
+	sys := m.proc.sys
+	total := float64(sys.Phys.NumFrames())
+	if float64(sys.Buddy.FreePages()) >= grindThreshold*total {
+		return
+	}
+	// Touch (re-fault) another burst of pages. With free memory
+	// exhausted this drives the system's round-robin OOM reclaim,
+	// evicting scattered pages from every swap-enabled process — the
+	// ping-pong that shreds residency under thrash. Any surplus over
+	// the target is then released as scattered pages.
+	reg, err := m.proc.Malloc(growBurst)
+	if err != nil {
+		return
+	}
+	m.regions = append(m.regions, reg)
+	m.held += growBurst
+	m.appendChunks(reg)
+	if surplus := m.held - m.target; surplus > 0 {
+		m.reclaim(surplus)
+	}
+}
+
+// buildReclaimChunks precomputes the shuffled swap-out order.
+func (m *Memhog) buildReclaimChunks() {
+	for _, reg := range m.regions {
+		for off := 0; off < reg.Pages; off += reclaimChunkPages {
+			m.chunks = append(m.chunks, memhogChunk{reg: reg, off: off})
+		}
+	}
+	m.shuffleChunks(0)
+}
+
+// appendChunks adds a newly grown region's pages to the swap-out order.
+func (m *Memhog) appendChunks(reg *Region) {
+	start := len(m.chunks)
+	for off := 0; off < reg.Pages; off += reclaimChunkPages {
+		m.chunks = append(m.chunks, memhogChunk{reg: reg, off: off})
+	}
+	m.shuffleChunks(start)
+}
+
+func (m *Memhog) shuffleChunks(from int) {
+	for i := len(m.chunks) - 1; i > 0 && i >= from; i-- {
+		j := m.r.Intn(i + 1)
+		m.chunks[i], m.chunks[j] = m.chunks[j], m.chunks[i]
+	}
+}
+
+// fragment frees scattered small ranges (~25% of holdings) so that the
+// remaining allocations checkerboard physical memory.
+func (m *Memhog) fragment() {
+	for _, reg := range m.regions {
+		holes := reg.Pages / 32
+		for h := 0; h < holes; h++ {
+			off := m.r.Intn(reg.Pages)
+			n := 1
+			if off+n > reg.Pages {
+				n = reg.Pages - off
+			}
+			// Best-effort: already-freed pages inside the range are
+			// skipped by FreePages via the Mapped check.
+			before := reg.MappedPages()
+			if err := m.proc.FreePages(reg, off, n); err != nil {
+				panic(err)
+			}
+			m.held -= before - reg.MappedPages()
+		}
+	}
+}
+
+// HeldPages returns how many pages memhog currently pins.
+func (m *Memhog) HeldPages() int {
+	total := 0
+	for _, reg := range m.regions {
+		total += reg.MappedPages()
+	}
+	return total
+}
+
+// reclaim releases roughly n pages back to the system (OOM behaviour):
+// scattered small chunks, mimicking LRU swap-out of cold pages.
+func (m *Memhog) reclaim(n int) int {
+	freed := 0
+	for freed < n && len(m.chunks) > 0 {
+		c := m.chunks[len(m.chunks)-1]
+		m.chunks = m.chunks[:len(m.chunks)-1]
+		span := reclaimChunkPages
+		if c.off+span > c.reg.Pages {
+			span = c.reg.Pages - c.off
+		}
+		mapped := 0
+		for i := 0; i < span; i++ {
+			if c.reg.Mapped(c.reg.Base + arch.VPN(c.off+i)) {
+				mapped++
+			}
+		}
+		if mapped == 0 {
+			continue
+		}
+		if err := m.proc.FreePages(c.reg, c.off, span); err != nil {
+			// A hugepage-backed chunk whose split cannot get a table
+			// frame under OOM: try another chunk.
+			continue
+		}
+		freed += mapped
+		m.held -= mapped
+	}
+	return freed
+}
+
+// Churn parameters modeling a long-lived desktop: the machine fills to
+// fillUtilization, churns for a while, then applications exit until the
+// churn load retains roughly residualTarget of memory. Scattered
+// kernel-like pinned pages (one per pinnedSpacing frames on average,
+// never freed) are what bound the compaction daemon's ability to
+// manufacture contiguity: after compaction, free memory consists of
+// spans between pinned pages — typically tens to a few hundred pages,
+// the paper's "intermediate contiguity" regime, with 512-page aligned
+// spans (superpage material) rare.
+const (
+	churnFillUtilization = 0.94
+	churnResidualTarget  = 0.26
+	pinnedSpacing        = 110
+)
+
+// BackgroundChurn simulates the long-lived desktop load of the paper's
+// testbed ("a machine that has already run a number of applications...
+// for two months"): memory fills with small allocations, churns through
+// ops alloc/free cycles, and then drains back down, leaving scattered
+// live regions, pinned kernel-like pages, and a fragmented free pool.
+// Returns the churn process (still holding its surviving regions).
+func BackgroundChurn(sys *System, ops int, r *rng.RNG) (*Process, error) {
+	proc, err := sys.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	var live []*Region
+	total := float64(sys.Phys.NumFrames())
+	utilization := func() float64 {
+		return 1 - float64(sys.Buddy.FreePages())/total
+	}
+	pinnedBudget := sys.Phys.NumFrames() / pinnedSpacing
+	alloc := func() error {
+		// Kernel-like allocations: tiny, pinned, never freed. Spread
+		// them across the churn so they scatter through physical
+		// memory.
+		if pinnedBudget > 0 && r.Bool(0.15) {
+			n := r.IntRange(1, 2)
+			if _, err := proc.MallocPinned(n); err != nil {
+				return err
+			}
+			pinnedBudget -= n
+			return nil
+		}
+		pages := r.IntRange(4, 96)
+		if r.Bool(0.08) {
+			pages = r.IntRange(96, 512)
+		}
+		var reg *Region
+		var err error
+		if r.Bool(0.25) {
+			reg, err = proc.MapFile(pages)
+		} else {
+			reg, err = proc.Malloc(pages)
+		}
+		if err != nil {
+			return err
+		}
+		live = append(live, reg)
+		return nil
+	}
+	freeOne := func() error {
+		idx := r.Intn(len(live))
+		reg := live[idx]
+		if r.Bool(0.10) && reg.Pages > 2 {
+			// Partial free: poke a small hole instead of releasing the
+			// region.
+			off := r.Intn(reg.Pages - 1)
+			n := r.IntRange(1, 2)
+			if off+n > reg.Pages {
+				n = reg.Pages - off
+			}
+			return proc.FreePages(reg, off, n)
+		}
+		if err := proc.Free(reg); err != nil {
+			return err
+		}
+		live[idx] = live[len(live)-1]
+		live = live[:len(live)-1]
+		return nil
+	}
+
+	// Phase 1: fill the machine.
+	for utilization() < churnFillUtilization {
+		if err := alloc(); err != nil {
+			break // smaller machine than the target: proceed with what fits
+		}
+	}
+	// Phase 2: steady-state churn around the fill level.
+	for i := 0; i < ops; i++ {
+		if len(live) > 0 && (utilization() > churnFillUtilization || r.Bool(0.5)) {
+			if err := freeOne(); err != nil {
+				return nil, err
+			}
+		} else if err := alloc(); err != nil && len(live) > 0 {
+			if err := freeOne(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Phase 3: applications exit; drain to the residual load.
+	for len(live) > 0 && utilization() > churnResidualTarget {
+		if err := freeOne(); err != nil {
+			return nil, err
+		}
+	}
+	return proc, nil
+}

@@ -1,0 +1,377 @@
+package vm
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+	"colt/internal/mm"
+	"colt/internal/pagetable"
+)
+
+// heapBase is the first heap VPN (0x10000000000 >> 12), leaving low
+// virtual memory unused as a real process layout would.
+const heapBase arch.VPN = 0x10000000
+
+// faultTickPeriod: how many demand faults between yields to background
+// system activity during a large region population.
+const faultTickPeriod = 384
+
+// Attribute sets for the two mapping kinds. They differ deliberately:
+// CoLT only coalesces translations with identical attributes, so
+// file-backed pages never coalesce with anonymous heap pages —
+// mirroring the paper's observation that file-backed pages are also not
+// THP candidates (§6.1).
+const (
+	AnonAttr = arch.AttrPresent | arch.AttrWritable | arch.AttrUser | arch.AttrAccessed
+	FileAttr = arch.AttrPresent | arch.AttrUser | arch.AttrAccessed | arch.AttrFileBacked
+)
+
+// Region is one mmap/malloc area of a process's address space.
+type Region struct {
+	ID         int
+	Base       arch.VPN
+	Pages      int
+	FileBacked bool
+	// Pinned regions' frames are unmovable (kernel allocations, page
+	// cache, slab): the obstacles that prevent the compaction daemon
+	// from manufacturing arbitrarily large free blocks (§3.2.2).
+	Pinned bool
+
+	proc *Process
+	// huge tracks the base VPNs currently mapped by a 2 MB PTE.
+	huge map[arch.VPN]bool
+	// freed marks pages released early by FreePages.
+	freed map[arch.VPN]bool
+	// swapped marks pages evicted by the swapper; they re-fault on the
+	// next touch (EnsureResident).
+	swapped map[arch.VPN]bool
+	mapped  int
+}
+
+// End returns one past the region's last VPN.
+func (r *Region) End() arch.VPN { return r.Base + arch.VPN(r.Pages) }
+
+// MappedPages returns how many of the region's pages are still mapped.
+func (r *Region) MappedPages() int { return r.mapped }
+
+// HugeBlocks returns how many 2 MB mappings currently back the region.
+func (r *Region) HugeBlocks() int { return len(r.huge) }
+
+// Contains reports whether vpn lies inside the region.
+func (r *Region) Contains(vpn arch.VPN) bool { return vpn >= r.Base && vpn < r.End() }
+
+// Mapped reports whether the region page at vpn is currently mapped
+// (not freed and not swapped out).
+func (r *Region) Mapped(vpn arch.VPN) bool {
+	return r.Contains(vpn) && !r.freed[vpn] && !r.swapped[vpn]
+}
+
+// Swapped reports whether the region page at vpn is swapped out.
+func (r *Region) Swapped(vpn arch.VPN) bool { return r.Contains(vpn) && r.swapped[vpn] }
+
+// Process is one simulated process: a page table plus its regions.
+type Process struct {
+	PID   int
+	sys   *System
+	Table *pagetable.Table
+
+	regions      map[int]*Region
+	regionOrder  []int
+	nextRegionID int
+	nextVPN      arch.VPN
+	exited       bool
+
+	swapEnabled  bool
+	swapChunks   []swapChunk
+	swapRebuilds uint64
+}
+
+// Regions returns the live regions in creation order.
+func (p *Process) Regions() []*Region {
+	out := make([]*Region, 0, len(p.regionOrder))
+	for _, id := range p.regionOrder {
+		if r, ok := p.regions[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Malloc allocates an anonymous region of the given page count and
+// faults every page in immediately. The application-visible request is
+// for pages-many pages at once (paper §3.2.1's malloc of an N-page data
+// structure); physically each page is an order-0 fault, and contiguity
+// arises because consecutive faults drain consecutive frames from the
+// buddy allocator's split blocks.
+func (p *Process) Malloc(pages int) (*Region, error) {
+	return p.mmap(pages, false, false)
+}
+
+// MallocBytes allocates an anonymous region of at least the given size.
+func (p *Process) MallocBytes(bytes uint64) (*Region, error) {
+	pages := int((bytes + arch.PageSize - 1) / arch.PageSize)
+	return p.Malloc(pages)
+}
+
+// MapFile allocates a file-backed region (never THP-backed, read-only
+// attributes).
+func (p *Process) MapFile(pages int) (*Region, error) {
+	return p.mmap(pages, true, false)
+}
+
+// MallocPinned allocates an anonymous region whose frames are pinned
+// (unmovable by compaction), modeling kernel-side allocations.
+func (p *Process) MallocPinned(pages int) (*Region, error) {
+	return p.mmap(pages, false, true)
+}
+
+func (p *Process) mmap(pages int, fileBacked, pinned bool) (*Region, error) {
+	if p.exited {
+		return nil, fmt.Errorf("vm: pid %d has exited", p.PID)
+	}
+	if pages <= 0 {
+		return nil, fmt.Errorf("vm: region must have pages, got %d", pages)
+	}
+	base := p.nextVPN
+	// Large anonymous regions are 2 MB-aligned in virtual memory so THP
+	// has alignment opportunities (glibc behaves this way for big
+	// arenas).
+	if p.thpEligible(fileBacked, pinned) && pages >= arch.PagesPerHuge {
+		base = alignUp(base, arch.PagesPerHuge)
+	}
+	r := &Region{
+		ID:         p.nextRegionID,
+		Base:       base,
+		Pages:      pages,
+		FileBacked: fileBacked,
+		Pinned:     pinned,
+		proc:       p,
+		huge:       make(map[arch.VPN]bool),
+		freed:      make(map[arch.VPN]bool),
+		swapped:    make(map[arch.VPN]bool),
+	}
+	// Register before populating: concurrent daemon activity during the
+	// fault stream (THP pressure splits, swap-out) must see the region.
+	p.nextVPN = base + arch.VPN(pages)
+	p.regions[r.ID] = r
+	p.regionOrder = append(p.regionOrder, r.ID)
+	p.nextRegionID++
+	if err := p.populate(r); err != nil {
+		p.teardown(r)
+		delete(p.regions, r.ID)
+		p.regionOrder = p.regionOrder[:len(p.regionOrder)-1]
+		return nil, err
+	}
+	p.sys.tick()
+	return r, nil
+}
+
+func (p *Process) thpEligible(fileBacked, pinned bool) bool {
+	return p.sys.THP.Enabled() && !fileBacked && !pinned
+}
+
+// populate faults in every page of the region: a 2 MB-aligned fault in
+// a large-enough anonymous region first tries THP (which may invoke
+// direct compaction); everything else is an order-0 demand fault.
+func (p *Process) populate(r *Region) error {
+	attr := AnonAttr
+	if r.FileBacked {
+		attr = FileAttr
+	}
+	thp := p.thpEligible(r.FileBacked, r.Pinned)
+	vpn := r.Base
+	remaining := r.Pages
+	faults := 0
+	for remaining > 0 {
+		// Large populations yield to concurrent system activity
+		// periodically, the way a real fault stream interleaves with
+		// other processes and daemons.
+		faults++
+		if faults%faultTickPeriod == 0 {
+			p.sys.tick()
+		}
+		if thp && vpn%arch.PagesPerHuge == 0 && remaining >= arch.PagesPerHuge {
+			if pfn, ok := p.sys.THP.TryAllocHuge(p.PID, vpn); ok {
+				err := p.Table.MapHuge(vpn, arch.PTE{PFN: pfn, Attr: attr, Huge: true})
+				if err != nil {
+					return err
+				}
+				r.huge[vpn] = true
+				r.mapped += arch.PagesPerHuge
+				vpn += arch.PagesPerHuge
+				remaining -= arch.PagesPerHuge
+				continue
+			}
+		}
+		// Table pages first, then the data frame, so consecutive
+		// faults keep draining consecutive frames.
+		if err := p.Table.Reserve(vpn); err != nil {
+			return err
+		}
+		pfn, err := p.sys.allocPage()
+		if err != nil {
+			return err
+		}
+		if err := p.Table.Map(vpn, arch.PTE{PFN: pfn, Attr: attr}); err != nil {
+			return err
+		}
+		p.sys.Phys.SetOwner(pfn, mm.PageOwner{PID: p.PID, VPN: vpn}, !r.Pinned)
+		r.mapped++
+		vpn++
+		remaining--
+	}
+	return nil
+}
+
+// teardown releases whatever populate managed to map before failing.
+func (p *Process) teardown(r *Region) {
+	for vpn := r.Base; vpn < r.End(); vpn++ {
+		if r.huge[vpn] {
+			p.freeHugeBlock(r, vpn)
+		}
+		if pte, ok := p.Table.Lookup(vpn); ok && !pte.Huge {
+			p.unmapBase(vpn, pte.PFN)
+		}
+	}
+}
+
+// Free releases the whole region.
+func (p *Process) Free(r *Region) error {
+	if p.regions[r.ID] != r {
+		return fmt.Errorf("vm: region %d not owned by pid %d", r.ID, p.PID)
+	}
+	for vpn := r.Base; vpn < r.End(); vpn++ {
+		if r.huge[vpn] {
+			p.freeHugeBlock(r, vpn)
+			vpn += arch.PagesPerHuge - 1
+			continue
+		}
+		if r.Mapped(vpn) {
+			pte, ok := p.Table.Lookup(vpn)
+			if !ok {
+				panic(fmt.Sprintf("vm: region page %d not in table", vpn))
+			}
+			p.unmapBase(vpn, pte.PFN)
+		}
+	}
+	delete(p.regions, r.ID)
+	p.sys.tick()
+	return nil
+}
+
+// FreePages releases n pages starting at page offset off within the
+// region — the partial frees that fragment physical memory. Hugepage
+// mappings overlapping the range are split first (keeping the remainder
+// of their contiguity, as THP splitting does).
+func (p *Process) FreePages(r *Region, off, n int) error {
+	if p.regions[r.ID] != r {
+		return fmt.Errorf("vm: region %d not owned by pid %d", r.ID, p.PID)
+	}
+	if off < 0 || n <= 0 || off+n > r.Pages {
+		return fmt.Errorf("vm: FreePages(%d, %d) out of region of %d pages", off, n, r.Pages)
+	}
+	start := r.Base + arch.VPN(off)
+	end := start + arch.VPN(n)
+	// Split any hugepage overlapping the range.
+	for hb := start &^ (arch.PagesPerHuge - 1); hb < end; hb += arch.PagesPerHuge {
+		if r.huge[hb] {
+			if err := p.splitHugeAt(hb); err != nil {
+				return fmt.Errorf("vm: FreePages needs a hugepage split: %w", err)
+			}
+		}
+	}
+	for vpn := start; vpn < end; vpn++ {
+		if r.swapped[vpn] {
+			// Swapped pages have no frame; freeing them just discards
+			// the swap slot.
+			delete(r.swapped, vpn)
+			r.freed[vpn] = true
+			continue
+		}
+		if !r.Mapped(vpn) {
+			continue
+		}
+		pte, ok := p.Table.Lookup(vpn)
+		if !ok || pte.Huge {
+			panic(fmt.Sprintf("vm: inconsistent mapping at %d", vpn))
+		}
+		p.unmapBase(vpn, pte.PFN)
+		r.freed[vpn] = true
+		r.mapped--
+	}
+	p.sys.tick()
+	return nil
+}
+
+// unmapBase removes one base mapping, frees its frame, and raises a
+// shootdown.
+func (p *Process) unmapBase(vpn arch.VPN, pfn arch.PFN) {
+	if err := p.Table.Unmap(vpn); err != nil {
+		panic(fmt.Sprintf("vm: unmap %d: %v", vpn, err))
+	}
+	p.sys.Buddy.FreeRange(pfn, 1)
+	p.sys.shootdown(p.PID, vpn)
+}
+
+// freeHugeBlock unmaps and frees one live 2 MB mapping of the region.
+func (p *Process) freeHugeBlock(r *Region, baseVPN arch.VPN) {
+	pte, ok := p.Table.Lookup(baseVPN)
+	if !ok || !pte.Huge {
+		panic(fmt.Sprintf("vm: huge block at %d not mapped huge", baseVPN))
+	}
+	if err := p.Table.UnmapHuge(baseVPN); err != nil {
+		panic(err)
+	}
+	p.sys.THP.Release(p.PID, baseVPN)
+	p.sys.Buddy.FreeRange(pte.PFN, arch.PagesPerHuge)
+	delete(r.huge, baseVPN)
+	r.mapped -= arch.PagesPerHuge
+	p.sys.shootdown(p.PID, baseVPN)
+}
+
+// splitHugeAt demotes the process's 2 MB mapping at baseVPN into 512
+// base PTEs over the same frames. Called by THP's pressure daemon and
+// by partial frees. Splitting needs one table frame, so it can fail
+// under OOM; the mapping is left intact in that case.
+func (p *Process) splitHugeAt(baseVPN arch.VPN) error {
+	if err := p.Table.SplitHuge(baseVPN); err != nil {
+		return err
+	}
+	p.sys.THP.Release(p.PID, baseVPN)
+	// Frames become movable base pages again.
+	pte, _ := p.Table.Lookup(baseVPN)
+	for i := 0; i < arch.PagesPerHuge; i++ {
+		p.sys.Phys.SetOwner(pte.PFN+arch.PFN(i), mm.PageOwner{PID: p.PID, VPN: baseVPN + arch.VPN(i)}, true)
+	}
+	for _, r := range p.regions {
+		if r.huge[baseVPN] {
+			delete(r.huge, baseVPN)
+		}
+	}
+	p.sys.shootdown(p.PID, baseVPN)
+	return nil
+}
+
+// Exit frees every region and the page table.
+func (p *Process) Exit() {
+	if p.exited {
+		return
+	}
+	for _, r := range p.Regions() {
+		if err := p.Free(r); err != nil {
+			panic(err)
+		}
+	}
+	p.Table.Release()
+	p.exited = true
+	delete(p.sys.procs, p.PID)
+}
+
+// Resolve translates a VPN through the process page table.
+func (p *Process) Resolve(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
+	return p.Table.Resolve(vpn)
+}
+
+func alignUp(v arch.VPN, align arch.VPN) arch.VPN {
+	return (v + align - 1) &^ (align - 1)
+}

@@ -1,0 +1,144 @@
+package workload
+
+import "fmt"
+
+// The benchmark models below correspond to Table 1 of the paper. Two
+// groups of parameters matter. The memory side (HotPages, ColdPages,
+// AllocChunk, FileFrac, FreeHoles) shapes page-allocation contiguity:
+// bulk chunk size models up-front hash-table mallocs (Mcf) vs
+// incremental allocators (Povray), and FreeHoles models heap churn that
+// splits transparent hugepages, leaving the residual base-page runs the
+// paper attributes to THS. The access side models where TLB misses come
+// from: a mostly-TLB-resident hot core (zipf-skewed) plus miss-
+// generating excursions — sequential scans (SeqScan) or random jumps —
+// whose spatial burstiness (BurstMean) determines how much of each
+// contiguity run is used in temporal proximity, the property CoLT needs
+// (Tigr has high contiguity but single-page random access, hence the
+// paper's lowest CoLT gains).
+var specs = []Spec{
+	{
+		Name: "Mcf", Suite: "Spec",
+		HotPages: 500, ColdPages: 40000, AllocChunk: 4096,
+		FreeHoles: 0.008, HotHoles: 0.03,
+		ColdFrac: 0.50, ZipfS: 1.00, BurstMean: 3,
+		InstPerRef: 6, WriteFrac: 0.30,
+	},
+	{
+		Name: "Tigr", Suite: "BioB.",
+		HotPages: 4000, ColdPages: 24000, AllocChunk: 2048,
+		FreeHoles: 0.005,
+		ColdFrac:  0.00, ZipfS: 0.60, BurstMean: 1,
+		InstPerRef: 15, WriteFrac: 0.10,
+	},
+	{
+		Name: "Mummer", Suite: "BioB.",
+		HotPages: 1200, ColdPages: 22000, AllocChunk: 1024,
+		FreeHoles: 0.02, HotHoles: 0.05,
+		ColdFrac: 0.30, ZipfS: 1.00, BurstMean: 2, SeqScan: true,
+		InstPerRef: 12, WriteFrac: 0.15,
+	},
+	{
+		Name: "CactusADM", Suite: "Spec",
+		HotPages: 1000, ColdPages: 30000, AllocChunk: 4096,
+		FreeHoles: 0.002, HotHoles: 0.06,
+		ColdFrac: 0.22, ZipfS: 1.00, BurstMean: 5, SeqScan: true,
+		InstPerRef: 15, WriteFrac: 0.40,
+	},
+	{
+		Name: "Astar", Suite: "Spec",
+		HotPages: 500, ColdPages: 12000, AllocChunk: 512,
+		FreeHoles: 0.03,
+		ColdFrac:  0.08, ZipfS: 1.00, BurstMean: 3,
+		InstPerRef: 12, WriteFrac: 0.25,
+	},
+	{
+		Name: "Omnetpp", Suite: "Spec",
+		HotPages: 1400, ColdPages: 18000, AllocChunk: 512,
+		FreeHoles: 0.004, HotHoles: 0.04,
+		ColdFrac: 0.12, ZipfS: 1.00, BurstMean: 2,
+		InstPerRef: 15, WriteFrac: 0.30,
+	},
+	{
+		Name: "Xalancbmk", Suite: "Spec",
+		HotPages: 1200, ColdPages: 9000, AllocChunk: 256,
+		FreeHoles: 0.04, HotHoles: 0.06,
+		ColdFrac: 0.18, ZipfS: 0.95, BurstMean: 2, SeqScan: true,
+		InstPerRef: 6, WriteFrac: 0.20,
+	},
+	{
+		Name: "Povray", Suite: "Spec",
+		HotPages: 900, ColdPages: 2500, AllocChunk: 16,
+		FreeHoles: 0.1, HotHoles: 0.12,
+		ColdFrac: 0.01, ZipfS: 0.90, BurstMean: 2,
+		InstPerRef: 9, WriteFrac: 0.15,
+	},
+	{
+		Name: "GemsFDTD", Suite: "Spec",
+		HotPages: 1000, ColdPages: 25000, AllocChunk: 2048,
+		FreeHoles: 0.005, HotHoles: 0.08,
+		ColdFrac: 0.08, ZipfS: 1.00, BurstMean: 5, SeqScan: true,
+		InstPerRef: 18, WriteFrac: 0.35,
+	},
+	{
+		Name: "Gobmk", Suite: "Spec",
+		HotPages: 800, ColdPages: 2200, AllocChunk: 64,
+		FreeHoles: 0.03, HotHoles: 0.12,
+		ColdFrac: 0.01, ZipfS: 0.90, BurstMean: 2,
+		InstPerRef: 18, WriteFrac: 0.20,
+	},
+	{
+		Name: "FastaProt", Suite: "BioB.",
+		HotPages: 700, ColdPages: 1600, AllocChunk: 64,
+		FreeHoles: 0.05, HotHoles: 0.12,
+		ColdFrac: 0.01, ZipfS: 1.00, BurstMean: 2, SeqScan: true,
+		InstPerRef: 18, WriteFrac: 0.10,
+	},
+	{
+		Name: "Sjeng", Suite: "Spec",
+		HotPages: 1100, ColdPages: 14000, AllocChunk: 2048,
+		FreeHoles: 0.0005, HotHoles: 0.1,
+		ColdFrac: 0.004, ZipfS: 1.15, BurstMean: 2,
+		InstPerRef: 12, WriteFrac: 0.20,
+	},
+	{
+		Name: "Bzip2", Suite: "Spec",
+		HotPages: 160, ColdPages: 12000, AllocChunk: 1024,
+		FreeHoles: 0.0005, HotHoles: 0.04,
+		ColdFrac: 0.45, ZipfS: 0.60, BurstMean: 5, SeqScan: true,
+		InstPerRef: 12, WriteFrac: 0.35,
+	},
+	{
+		Name: "Milc", Suite: "Spec",
+		HotPages: 120, ColdPages: 28000, AllocChunk: 8192,
+		FreeHoles: 0.0005, HotHoles: 0.02,
+		ColdFrac: 0.50, ZipfS: 0.60, BurstMean: 8, SeqScan: true,
+		InstPerRef: 12, WriteFrac: 0.30,
+	},
+}
+
+// All returns the 14 benchmark specs in the paper's Table-1 order
+// (highest to lowest THS-on L2 MPMI).
+func All() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// Names returns the benchmark names in Table-1 order.
+func Names() []string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the spec for a benchmark (case-sensitive).
+func ByName(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+}
