@@ -1,0 +1,26 @@
+# Repository checks. `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-parallel
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler and the parallel-determinism guards under the race
+# detector: concurrency bugs in the experiment engine show up here.
+race:
+	$(GO) test -race ./internal/sched ./internal/experiments -run Parallel
+
+# Wall-clock scaling of the parallel experiment engine (identical
+# output at every width; see EXPERIMENTS.md for recorded numbers).
+bench-parallel:
+	$(GO) test -bench ParallelFig18 -cpu 1,4,8 -benchtime 3x -run '^$$' .

@@ -99,6 +99,25 @@ func BenchmarkFigure18(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelFig18 measures the experiment engine's scaling: the
+// same quick Figure 18 evaluation with the worker count following
+// GOMAXPROCS, so `go test -bench ParallelFig18 -cpu 1,4,8` reports the
+// wall-clock at 1, 4, and 8 workers. Output is identical at every
+// width (TestParallelDeterminism); only the time changes.
+func BenchmarkParallelFig18(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallel = 0 // track GOMAXPROCS, i.e. the -cpu value
+	for i := 0; i < b.N; i++ {
+		ev, err := experiments.RunStandardEvaluation(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := ev.Eliminations(); len(rows) != 14 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
 // BenchmarkFigure19 regenerates the CoLT-SA index left-shift sweep.
 func BenchmarkFigure19(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	experiments -exp table1|contig|fig16|fig17|fig18|fig19|fig20|fig21|fa-ablation|all-ablation|all [-quick] [-scale F] [-refs N] [-frames N]
+//	experiments -exp table1|contig|fig16|...|all [-quick] [-parallel N] [-scale F] [-refs N] [-frames N]
+//
+// Run with -exp list (or an unknown name) to see every experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"strings"
 
 	"colt/internal/experiments"
 	"colt/internal/workload"
@@ -16,8 +21,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (table1, contig, fig16, fig17, fig18, fig19, fig20, fig21, fa-ablation, all-ablation, prefetch, subblock, refinements, supsize, l2size, virt, timeline, all)")
-		quick  = flag.Bool("quick", false, "use small quick-run settings")
+		exp      = flag.String("exp", "all", `experiment to run ("list" prints the choices)`)
+		quick    = flag.Bool("quick", false, "use small quick-run settings")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"concurrent (benchmark × setup) jobs; results are identical for every value")
 		scale  = flag.Float64("scale", 0, "override workload footprint scale")
 		refs   = flag.Int("refs", 0, "override measured references per benchmark")
 		frames = flag.Int("frames", 0, "override physical memory frames")
@@ -29,6 +36,7 @@ func main() {
 	if *quick {
 		opts = experiments.QuickOptions()
 	}
+	opts.Parallel = *parallel
 	if *scale > 0 {
 		opts.Scale = *scale
 	}
@@ -49,176 +57,264 @@ func main() {
 	}
 }
 
+// experiment is one runnable entry of the registry.
+type experiment struct {
+	name string
+	desc string
+	run  func(opts experiments.Options) error
+	// skipAll excludes the entry from -exp all (diagnostics).
+	skipAll bool
+}
+
+// evalCache memoizes the standard evaluation so "-exp all" runs it once
+// for both Figure 18 and Figure 21.
+type evalCache struct {
+	ev *experiments.Evaluation
+}
+
+func (c *evalCache) get(opts experiments.Options) (*experiments.Evaluation, error) {
+	if c.ev != nil {
+		return c.ev, nil
+	}
+	ev, err := experiments.RunStandardEvaluation(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.ev = ev
+	return ev, nil
+}
+
+// registry returns the ordered experiment table. It is built per run()
+// call so the fig18/fig21 shared evaluation cache never leaks between
+// invocations.
+func registry() []experiment {
+	var std evalCache
+	return []experiment{
+		{name: "table1", desc: "Table 1: real-system TLB MPMI, THS on/off",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.Table1(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println("Table 1: real-system TLB misses per million instructions")
+				fmt.Println(experiments.RenderTable1(rows))
+				return nil
+			}},
+		{name: "contig", desc: "Figures 7-15: contiguity CDFs per kernel configuration",
+			run: func(opts experiments.Options) error {
+				for _, setup := range []experiments.SystemSetup{
+					experiments.SetupTHSOnNormal,  // Figures 7-9
+					experiments.SetupTHSOffNormal, // Figures 10-12
+					experiments.SetupTHSOffLow,    // Figures 13-15
+				} {
+					rows, err := experiments.ContiguityCDFs(setup, opts)
+					if err != nil {
+						return err
+					}
+					fmt.Println(experiments.RenderContiguity(setup, rows))
+				}
+				return nil
+			}},
+		{name: "fig16", desc: "Figure 16: average contiguity vs memhog, THS on",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.Figure16(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderMemhog("Figure 16: average contiguity, THS on, varying memhog", rows))
+				return nil
+			}},
+		{name: "fig17", desc: "Figure 17: average contiguity vs memhog, THS off",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.Figure17(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderMemhog("Figure 17: average contiguity, THS off, varying memhog", rows))
+				return nil
+			}},
+		{name: "fig18", desc: "Figure 18: % of baseline TLB misses eliminated",
+			run: func(opts experiments.Options) error {
+				ev, err := std.get(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderEliminations(
+					"Figure 18: % of baseline TLB misses eliminated",
+					[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Eliminations()))
+				return nil
+			}},
+		{name: "fig19", desc: "Figure 19: CoLT-SA index left-shift sweep",
+			run: func(opts experiments.Options) error {
+				ev, err := experiments.Figure19(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderEliminations(
+					"Figure 19: % of baseline misses eliminated by CoLT-SA index left-shift",
+					[]string{"shift-1", "shift-2", "shift-3"}, ev.Eliminations()))
+				return nil
+			}},
+		{name: "fig20", desc: "Figure 20: L2 associativity study",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.Figure20(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderFigure20(rows))
+				return nil
+			}},
+		{name: "fig21", desc: "Figure 21: modeled performance improvement",
+			run: func(opts experiments.Options) error {
+				ev, err := std.get(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderPerformance(
+					[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Performance()))
+				return nil
+			}},
+		{name: "fa-ablation", desc: "Ablation: CoLT-FA with/without L2 fill (§7.1.3)",
+			run: func(opts experiments.Options) error {
+				ev, err := experiments.AblationFAL2Fill(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderEliminations(
+					"Ablation (§7.1.3): CoLT-FA with/without L2 fill",
+					[]string{"fa-l2fill", "fa-nofill"}, ev.Eliminations()))
+				return nil
+			}},
+		{name: "all-ablation", desc: "Ablation: CoLT-All with/without L2 fill (§7.1.3)",
+			run: func(opts experiments.Options) error {
+				ev, err := experiments.AblationAllL2Fill(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderEliminations(
+					"Ablation (§7.1.3): CoLT-All with/without L2 fill",
+					[]string{"all-l2fill", "all-nofill"}, ev.Eliminations()))
+				return nil
+			}},
+		{name: "prefetch", desc: "Extension: CoLT vs sequential TLB prefetching",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.PrefetchComparison(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderPrefetchComparison(rows))
+				return nil
+			}},
+		{name: "subblock", desc: "Extension: CoLT-SA vs partial-subblock TLBs",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.SubblockComparison(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderSubblockComparison(rows))
+				return nil
+			}},
+		{name: "refinements", desc: "Extension: future-work refinements ablation",
+			run: func(opts experiments.Options) error {
+				ev, err := experiments.RefinementsAblation(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderEliminations(
+					"Extension: future-work refinements (graceful uncoalescing, coalescing-aware LRU)",
+					[]string{"colt-all", "all+graceful", "all+biaslru", "all+both"}, ev.Eliminations()))
+				return nil
+			}},
+		{name: "supsize", desc: "Extension: CoLT-FA superpage-TLB size sensitivity",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.SupSizeSensitivity(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderSupSizeSensitivity(rows))
+				return nil
+			}},
+		{name: "l2size", desc: "Extension: L2 TLB size sensitivity",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.L2SizeSensitivity(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderL2SizeSensitivity(rows))
+				return nil
+			}},
+		{name: "virt", desc: "Extension: CoLT under virtualization (2D walks)",
+			run: func(opts experiments.Options) error {
+				rows, err := experiments.VirtualizationComparison(opts)
+				if err != nil {
+					return err
+				}
+				fmt.Println(experiments.RenderVirtualization(rows))
+				return nil
+			}},
+		{name: "timeline", desc: "Contiguity over time under memhog pressure",
+			run: func(opts experiments.Options) error {
+				names := []string{"Mcf", "Sjeng"}
+				specs := make([]workload.Spec, len(names))
+				for i, name := range names {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						return err
+					}
+					specs[i] = spec
+				}
+				series, err := experiments.Timelines(specs, experiments.SetupTHSOnMemhog50, opts, 6)
+				if err != nil {
+					return err
+				}
+				for i, points := range series {
+					fmt.Println(experiments.RenderTimeline(names[i], experiments.SetupTHSOnMemhog50, points))
+				}
+				return nil
+			}},
+		{name: "calibrate", desc: "Diagnostic: per-benchmark calibration summary", skipAll: true,
+			run: calibrate},
+	}
+}
+
+// expNames lists every registry name (plus the "all" pseudo-entry),
+// for usage messages.
+func expNames(reg []experiment) string {
+	names := make([]string, 0, len(reg)+1)
+	for _, e := range reg {
+		names = append(names, e.name)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 func run(exp string, opts experiments.Options) error {
-	all := exp == "all"
-	ran := false
-	if all || exp == "table1" {
-		ran = true
-		rows, err := experiments.Table1(opts)
-		if err != nil {
-			return err
+	reg := registry()
+	if exp == "list" {
+		for _, e := range reg {
+			fmt.Printf("  %-14s %s\n", e.name, e.desc)
 		}
-		fmt.Println("Table 1: real-system TLB misses per million instructions")
-		fmt.Println(experiments.RenderTable1(rows))
+		fmt.Printf("  %-14s every experiment above (except diagnostics)\n", "all")
+		return nil
 	}
-	if all || exp == "contig" {
-		ran = true
-		for _, setup := range []experiments.SystemSetup{
-			experiments.SetupTHSOnNormal,  // Figures 7-9
-			experiments.SetupTHSOffNormal, // Figures 10-12
-			experiments.SetupTHSOffLow,    // Figures 13-15
-		} {
-			rows, err := experiments.ContiguityCDFs(setup, opts)
-			if err != nil {
+	if exp == "all" {
+		for _, e := range reg {
+			if e.skipAll {
+				continue
+			}
+			if err := e.run(opts); err != nil {
 				return err
 			}
-			fmt.Println(experiments.RenderContiguity(setup, rows))
+		}
+		return nil
+	}
+	for _, e := range reg {
+		if e.name == exp {
+			return e.run(opts)
 		}
 	}
-	if all || exp == "fig16" {
-		ran = true
-		rows, err := experiments.Figure16(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderMemhog("Figure 16: average contiguity, THS on, varying memhog", rows))
-	}
-	if all || exp == "fig17" {
-		ran = true
-		rows, err := experiments.Figure17(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderMemhog("Figure 17: average contiguity, THS off, varying memhog", rows))
-	}
-	if all || exp == "fig18" || exp == "fig21" {
-		ran = true
-		ev, err := experiments.RunStandardEvaluation(opts)
-		if err != nil {
-			return err
-		}
-		if all || exp == "fig18" {
-			fmt.Println(experiments.RenderEliminations(
-				"Figure 18: % of baseline TLB misses eliminated",
-				[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Eliminations()))
-		}
-		if all || exp == "fig21" {
-			fmt.Println(experiments.RenderPerformance(
-				[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Performance()))
-		}
-	}
-	if all || exp == "fig19" {
-		ran = true
-		ev, err := experiments.Figure19(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderEliminations(
-			"Figure 19: % of baseline misses eliminated by CoLT-SA index left-shift",
-			[]string{"shift-1", "shift-2", "shift-3"}, ev.Eliminations()))
-	}
-	if all || exp == "fig20" {
-		ran = true
-		rows, err := experiments.Figure20(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderFigure20(rows))
-	}
-	if all || exp == "fa-ablation" {
-		ran = true
-		ev, err := experiments.AblationFAL2Fill(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderEliminations(
-			"Ablation (§7.1.3): CoLT-FA with/without L2 fill",
-			[]string{"fa-l2fill", "fa-nofill"}, ev.Eliminations()))
-	}
-	if all || exp == "all-ablation" {
-		ran = true
-		ev, err := experiments.AblationAllL2Fill(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderEliminations(
-			"Ablation (§7.1.3): CoLT-All with/without L2 fill",
-			[]string{"all-l2fill", "all-nofill"}, ev.Eliminations()))
-	}
-	if all || exp == "prefetch" {
-		ran = true
-		rows, err := experiments.PrefetchComparison(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderPrefetchComparison(rows))
-	}
-	if all || exp == "subblock" {
-		ran = true
-		rows, err := experiments.SubblockComparison(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSubblockComparison(rows))
-	}
-	if all || exp == "refinements" {
-		ran = true
-		ev, err := experiments.RefinementsAblation(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderEliminations(
-			"Extension: future-work refinements (graceful uncoalescing, coalescing-aware LRU)",
-			[]string{"colt-all", "all+graceful", "all+biaslru", "all+both"}, ev.Eliminations()))
-	}
-	if all || exp == "supsize" {
-		ran = true
-		rows, err := experiments.SupSizeSensitivity(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSupSizeSensitivity(rows))
-	}
-	if all || exp == "l2size" {
-		ran = true
-		rows, err := experiments.L2SizeSensitivity(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderL2SizeSensitivity(rows))
-	}
-	if all || exp == "virt" {
-		ran = true
-		rows, err := experiments.VirtualizationComparison(opts)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderVirtualization(rows))
-	}
-	if all || exp == "timeline" {
-		ran = true
-		for _, name := range []string{"Mcf", "Sjeng"} {
-			spec, err := workload.ByName(name)
-			if err != nil {
-				return err
-			}
-			points, err := experiments.ContiguityTimeline(spec, experiments.SetupTHSOnMemhog50, opts, 6)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.RenderTimeline(name, experiments.SetupTHSOnMemhog50, points))
-		}
-	}
-	if exp == "calibrate" {
-		ran = true
-		if err := calibrate(opts); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
-	return nil
+	return fmt.Errorf("unknown experiment %q; valid experiments: %s", exp, expNames(reg))
 }
 
 // calibrate prints a compact per-benchmark summary used while tuning

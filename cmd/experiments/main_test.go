@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"colt/internal/experiments"
+)
+
+// TestUnknownExperimentError guards the CLI contract: an unknown -exp
+// must produce an error (non-zero exit in main) whose message names the
+// bad input and lists every valid experiment.
+func TestUnknownExperimentError(t *testing.T) {
+	err := run("no-such-experiment", experiments.QuickOptions())
+	if err == nil {
+		t.Fatal("run with unknown experiment returned nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-experiment"`) {
+		t.Errorf("error %q does not quote the unknown name", msg)
+	}
+	for _, want := range []string{"table1", "fig18", "virt", "timeline", "all"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid experiment %q", msg, want)
+		}
+	}
+}
+
+// TestRegistryNamesUnique catches copy-paste duplicates when new
+// experiments are added.
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry() {
+		if e.name == "all" || e.name == "list" {
+			t.Errorf("registry entry %q shadows a built-in pseudo-experiment", e.name)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate registry entry %q", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Errorf("registry entry %q has no run function", e.name)
+		}
+	}
+}
+
+// TestKnownExperimentRuns smoke-tests the registry dispatch path with
+// the cheapest real experiment.
+func TestKnownExperimentRuns(t *testing.T) {
+	opts := experiments.QuickOptions()
+	opts.Refs = 5_000
+	opts.Warmup = 500
+	if err := run("timeline", opts); err != nil {
+		t.Fatalf("run(timeline): %v", err)
+	}
+}

@@ -60,14 +60,14 @@ func generate(bench, out string, refs int, quick bool) error {
 	}
 	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: true})
 	master := rng.New(opts.Seed)
-	if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Fork()); err != nil {
+	if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Stream("churn")); err != nil {
 		return err
 	}
 	proc, err := sys.NewProcess()
 	if err != nil {
 		return err
 	}
-	w, err := workload.Build(spec.Scale(opts.Scale), proc, master.Fork())
+	w, err := workload.Build(spec.Scale(opts.Scale), proc, master.Stream("workload"))
 	if err != nil {
 		return err
 	}

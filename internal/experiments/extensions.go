@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"colt/internal/core"
+	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/workload"
 )
@@ -38,11 +39,10 @@ func PrefetchComparison(opts Options) ([]PrefetchRow, error) {
 		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
 		{Name: "colt-all", Config: core.CoLTAllConfig()},
 	}
-	var rows []PrefetchRow
-	for _, spec := range workload.All() {
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (PrefetchRow, error) {
 		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
 		if err != nil {
-			return nil, fmt.Errorf("prefetch comparison %s: %w", spec.Name, err)
+			return PrefetchRow{}, fmt.Errorf("prefetch comparison %s: %w", spec.Name, err)
 		}
 		base, _ := res.Variant("baseline")
 		pf, _ := res.Variant("seq-prefetch")
@@ -57,9 +57,8 @@ func PrefetchComparison(opts Options) ([]PrefetchRow, error) {
 		if base.TLB.Walks > 0 {
 			row.WalkOverheadPct = 100 * float64(pf.Prefetch.PrefetchWalks) / float64(base.TLB.Walks)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderPrefetchComparison formats the comparison as text.
@@ -100,24 +99,21 @@ func SubblockComparison(opts Options) ([]SubblockRow, error) {
 		{Name: "partial-subblock", Config: core.PartialSubblockConfig()},
 		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
 	}
-	var rows []SubblockRow
-	for _, spec := range workload.All() {
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (SubblockRow, error) {
 		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
 		if err != nil {
-			return nil, fmt.Errorf("subblock comparison %s: %w", spec.Name, err)
+			return SubblockRow{}, fmt.Errorf("subblock comparison %s: %w", spec.Name, err)
 		}
 		base, _ := res.Variant("baseline")
 		sb, _ := res.Variant("partial-subblock")
 		sa, _ := res.Variant("colt-sa")
-		row := SubblockRow{
+		return SubblockRow{
 			Bench:        spec.Name,
 			SubblockElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sb.TLB.L2Misses)),
 			SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
 			RejectedPct:  sb.SubblockRejectedPct,
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderSubblockComparison formats the comparison as text.
@@ -188,11 +184,10 @@ func SupSizeSensitivity(opts Options) ([]SupSizeRow, error) {
 		cfg.SupEntries = n
 		variants = append(variants, Variant{Name: fmt.Sprintf("fa-%d", n), Config: cfg})
 	}
-	var rows []SupSizeRow
-	for _, spec := range workload.All() {
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (SupSizeRow, error) {
 		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
 		if err != nil {
-			return nil, fmt.Errorf("sup-size sweep %s: %w", spec.Name, err)
+			return SupSizeRow{}, fmt.Errorf("sup-size sweep %s: %w", spec.Name, err)
 		}
 		base, _ := res.Variant("baseline")
 		row := SupSizeRow{Bench: spec.Name, Elim: map[int]float64{}}
@@ -200,9 +195,8 @@ func SupSizeSensitivity(opts Options) ([]SupSizeRow, error) {
 			v, _ := res.Variant(fmt.Sprintf("fa-%d", n))
 			row.Elim[n] = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderSupSizeSensitivity formats the sweep as text.
@@ -256,11 +250,10 @@ func L2SizeSensitivity(opts Options) ([]L2SizeRow, error) {
 			Variant{Name: fmt.Sprintf("base-%d", n), Config: base},
 			Variant{Name: fmt.Sprintf("sa-%d", n), Config: sa})
 	}
-	var rows []L2SizeRow
-	for _, spec := range workload.All() {
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (L2SizeRow, error) {
 		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
 		if err != nil {
-			return nil, fmt.Errorf("l2-size sweep %s: %w", spec.Name, err)
+			return L2SizeRow{}, fmt.Errorf("l2-size sweep %s: %w", spec.Name, err)
 		}
 		row := L2SizeRow{Bench: spec.Name, BaseMPMI: map[int]float64{}, SAMPMI: map[int]float64{}}
 		for _, n := range L2Sizes {
@@ -271,9 +264,8 @@ func L2SizeSensitivity(opts Options) ([]L2SizeRow, error) {
 				_, row.SAMPMI[n] = v.MPMI()
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderL2SizeSensitivity formats the sweep as text.

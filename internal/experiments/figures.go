@@ -7,6 +7,7 @@ import (
 	"colt/internal/contig"
 	"colt/internal/core"
 	"colt/internal/perf"
+	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/workload"
 )
@@ -22,30 +23,38 @@ type Table1Row struct {
 	OnL1MPMI, OnL2MPMI, OffL1MPMI, OffL2MPMI float64
 }
 
-// Table1 regenerates the paper's Table 1.
+// Table1 regenerates the paper's Table 1. Each (benchmark × THS
+// setting) pair is an independent scheduler job.
 func Table1(opts Options) ([]Table1Row, error) {
 	variant := []Variant{{Name: "real-system", Config: core.RealSystemBaselineConfig()}}
-	var rows []Table1Row
+	type job struct {
+		spec  workload.Spec
+		setup SystemSetup
+	}
+	var jobs []job
 	for _, spec := range workload.All() {
-		row := Table1Row{Bench: spec.Name, Suite: spec.Suite}
-		for _, ths := range []bool{true, false} {
-			setup := SetupTHSOnNormal
-			if !ths {
-				setup = SetupTHSOffNormal
-			}
-			res, err := RunBenchmark(spec, setup, opts, variant)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
-			}
-			v := res.Variants[0]
-			l1, l2 := v.MPMI()
-			if ths {
-				row.OnL1MPMI, row.OnL2MPMI = l1, l2
-			} else {
-				row.OffL1MPMI, row.OffL2MPMI = l1, l2
-			}
+		jobs = append(jobs,
+			job{spec, SetupTHSOnNormal},
+			job{spec, SetupTHSOffNormal})
+	}
+	mpmis, err := sched.MapSlice(opts.pool(), jobs, func(_ int, j job) ([2]float64, error) {
+		res, err := RunBenchmark(j.spec, j.setup, opts, variant)
+		if err != nil {
+			return [2]float64{}, fmt.Errorf("table1 %s: %w", j.spec.Name, err)
 		}
-		rows = append(rows, row)
+		l1, l2 := res.Variants[0].MPMI()
+		return [2]float64{l1, l2}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for i, spec := range workload.All() {
+		rows = append(rows, Table1Row{
+			Bench: spec.Name, Suite: spec.Suite,
+			OnL1MPMI: mpmis[2*i][0], OnL2MPMI: mpmis[2*i][1],
+			OffL1MPMI: mpmis[2*i+1][0], OffL2MPMI: mpmis[2*i+1][1],
+		})
 	}
 	return rows, nil
 }
@@ -79,22 +88,20 @@ type ContiguityRow struct {
 // SetupTHSOnNormal, 10-12 for SetupTHSOffNormal, 13-15 for
 // SetupTHSOffLow.
 func ContiguityCDFs(setup SystemSetup, opts Options) ([]ContiguityRow, error) {
-	var rows []ContiguityRow
-	for _, spec := range workload.All() {
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (ContiguityRow, error) {
 		res, err := RunContiguity(spec, setup, opts)
 		if err != nil {
-			return nil, fmt.Errorf("contiguity %s under %s: %w", spec.Name, setup.Name, err)
+			return ContiguityRow{}, fmt.Errorf("contiguity %s under %s: %w", spec.Name, setup.Name, err)
 		}
-		rows = append(rows, ContiguityRow{
+		return ContiguityRow{
 			Bench:       spec.Name,
 			Average:     res.AverageContiguity(),
 			RunAverage:  res.RunWeightedAverage(),
 			Points:      res.CDF.SampleAt(contig.PaperXAxis),
 			FracOver512: res.FractionAtLeast(513),
 			SuperPages:  res.SuperPages,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderContiguity formats a CDF figure group as text.
@@ -136,30 +143,41 @@ func Figure16(opts Options) ([]MemhogRow, error) { return memhogSweep(opts, true
 func Figure17(opts Options) ([]MemhogRow, error) { return memhogSweep(opts, false) }
 
 func memhogSweep(opts Options, ths bool) ([]MemhogRow, error) {
-	var rows []MemhogRow
+	pcts := []int{0, 25, 50}
+	type job struct {
+		spec workload.Spec
+		pct  int
+	}
+	var jobs []job
 	for _, spec := range workload.All() {
-		row := MemhogRow{Bench: spec.Name}
-		for _, pct := range []int{0, 25, 50} {
-			setup := SetupTHSOnNormal
-			if !ths {
-				setup = SetupTHSOffNormal
-			}
-			setup.MemhogPct = pct
-			setup.Name = fmt.Sprintf("%s, memhog(%d)", setup.Name, pct)
-			res, err := RunContiguity(spec, setup, opts)
-			if err != nil {
-				return nil, fmt.Errorf("memhog sweep %s pct %d: %w", spec.Name, pct, err)
-			}
-			switch pct {
-			case 0:
-				row.NoMemhog = res.AverageContiguity()
-			case 25:
-				row.Memhog25 = res.AverageContiguity()
-			case 50:
-				row.Memhog50 = res.AverageContiguity()
-			}
+		for _, pct := range pcts {
+			jobs = append(jobs, job{spec, pct})
 		}
-		rows = append(rows, row)
+	}
+	avgs, err := sched.MapSlice(opts.pool(), jobs, func(_ int, j job) (float64, error) {
+		setup := SetupTHSOnNormal
+		if !ths {
+			setup = SetupTHSOffNormal
+		}
+		setup.MemhogPct = j.pct
+		setup.Name = fmt.Sprintf("%s, memhog(%d)", setup.Name, j.pct)
+		res, err := RunContiguity(j.spec, setup, opts)
+		if err != nil {
+			return 0, fmt.Errorf("memhog sweep %s pct %d: %w", j.spec.Name, j.pct, err)
+		}
+		return res.AverageContiguity(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []MemhogRow
+	for i, spec := range workload.All() {
+		rows = append(rows, MemhogRow{
+			Bench:    spec.Name,
+			NoMemhog: avgs[i*len(pcts)],
+			Memhog25: avgs[i*len(pcts)+1],
+			Memhog50: avgs[i*len(pcts)+2],
+		})
 	}
 	return rows, nil
 }
@@ -191,16 +209,21 @@ type Evaluation struct {
 
 // RunEvaluation runs every benchmark under the default kernel setup
 // with the given TLB variants (the first is treated as the baseline).
+// Benchmarks fan out across the scheduler; the variants of one
+// benchmark share its goroutine because they consume one reference
+// stream in lockstep.
 func RunEvaluation(opts Options, variants []Variant) (*Evaluation, error) {
-	ev := &Evaluation{Baseline: variants[0].Name}
-	for _, spec := range workload.All() {
+	results, err := sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (*BenchResult, error) {
 		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
 		if err != nil {
 			return nil, fmt.Errorf("evaluation %s: %w", spec.Name, err)
 		}
-		ev.Results = append(ev.Results, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ev, nil
+	return &Evaluation{Results: results, Baseline: variants[0].Name}, nil
 }
 
 // RunStandardEvaluation runs baseline + CoLT-SA/FA/All (Figures 18 and

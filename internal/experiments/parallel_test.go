@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelDeterminism is the regression guard for the experiment
+// engine's core promise: the worker count is a throughput knob, never a
+// results knob. A quick Figure 18 evaluation must render byte-identical
+// output at -parallel 1 and -parallel 8. This holds because every
+// (benchmark × setup) job derives its RNG streams from
+// (opts.Seed, benchmark, setup) by name, so nothing observable depends
+// on which goroutine runs a job or in what order jobs finish.
+func TestParallelDeterminism(t *testing.T) {
+	opts := QuickOptions()
+	opts.Refs = 20_000
+	opts.Warmup = 2_000
+
+	render := func(parallel int) string {
+		o := opts
+		o.Parallel = parallel
+		ev, err := RunStandardEvaluation(o)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return RenderEliminations(
+			"Figure 18: % of baseline TLB misses eliminated",
+			[]string{"colt-sa", "colt-fa", "colt-all"}, ev.Eliminations())
+	}
+
+	serial := render(1)
+	concurrent := render(8)
+	if serial != concurrent {
+		t.Errorf("rendered Figure 18 differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", serial, concurrent)
+	}
+}
+
+// TestParallelContiguityDeterminism covers the characterization-side
+// drivers (no TLB simulation): the memhog sweep fans (benchmark × load)
+// jobs and must be worker-count independent too.
+func TestParallelContiguityDeterminism(t *testing.T) {
+	opts := QuickOptions()
+
+	run := func(parallel int) string {
+		o := opts
+		o.Parallel = parallel
+		rows, err := Figure16(o)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return RenderMemhog("Figure 16", rows)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("rendered Figure 16 differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", a, b)
+	}
+}

@@ -41,7 +41,7 @@ func TestProbeSystemState(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := workload.Build(spec.Scale(opts.Scale), proc, master.Fork()); err != nil {
+		if _, err := workload.Build(spec.Scale(opts.Scale), proc, master.Stream("workload")); err != nil {
 			t.Fatal(err)
 		}
 		res := contig.Scan(proc.Table)

@@ -18,6 +18,7 @@ import (
 	"colt/internal/mmu"
 	"colt/internal/perf"
 	"colt/internal/rng"
+	"colt/internal/sched"
 	"colt/internal/vm"
 	"colt/internal/workload"
 )
@@ -59,7 +60,16 @@ type Options struct {
 	// MidRunChurn injects OS activity (small alloc/free bursts, hence
 	// compaction and shootdowns) during the measured run.
 	MidRunChurn bool
+	// Parallel is the experiment engine's worker count: how many
+	// (benchmark × setup) jobs run concurrently. 0 selects
+	// runtime.GOMAXPROCS(0). Results are identical for every value —
+	// each job's randomness derives from (Seed, benchmark, setup) via
+	// rng.Stream, never from scheduling order.
+	Parallel int
 }
+
+// pool returns the scheduler the drivers fan jobs out on.
+func (o Options) pool() *sched.Pool { return sched.New(o.Parallel) }
 
 // DefaultOptions sizes a full experiment run: a 1 GB machine with
 // footprints scaled so that the biggest benchmarks occupy the same
@@ -195,12 +205,18 @@ const settlePasses = 20
 const steadyStateSlots = 512
 
 // buildSystem boots and fragments a system per the setup, returning it
-// plus the master RNG for the benchmark.
+// plus the master RNG for the benchmark. Every random consumer draws
+// from a NAMED stream of the master (churn, memhog, workload, …), and
+// the master's seed is itself a pure function of
+// (opts.Seed, benchmark, setup): no draw anywhere depends on which
+// other experiments ran before this one, which is what lets the
+// scheduler run jobs in any order — or in parallel — and still produce
+// byte-identical tables.
 func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System, *rng.RNG, error) {
 	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: setup.THP, Compaction: setup.Compaction})
 	master := rng.New(seedFor(opts.Seed, benchName, setup.Name))
 	if opts.ChurnOps > 0 {
-		if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Fork()); err != nil {
+		if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Stream("churn")); err != nil {
 			return nil, nil, fmt.Errorf("background churn: %w", err)
 		}
 	}
@@ -209,7 +225,7 @@ func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System,
 			sys.Compactor.Compact(-1)
 		}
 	}
-	if _, err := vm.StartMemhog(sys, setup.MemhogPct, master.Fork()); err != nil {
+	if _, err := vm.StartMemhog(sys, setup.MemhogPct, master.Stream("memhog")); err != nil {
 		return nil, nil, fmt.Errorf("memhog: %w", err)
 	}
 	return sys, master, nil
@@ -228,7 +244,7 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 		return contig.Result{}, err
 	}
 	proc.EnableSwap()
-	if _, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork()); err != nil {
+	if _, err := workload.Build(scaledSpec(spec, opts), proc, master.Stream("workload")); err != nil {
 		return contig.Result{}, fmt.Errorf("building %s: %w", spec.Name, err)
 	}
 	// Let the system reach steady state before scanning, as the paper's
@@ -238,109 +254,181 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 	return contig.Scan(proc.Table), nil
 }
 
-// RunBenchmark runs one benchmark under one system setup, simulating
-// every TLB variant over the identical reference stream (the paper's
-// trace-driven methodology, §5.2.1). All variants observe the same OS
-// events; each has private TLBs, MMU caches, and data caches.
-func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*BenchResult, error) {
+// benchSim is one benchmark's simulation in flight: the built system
+// and workload, plus every variant's private simulator. The
+// per-reference work lives in step, a named method rather than a
+// closure so the allocation guard (TestSteadyStateAccessZeroAlloc) can
+// exercise exactly the code the measured loop runs.
+type benchSim struct {
+	spec   workload.Spec
+	setup  SystemSetup
+	sys    *vm.System
+	proc   *vm.Process
+	w      *workload.Workload
+	sims   []*simulator
+	contig contig.Result
+
+	instructions uint64
+}
+
+// newBenchSim boots the system, fragments it, builds the workload, and
+// attaches one simulator per variant (all registered for shootdowns).
+func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*benchSim, *rng.RNG, error) {
 	sys, master, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	proc, err := sys.NewProcess()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	proc.EnableSwap()
-	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork())
+	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Stream("workload"))
 	if err != nil {
-		return nil, fmt.Errorf("building %s: %w", spec.Name, err)
+		return nil, nil, fmt.Errorf("building %s: %w", spec.Name, err)
 	}
-	contigRes := contig.Scan(proc.Table)
-
-	sims := make([]*simulator, len(variants))
+	b := &benchSim{
+		spec:   spec,
+		setup:  setup,
+		sys:    sys,
+		proc:   proc,
+		w:      w,
+		sims:   make([]*simulator, len(variants)),
+		contig: contig.Scan(proc.Table),
+	}
 	for i, v := range variants {
 		caches := cache.DefaultHierarchy()
 		walker := mmu.NewWalker(proc.Table, caches, mmu.NewWalkCache(mmu.DefaultWalkCacheEntries))
-		sims[i] = &simulator{
+		b.sims[i] = &simulator{
 			name:   v.Name,
 			hier:   core.NewHierarchy(v.Config, walker),
 			walker: walker,
 			caches: caches,
 			pid:    proc.PID,
 		}
-		sys.AddShootdownHandler(sims[i])
+		sys.AddShootdownHandler(b.sims[i])
 	}
+	return b, master, nil
+}
 
-	churnRNG := master.Fork()
+// step executes one reference of the identical stream against every
+// variant. This is the simulator's hot path: in steady state (no
+// swap-in, no OS churn event) it performs zero heap allocations per
+// reference — guarded by testing.AllocsPerRun.
+func (b *benchSim) step(ref int) error {
+	va, write, gap := b.w.Next()
+	vpn := va.Page()
+	b.instructions += uint64(gap)
+	// A touched page may have been swapped out under memory
+	// pressure: service the major fault before the TLB probes.
+	if _, _, ok := b.proc.Resolve(vpn); !ok {
+		swappedIn, err := b.proc.EnsureResident(vpn)
+		if err != nil {
+			return err
+		}
+		if !swappedIn {
+			return fmt.Errorf("%s: reference to unmapped vpn %d", b.spec.Name, vpn)
+		}
+	}
+	for _, s := range b.sims {
+		res := s.hier.Access(vpn)
+		if res.Fault {
+			return fmt.Errorf("%s/%s: fault at vpn %d", b.spec.Name, s.name, vpn)
+		}
+		paddr := res.PFN.Addr() + arch.PAddr(va.Offset())
+		lat := s.caches.DataAccess(paddr, write)
+		if lat > l1HitLatency {
+			s.memStall += uint64(lat - l1HitLatency)
+		}
+	}
+	// Oracle check (sampled): every variant must agree with the
+	// page table.
+	if ref%1024 == 0 {
+		want, _, ok := b.proc.Resolve(vpn)
+		if !ok {
+			return fmt.Errorf("%s: vpn %d vanished", b.spec.Name, vpn)
+		}
+		for _, s := range b.sims {
+			if got, hit := s.hier.L2().LookupRun(vpn); hit && got.Translate(vpn) != want {
+				return fmt.Errorf("%s/%s: stale L2 entry for vpn %d", b.spec.Name, s.name, vpn)
+			}
+		}
+	}
+	return nil
+}
+
+// resetStats zeroes measurement state after warmup.
+func (b *benchSim) resetStats() {
+	b.instructions = 0
+	for _, s := range b.sims {
+		s.hier.ResetStats()
+		s.memStall = 0
+	}
+}
+
+// result snapshots every variant's counters into a BenchResult.
+func (b *benchSim) result() *BenchResult {
+	res := &BenchResult{
+		Bench:        b.spec.Name,
+		Setup:        b.setup,
+		Contig:       b.contig,
+		Instructions: b.instructions,
+	}
+	for _, s := range b.sims {
+		st := s.hier.Stats()
+		var rejectedPct float64
+		if _, sb2 := s.hier.Subblock(); sb2 != nil && sb2.Stats().Fills > 0 {
+			rejectedPct = 100 * float64(sb2.Rejected()) / float64(sb2.Stats().Fills)
+		}
+		res.Variants = append(res.Variants, VariantResult{
+			Name:                s.name,
+			TLB:                 st,
+			Prefetch:            s.hier.PrefetchStats(),
+			SubblockRejectedPct: rejectedPct,
+			Run: perf.Run{
+				Instructions:   b.instructions,
+				MemStallCycles: s.memStall,
+				WalkCycles:     st.WalkCycles,
+			},
+		})
+	}
+	return res
+}
+
+// RunBenchmark runs one benchmark under one system setup, simulating
+// every TLB variant over the identical reference stream (the paper's
+// trace-driven methodology, §5.2.1). All variants observe the same OS
+// events; each has private TLBs, MMU caches, and data caches. The
+// variants deliberately share one goroutine: they must observe the
+// same reference stream and shootdown sequence in lockstep, so
+// parallelism lives one level up, across (benchmark × setup) jobs.
+func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*BenchResult, error) {
+	b, master, err := newBenchSim(spec, setup, opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	churnRNG := master.Stream("midrun-churn")
 	var churnProc *vm.Process
 	if opts.MidRunChurn {
-		churnProc, err = sys.NewProcess()
+		churnProc, err = b.sys.NewProcess()
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	var instructions uint64
-	access := func(ref int) error {
-		va, write, gap := w.Next()
-		vpn := va.Page()
-		instructions += uint64(gap)
-		// A touched page may have been swapped out under memory
-		// pressure: service the major fault before the TLB probes.
-		if _, _, ok := proc.Resolve(vpn); !ok {
-			swappedIn, err := proc.EnsureResident(vpn)
-			if err != nil {
-				return err
-			}
-			if !swappedIn {
-				return fmt.Errorf("%s: reference to unmapped vpn %d", spec.Name, vpn)
-			}
-		}
-		for _, s := range sims {
-			res := s.hier.Access(vpn)
-			if res.Fault {
-				return fmt.Errorf("%s/%s: fault at vpn %d", spec.Name, s.name, vpn)
-			}
-			paddr := res.PFN.Addr() + arch.PAddr(va.Offset())
-			lat := s.caches.DataAccess(paddr, write)
-			if lat > l1HitLatency {
-				s.memStall += uint64(lat - l1HitLatency)
-			}
-		}
-		// Oracle check (sampled): every variant must agree with the
-		// page table.
-		if ref%1024 == 0 {
-			want, _, ok := proc.Resolve(vpn)
-			if !ok {
-				return fmt.Errorf("%s: vpn %d vanished", spec.Name, vpn)
-			}
-			for _, s := range sims {
-				if got, hit := s.hier.L2().LookupRun(vpn); hit && got.Translate(vpn) != want {
-					return fmt.Errorf("%s/%s: stale L2 entry for vpn %d", spec.Name, s.name, vpn)
-				}
-			}
-		}
-		return nil
-	}
-
 	for i := 0; i < opts.Warmup; i++ {
-		if err := access(i); err != nil {
+		if err := b.step(i); err != nil {
 			return nil, err
 		}
 	}
-	instructions = 0
-	for _, s := range sims {
-		s.hier.ResetStats()
-		s.memStall = 0
-	}
+	b.resetStats()
 
 	churnEvery := 0
 	if opts.MidRunChurn && opts.Refs >= 8 {
 		churnEvery = opts.Refs / 8
 	}
 	for i := 0; i < opts.Refs; i++ {
-		if err := access(i); err != nil {
+		if err := b.step(i); err != nil {
 			return nil, err
 		}
 		if churnEvery > 0 && i%churnEvery == churnEvery-1 {
@@ -353,30 +441,5 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 			}
 		}
 	}
-
-	res := &BenchResult{
-		Bench:        spec.Name,
-		Setup:        setup,
-		Contig:       contigRes,
-		Instructions: instructions,
-	}
-	for _, s := range sims {
-		st := s.hier.Stats()
-		var rejectedPct float64
-		if _, sb2 := s.hier.Subblock(); sb2 != nil && sb2.Stats().Fills > 0 {
-			rejectedPct = 100 * float64(sb2.Rejected()) / float64(sb2.Stats().Fills)
-		}
-		res.Variants = append(res.Variants, VariantResult{
-			Name:                s.name,
-			TLB:                 st,
-			Prefetch:            s.hier.PrefetchStats(),
-			SubblockRejectedPct: rejectedPct,
-			Run: perf.Run{
-				Instructions:   instructions,
-				MemStallCycles: s.memStall,
-				WalkCycles:     st.WalkCycles,
-			},
-		})
-	}
-	return res, nil
+	return b.result(), nil
 }

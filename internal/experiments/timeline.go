@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"colt/internal/contig"
+	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/vm"
 	"colt/internal/workload"
@@ -44,11 +45,11 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		return nil, err
 	}
 	proc.EnableSwap()
-	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork())
+	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Stream("workload"))
 	if err != nil {
 		return nil, fmt.Errorf("building %s: %w", spec.Name, err)
 	}
-	churnRNG := master.Fork()
+	churnRNG := master.Stream("midrun-churn")
 	churnProc, err := sys.NewProcess()
 	if err != nil {
 		return nil, err
@@ -102,6 +103,14 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		points = append(points, scan(done))
 	}
 	return points, nil
+}
+
+// Timelines runs ContiguityTimeline for several benchmarks, fanning
+// them across the scheduler; results keep the order of specs.
+func Timelines(specs []workload.Spec, setup SystemSetup, opts Options, samples int) ([][]TimelinePoint, error) {
+	return sched.MapSlice(opts.pool(), specs, func(_ int, spec workload.Spec) ([]TimelinePoint, error) {
+		return ContiguityTimeline(spec, setup, opts, samples)
+	})
 }
 
 // RenderTimeline formats a timeline as text.

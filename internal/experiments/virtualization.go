@@ -11,6 +11,7 @@ import (
 	"colt/internal/pagetable"
 	"colt/internal/perf"
 	"colt/internal/rng"
+	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/vm"
 	"colt/internal/workload"
@@ -93,20 +94,21 @@ func buildHostBacking(guestFrames int, opts Options, bench string) (*pagetable.T
 // identical reference stream.
 func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 	model := perf.Default()
-	var rows []VirtRow
-	for _, spec := range workload.All() {
+	// Each benchmark's native + virtualized pair is one scheduler job:
+	// the two runs feed one comparison row.
+	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (VirtRow, error) {
 		// Native run reuses the standard pipeline.
 		native, err := RunBenchmark(spec, SetupTHSOnNormal, opts, []Variant{
 			{Name: "baseline", Config: core.BaselineConfig()},
 			{Name: "colt-all", Config: core.CoLTAllConfig()},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("native %s: %w", spec.Name, err)
+			return VirtRow{}, fmt.Errorf("native %s: %w", spec.Name, err)
 		}
 
 		virt, err := runVirtualized(spec, opts)
 		if err != nil {
-			return nil, fmt.Errorf("virtualized %s: %w", spec.Name, err)
+			return VirtRow{}, fmt.Errorf("virtualized %s: %w", spec.Name, err)
 		}
 
 		nb, _ := native.Variant("baseline")
@@ -124,9 +126,8 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 			virtPerWalk := float64(vb.Run.WalkCycles) / float64(vb.TLB.Walks)
 			row.WalkInflation = virtPerWalk / nativePerWalk
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // runVirtualized builds the guest system + workload, backs it with a
@@ -141,7 +142,7 @@ func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) 
 	if err != nil {
 		return out, err
 	}
-	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Fork())
+	w, err := workload.Build(scaledSpec(spec, opts), proc, master.Stream("workload"))
 	if err != nil {
 		return out, err
 	}

@@ -145,8 +145,9 @@ func (w *Walker) Walk(vpn arch.VPN) WalkInfo {
 	w.stats.Walks++
 	res := w.table.Walk(vpn)
 	info := WalkInfo{Found: res.Found, PTE: res.PTE}
-	for i, addr := range res.Levels {
-		leaf := i == len(res.Levels)-1
+	for i := 0; i < res.Depth; i++ {
+		addr := res.Levels[i]
+		leaf := i == res.Depth-1
 		if !leaf && w.pwc.Lookup(addr) {
 			info.Latency += walkCacheHitLatency
 			w.stats.PWCHits++

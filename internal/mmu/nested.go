@@ -73,8 +73,9 @@ func (w *NestedWalker) hostTranslate(gpa arch.PAddr) (arch.PAddr, int, bool) {
 	gvpn := arch.VPN(gpa >> arch.PageShift)
 	res := w.host.Walk(gvpn)
 	latency := 0
-	for i, addr := range res.Levels {
-		leaf := i == len(res.Levels)-1
+	for i := 0; i < res.Depth; i++ {
+		addr := res.Levels[i]
+		leaf := i == res.Depth-1
 		if !leaf && w.hostPWC.Lookup(addr) {
 			latency += walkCacheHitLatency
 			continue
@@ -107,17 +108,17 @@ func (w *NestedWalker) Walk(vpn arch.VPN) WalkInfo {
 	w.stats.Walks++
 	res := w.guest.Walk(vpn)
 	var info WalkInfo
-	for i, gaddr := range res.Levels {
+	for i := 0; i < res.Depth; i++ {
 		// Each guest table entry sits at a guest-physical address that
 		// must be nested-translated before the fetch.
-		haddr, hostLat, ok := w.hostTranslate(gaddr)
+		haddr, hostLat, ok := w.hostTranslate(res.Levels[i])
 		info.Latency += hostLat
 		if !ok {
 			w.stats.Failed++
 			w.stats.TotalLatency += uint64(info.Latency)
 			return info
 		}
-		leaf := i == len(res.Levels)-1
+		leaf := i == res.Depth-1
 		if !leaf && w.pwc.Lookup(haddr) {
 			info.Latency += walkCacheHitLatency
 			continue
@@ -179,7 +180,7 @@ func (w *NestedWalker) Walk(vpn arch.VPN) WalkInfo {
 		info.Line = composed
 		info.HasLine = true
 		// The guest PMD entry's line stands in for the leaf line.
-		info.LineAddr = res.Levels[len(res.Levels)-1] &^ (arch.CacheLineSize - 1)
+		info.LineAddr = res.Levels[res.Depth-1] &^ (arch.CacheLineSize - 1)
 		return info
 	}
 	if line, lineAddr, ok := w.guest.Line(vpn); ok {

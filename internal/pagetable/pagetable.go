@@ -60,14 +60,20 @@ type Table struct {
 
 // WalkResult describes one page-table walk: the physical address of the
 // table entry read at each level (top-down) and the leaf PTE found.
+// Levels is a fixed array (not a slice) so Walk performs no heap
+// allocation — it sits on the simulator's per-reference hot path.
 type WalkResult struct {
 	Found bool
 	PTE   arch.PTE
-	// Levels holds the PTE physical addresses touched, ending at the
-	// leaf (length 4 for a base page, 3 for a huge page, shorter if the
+	// Levels[:Depth] holds the PTE physical addresses touched, ending
+	// at the leaf (4 for a base page, 3 for a huge page, fewer if the
 	// walk hit a hole).
-	Levels []arch.PAddr
+	Levels [Levels]arch.PAddr
+	Depth  int
 }
+
+// Touched returns the physical addresses actually visited, top-down.
+func (r *WalkResult) Touched() []arch.PAddr { return r.Levels[:r.Depth] }
 
 // New creates an empty table, allocating its root frame.
 func New(fs FrameSource) (*Table, error) {
@@ -191,8 +197,29 @@ func (t *Table) Reserve(vpn arch.VPN) error {
 	return nil
 }
 
+// leafNode descends toward vpn's leaf without recording the path (and
+// therefore without allocating — Lookup/Resolve/Line run once per
+// simulated memory reference). It returns the deepest node reached and
+// its level: LeafLevel for a full descent, HugeLevel when a huge PTE or
+// a PMD hole stops the walk, less on an upper hole.
+func (t *Table) leafNode(vpn arch.VPN) (*node, int) {
+	n := t.root
+	for level := 0; level < LeafLevel; level++ {
+		idx := levelIndex(vpn, level)
+		if level == HugeLevel && n.ptes[idx].Present() {
+			return n, HugeLevel
+		}
+		if n.children[idx] == nil {
+			return n, level
+		}
+		n = n.children[idx]
+	}
+	return n, LeafLevel
+}
+
 // path returns the nodes visited from root toward vpn's leaf, stopping
-// early at a hole or a huge mapping.
+// early at a hole or a huge mapping. Mutation paths (Unmap, SplitHuge,
+// prune) use it; translation paths use the allocation-free leafNode.
 func (t *Table) path(vpn arch.VPN) []*node {
 	nodes := make([]*node, 0, Levels)
 	n := t.root
@@ -211,16 +238,16 @@ func (t *Table) path(vpn arch.VPN) []*node {
 }
 
 // Lookup returns the leaf PTE mapping vpn: a base PTE, or the covering
-// huge PTE (with Huge set and the block's base PFN).
+// huge PTE (with Huge set and the block's base PFN). It allocates
+// nothing.
 func (t *Table) Lookup(vpn arch.VPN) (arch.PTE, bool) {
-	nodes := t.path(vpn)
-	last := nodes[len(nodes)-1]
-	switch len(nodes) {
-	case Levels: // reached the PT level
-		pte := last.ptes[levelIndex(vpn, LeafLevel)]
+	n, level := t.leafNode(vpn)
+	switch level {
+	case LeafLevel: // reached the PT level
+		pte := n.ptes[levelIndex(vpn, LeafLevel)]
 		return pte, pte.Present()
-	case HugeLevel + 1: // stopped at the PMD
-		pte := last.ptes[levelIndex(vpn, HugeLevel)]
+	case HugeLevel: // stopped at the PMD
+		pte := n.ptes[levelIndex(vpn, HugeLevel)]
 		if pte.Present() && pte.Huge {
 			return pte, true
 		}
@@ -242,13 +269,14 @@ func (t *Table) Resolve(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
 }
 
 // Walk performs a full walk for vpn, reporting the physical address of
-// every table entry the hardware would read.
+// every table entry the hardware would read. It allocates nothing.
 func (t *Table) Walk(vpn arch.VPN) WalkResult {
 	var res WalkResult
 	n := t.root
 	for level := 0; level < Levels; level++ {
 		idx := levelIndex(vpn, level)
-		res.Levels = append(res.Levels, entryAddr(n, idx))
+		res.Levels[res.Depth] = entryAddr(n, idx)
+		res.Depth++
 		if level == LeafLevel {
 			pte := n.ptes[idx]
 			res.Found = pte.Present()
@@ -276,11 +304,10 @@ func (t *Table) Walk(vpn arch.VPN) WalkResult {
 // unmapped or huge-mapped pages (huge PTEs live at the PMD and are not
 // coalescing candidates).
 func (t *Table) Line(vpn arch.VPN) (group [arch.PTEsPerLine]arch.Translation, lineAddr arch.PAddr, ok bool) {
-	nodes := t.path(vpn)
-	if len(nodes) != Levels {
+	leaf, level := t.leafNode(vpn)
+	if level != LeafLevel {
 		return group, 0, false
 	}
-	leaf := nodes[Levels-1]
 	idx := levelIndex(vpn, LeafLevel)
 	if !leaf.ptes[idx].Present() {
 		return group, 0, false

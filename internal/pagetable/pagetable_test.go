@@ -159,13 +159,13 @@ func TestWalkAddresses(t *testing.T) {
 	if !res.Found || res.PTE.PFN != 55 {
 		t.Fatalf("walk = %+v", res)
 	}
-	if len(res.Levels) != Levels {
-		t.Fatalf("walk touched %d levels", len(res.Levels))
+	if res.Depth != Levels {
+		t.Fatalf("walk touched %d levels", res.Depth)
 	}
 	// Each level's entry address must be 8-byte aligned and inside a
 	// distinct frame.
 	seen := map[uint64]bool{}
-	for _, pa := range res.Levels {
+	for _, pa := range res.Touched() {
 		if uint64(pa)%arch.PTESize != 0 {
 			t.Fatalf("entry address %d misaligned", pa)
 		}
@@ -177,7 +177,7 @@ func TestWalkAddresses(t *testing.T) {
 	}
 	// Unmapped VPN in a different top-level subtree: short walk.
 	res2 := tbl.Walk(vpn + arch.VPN(1)<<27)
-	if res2.Found || len(res2.Levels) != 1 {
+	if res2.Found || res2.Depth != 1 {
 		t.Fatalf("hole walk = %+v", res2)
 	}
 	// Huge mapping: 3-level walk.
@@ -185,7 +185,7 @@ func TestWalkAddresses(t *testing.T) {
 		t.Fatal(err)
 	}
 	res3 := tbl.Walk(arch.PagesPerHuge*9 + 3)
-	if !res3.Found || !res3.PTE.Huge || len(res3.Levels) != 3 {
+	if !res3.Found || !res3.PTE.Huge || res3.Depth != 3 {
 		t.Fatalf("huge walk = %+v", res3)
 	}
 }
@@ -465,10 +465,10 @@ func TestPropertyWalkAgreesWithLookup(t *testing.T) {
 				return false
 			}
 			w2 := tbl.Walk(vpn)
-			if len(w1.Levels) != len(w2.Levels) {
+			if w1.Depth != w2.Depth {
 				return false
 			}
-			for j := range w1.Levels {
+			for j := 0; j < w1.Depth; j++ {
 				if w1.Levels[j] != w2.Levels[j] {
 					return false
 				}

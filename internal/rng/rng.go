@@ -4,18 +4,46 @@
 // reproduced by running the identical allocation and access history
 // against each TLB configuration, which requires bit-identical
 // randomness across runs.
+//
+// # Stream splitting
+//
+// Subcomponents must not share one generator through call order:
+// inserting or reordering a consumer would silently shift every
+// downstream draw. Two derivation primitives are provided:
+//
+//   - Stream(name) derives a child generator purely from the parent's
+//     construction seed and the name. It is ORDER-INDEPENDENT: the
+//     stream named "workload" is the same generator whether it is
+//     derived first or last, before or after any draws on the parent,
+//     and regardless of which sibling streams exist. Experiment runners
+//     use this so that results are a function of (seed, benchmark,
+//     setup, purpose) only — the guarantee that makes parallel and
+//     serial schedules byte-identical.
+//   - Fork() derives a child from the parent's CURRENT state. It is
+//     order-dependent by design and suited to linear histories (e.g.
+//     consecutive phases of one simulation) where insertion of a new
+//     consumer should intentionally produce a fresh history.
 package rng
 
-import "math"
+import (
+	"hash/fnv"
+	"math"
+)
 
 // RNG is a splitmix64 generator. The zero value is a valid generator
 // seeded with 0; prefer New.
 type RNG struct {
 	state uint64
+	// seed is the construction seed, kept so Stream can derive children
+	// independent of how many values the parent has drawn.
+	seed uint64
 }
 
 // New returns a generator seeded with seed.
-func New(seed uint64) *RNG { return &RNG{state: seed} }
+func New(seed uint64) *RNG { return &RNG{state: seed, seed: seed} }
+
+// Seed returns the construction seed (the root of Stream derivation).
+func (r *RNG) Seed() uint64 { return r.seed }
 
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
@@ -52,8 +80,27 @@ func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 
 // Fork derives an independent generator whose stream is a deterministic
 // function of the parent's current state, for giving subcomponents
-// their own streams.
+// their own streams. Prefer Stream when the set of consumers may grow:
+// Fork'd streams shift whenever an earlier Fork or draw is added.
 func (r *RNG) Fork() *RNG { return New(r.Uint64()) }
+
+// Stream derives an independent generator named name. The child is a
+// pure function of the parent's construction seed and the name — it
+// does not depend on the parent's draw position or on any sibling
+// streams — so adding, removing, or reordering other consumers never
+// changes it. Identical names yield identical streams; distinct names
+// yield streams decorrelated by the splitmix64 finalizer.
+func (r *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	// Mix the name hash with the construction seed through one
+	// splitmix64 step so nearby seeds and similar names both diffuse.
+	z := r.seed ^ h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(z ^ (z >> 31))
+}
 
 // Zipf returns a value in [0, n) following an approximate Zipf
 // distribution with exponent s > 0: low indices are much more likely.

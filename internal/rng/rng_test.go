@@ -80,6 +80,38 @@ func TestFork(t *testing.T) {
 	}
 }
 
+func TestStreamOrderIndependence(t *testing.T) {
+	// The same name yields the same stream regardless of the parent's
+	// draw position or sibling derivations.
+	a := New(42)
+	wantFirst := a.Stream("workload").Uint64()
+
+	b := New(42)
+	b.Uint64() // advance the parent
+	b.Fork()   // derive an unrelated child
+	b.Stream("churn")
+	if got := b.Stream("workload").Uint64(); got != wantFirst {
+		t.Fatalf("stream depends on derivation order: %d vs %d", got, wantFirst)
+	}
+}
+
+func TestStreamDistinctness(t *testing.T) {
+	r := New(0xC017)
+	w := r.Stream("workload").Uint64()
+	c := r.Stream("churn").Uint64()
+	m := r.Stream("memhog").Uint64()
+	if w == c || c == m || w == m {
+		t.Fatalf("streams collided: workload=%d churn=%d memhog=%d", w, c, m)
+	}
+	// Different seeds must decorrelate the same name.
+	if New(1).Stream("workload").Uint64() == New(2).Stream("workload").Uint64() {
+		t.Fatal("same name under different seeds collided")
+	}
+	if r.Seed() != 0xC017 {
+		t.Fatalf("Seed() = %#x", r.Seed())
+	}
+}
+
 func TestZipfSkewAndBounds(t *testing.T) {
 	r := New(13)
 	counts := make([]int, 100)

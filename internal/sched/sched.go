@@ -1,0 +1,137 @@
+// Package sched is the experiment engine's worker-pool scheduler. The
+// paper's artifact set is a grid of independent (benchmark × setup)
+// simulations; sched fans such job grids out across GOMAXPROCS
+// goroutines while keeping the OUTPUT deterministic: results are
+// gathered into a slice indexed by job input order, so a table built
+// from them is byte-identical whether the pool runs one worker or
+// sixteen. Determinism of each job's CONTENT is the caller's
+// responsibility — experiment jobs seed their RNGs from
+// (seed, benchmark, setup) via rng.Stream, never from shared mutable
+// state, so completion order cannot leak into results.
+//
+// Jobs inside one benchmark run (the per-variant TLB simulators) are
+// deliberately NOT split across workers: all variants of a benchmark
+// share one reference stream and one set of OS shootdown events, so
+// they must advance in lockstep on a single goroutine.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool schedules independent jobs over a fixed number of workers. The
+// zero value is not useful; use New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running up to workers jobs concurrently. Values
+// <= 0 select runtime.GOMAXPROCS(0), the number of CPUs the runtime
+// will actually use.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency limit.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(i) for every i in [0, n) on the pool's workers and
+// returns the results ordered by input index — never by completion
+// order. The first error (by job index) cancels dispatch of jobs that
+// have not yet started and is returned; results from jobs that already
+// completed are discarded. A panic in fn propagates to the caller,
+// annotated with the job index.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Degenerate pool: run inline, stopping at the first error, so
+		// -parallel 1 has the exact serial semantics (and stack traces)
+		// of the pre-scheduler code.
+		for i := 0; i < n; i++ {
+			var err error
+			if results[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64 // next job index to claim
+		failed  atomic.Bool  // set once any job errors
+		panicMu sync.Mutex
+		panics  []panicInfo
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							failed.Store(true)
+							panicMu.Lock()
+							panics = append(panics, panicInfo{job: i, value: r})
+							panicMu.Unlock()
+						}
+					}()
+					var err error
+					if results[i], err = fn(i); err != nil {
+						errs[i] = err
+						failed.Store(true)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		// Re-panic deterministically: lowest job index wins.
+		min := panics[0]
+		for _, p := range panics[1:] {
+			if p.job < min.job {
+				min = p
+			}
+		}
+		panic(fmt.Sprintf("sched: job %d panicked: %v", min.job, min.value))
+	}
+	// First error by job index, not completion order, so the reported
+	// failure is deterministic too.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+type panicInfo struct {
+	job   int
+	value any
+}
+
+// MapSlice is Map over a slice: it runs fn(i, items[i]) for every item
+// and returns the outputs in item order.
+func MapSlice[S, T any](p *Pool, items []S, fn func(i int, item S) (T, error)) ([]T, error) {
+	return Map(p, len(items), func(i int) (T, error) { return fn(i, items[i]) })
+}

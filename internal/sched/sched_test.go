@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByInput(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		p := New(workers)
+		got, err := Map(p, 100, func(i int) (int, error) {
+			// Skew completion order: later jobs finish first under
+			// concurrency by burning less work.
+			busy(100 - i)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("job-%d", i*7%13), nil }
+	serial, err := Map(New(1), 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(New(8), 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result[%d]: serial %q vs parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapErrorCancelsAndIsDeterministic(t *testing.T) {
+	boom := errors.New("job 3 failed")
+	var started atomic.Int64
+	_, err := Map(New(4), 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("error did not cancel dispatch: %d jobs started", n)
+	}
+	// The reported error must be the lowest-index failure, not a race
+	// winner.
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(New(8), 16, func(i int) (int, error) {
+			switch i {
+			case 2:
+				busy(500) // slow failure at the lower index
+				return 0, errA
+			case 9:
+				return 0, errB // fast failure at the higher index
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if errors.Is(err, errB) && !errors.Is(err, errA) {
+			// Job 9 may run before job 2 is even dispatched once the
+			// failed flag stops the pool; only flag nondeterminism when
+			// both ran and the higher index won.
+			continue
+		}
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: err = %v", trial, err)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map[int](New(4), 0, nil); err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+	got, err := Map(New(4), 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single map: %v, %v", got, err)
+	}
+}
+
+func TestMapSlice(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	got, err := MapSlice(New(2), items, func(i int, s string) (int, error) {
+		return i * len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "job 5") {
+			t.Fatalf("panic lost job context: %v", s)
+		}
+	}()
+	Map(New(4), 8, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if New(-3).Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative workers did not default")
+	}
+	if New(7).Workers() != 7 {
+		t.Fatal("explicit workers not honored")
+	}
+}
+
+// busy burns a little deterministic CPU so completion order under
+// concurrency differs from dispatch order.
+func busy(n int) uint64 {
+	var x uint64 = 88172645463325252
+	for i := 0; i < n*50; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
