@@ -1,10 +1,12 @@
-# Repository checks. `make check` is the pre-commit gate.
+# Repository checks. `make check` is the single pre-merge gate: vet,
+# build, the full test suite, the race-detector pass over the parallel
+# engine, and the golden-run regression diff.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-parallel
+.PHONY: check vet build test race golden golden-update bench-parallel
 
-check: vet build test race
+check: vet build test race golden
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +21,17 @@ test:
 # detector: concurrency bugs in the experiment engine show up here.
 race:
 	$(GO) test -race ./internal/sched ./internal/experiments -run Parallel
+
+# Golden-run regression diff: re-runs the golden experiment subset and
+# byte-compares its metrics JSON against internal/experiments/testdata/
+# goldens (see EXPERIMENTS.md).
+golden:
+	$(GO) test ./internal/experiments -run TestGoldens
+
+# Regenerate the goldens after an intended simulator change; review the
+# resulting JSON diff before committing it.
+golden-update:
+	$(GO) test ./internal/experiments -run TestGoldens -update
 
 # Wall-clock scaling of the parallel experiment engine (identical
 # output at every width; see EXPERIMENTS.md for recorded numbers).

@@ -3,19 +3,28 @@
 // Usage:
 //
 //	experiments -exp table1|contig|fig16|...|all [-quick] [-parallel N] [-scale F] [-refs N] [-frames N]
+//	            [-out DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Run with -exp list (or an unknown name) to see every experiment.
+// With -out DIR, each experiment additionally writes its
+// machine-readable report to DIR/<name>.json (stable, key-sorted JSON —
+// see internal/metrics and EXPERIMENTS.md) plus a DIR/<name>.timing.json
+// wall-clock sidecar.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
 	"colt/internal/experiments"
+	"colt/internal/metrics"
+	"colt/internal/stats"
 	"colt/internal/workload"
 )
 
@@ -25,10 +34,13 @@ func main() {
 		quick    = flag.Bool("quick", false, "use small quick-run settings")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"concurrent (benchmark × setup) jobs; results are identical for every value")
-		scale  = flag.Float64("scale", 0, "override workload footprint scale")
-		refs   = flag.Int("refs", 0, "override measured references per benchmark")
-		frames = flag.Int("frames", 0, "override physical memory frames")
-		seed   = flag.Uint64("seed", 0, "override RNG seed")
+		scale      = flag.Float64("scale", 0, "override workload footprint scale")
+		refs       = flag.Int("refs", 0, "override measured references per benchmark")
+		frames     = flag.Int("frames", 0, "override physical memory frames")
+		seed       = flag.Uint64("seed", 0, "override RNG seed")
+		outDir     = flag.String("out", "", "directory for machine-readable metrics JSON (one report per experiment)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -51,10 +63,49 @@ func main() {
 		opts.Seed = *seed
 	}
 
-	if err := run(*exp, opts); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*exp, opts, *outDir)
+
+	if *memProfile != "" {
+		if perr := writeHeapProfile(*memProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", perr)
+			if err == nil {
+				err = perr
+			}
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// writeHeapProfile snapshots the heap after a final GC, so the profile
+// reflects live allocations rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 // experiment is one runnable entry of the registry.
@@ -67,21 +118,31 @@ type experiment struct {
 }
 
 // evalCache memoizes the standard evaluation so "-exp all" runs it once
-// for both Figure 18 and Figure 21.
+// for both Figure 18 and Figure 21. The cache collects the evaluation's
+// metrics records into its own collector and merges them into each
+// caller's, so both figures' reports carry the shared records.
 type evalCache struct {
-	ev *experiments.Evaluation
+	ev  *experiments.Evaluation
+	rec *metrics.Collector
 }
 
 func (c *evalCache) get(opts experiments.Options) (*experiments.Evaluation, error) {
-	if c.ev != nil {
-		return c.ev, nil
+	if c.ev == nil {
+		inner := opts
+		if opts.Metrics != nil {
+			c.rec = metrics.NewCollector()
+			inner.Metrics = c.rec
+		}
+		ev, err := experiments.RunStandardEvaluation(inner)
+		if err != nil {
+			return nil, err
+		}
+		c.ev = ev
 	}
-	ev, err := experiments.RunStandardEvaluation(opts)
-	if err != nil {
-		return nil, err
+	if opts.Metrics != nil {
+		opts.Metrics.Merge(c.rec)
 	}
-	c.ev = ev
-	return ev, nil
+	return c.ev, nil
 }
 
 // registry returns the ordered experiment table. It is built per run()
@@ -289,7 +350,7 @@ func expNames(reg []experiment) string {
 	return strings.Join(names, ", ")
 }
 
-func run(exp string, opts experiments.Options) error {
+func run(exp string, opts experiments.Options, outDir string) error {
 	reg := registry()
 	if exp == "list" {
 		for _, e := range reg {
@@ -298,12 +359,17 @@ func run(exp string, opts experiments.Options) error {
 		fmt.Printf("  %-14s every experiment above (except diagnostics)\n", "all")
 		return nil
 	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("creating -out directory: %w", err)
+		}
+	}
 	if exp == "all" {
 		for _, e := range reg {
 			if e.skipAll {
 				continue
 			}
-			if err := e.run(opts); err != nil {
+			if err := runOne(e, opts, outDir); err != nil {
 				return err
 			}
 		}
@@ -311,10 +377,38 @@ func run(exp string, opts experiments.Options) error {
 	}
 	for _, e := range reg {
 		if e.name == exp {
-			return e.run(opts)
+			return runOne(e, opts, outDir)
 		}
 	}
 	return fmt.Errorf("unknown experiment %q; valid experiments: %s", exp, expNames(reg))
+}
+
+// runOne executes one registry entry, collecting and writing its
+// metrics report when -out is set.
+func runOne(e experiment, opts experiments.Options, outDir string) error {
+	if outDir == "" {
+		return e.run(opts)
+	}
+	col := metrics.NewCollector()
+	opts.Metrics = col
+	if err := e.run(opts); err != nil {
+		return err
+	}
+	report, err := col.Report(e.name, opts.Snapshot()).StableJSON()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.name, err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, e.name+".json"), report, 0o644); err != nil {
+		return fmt.Errorf("%s: writing report: %w", e.name, err)
+	}
+	timing, err := col.TimingJSON(e.name)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.name, err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, e.name+".timing.json"), timing, 0o644); err != nil {
+		return fmt.Errorf("%s: writing timing report: %w", e.name, err)
+	}
+	return nil
 }
 
 // calibrate prints a compact per-benchmark summary used while tuning
@@ -329,10 +423,12 @@ func calibrate(opts experiments.Options) error {
 		}
 		base, _ := res.Variant("baseline")
 		l1, l2 := base.MPMI()
+		// PercentEliminated is zero-guarded: a quick run short enough to
+		// record no baseline misses reports 0, not NaN/Inf.
 		elim := func(v string) (float64, float64) {
 			x, _ := res.Variant(v)
-			e1 := 100 * (float64(base.TLB.L1Misses) - float64(x.TLB.L1Misses)) / float64(base.TLB.L1Misses)
-			e2 := 100 * (float64(base.TLB.L2Misses) - float64(x.TLB.L2Misses)) / float64(base.TLB.L2Misses)
+			e1 := stats.PercentEliminated(float64(base.TLB.L1Misses), float64(x.TLB.L1Misses))
+			e2 := stats.PercentEliminated(float64(base.TLB.L2Misses), float64(x.TLB.L2Misses))
 			return e1, e2
 		}
 		sa1, sa2 := elim("colt-sa")

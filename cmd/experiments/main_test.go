@@ -1,17 +1,21 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"colt/internal/experiments"
+	"colt/internal/metrics"
 )
 
 // TestUnknownExperimentError guards the CLI contract: an unknown -exp
 // must produce an error (non-zero exit in main) whose message names the
 // bad input and lists every valid experiment.
 func TestUnknownExperimentError(t *testing.T) {
-	err := run("no-such-experiment", experiments.QuickOptions())
+	err := run("no-such-experiment", experiments.QuickOptions(), "")
 	if err == nil {
 		t.Fatal("run with unknown experiment returned nil error")
 	}
@@ -50,7 +54,42 @@ func TestKnownExperimentRuns(t *testing.T) {
 	opts := experiments.QuickOptions()
 	opts.Refs = 5_000
 	opts.Warmup = 500
-	if err := run("timeline", opts); err != nil {
+	if err := run("timeline", opts, ""); err != nil {
 		t.Fatalf("run(timeline): %v", err)
+	}
+}
+
+// TestOutDirDeterministic guards the -out contract: the metrics report
+// is byte-identical at every -parallel width, matches the checked-in
+// golden for the same configuration, and the timing sidecar exists.
+func TestOutDirDeterministic(t *testing.T) {
+	opts := experiments.GoldenOptions()
+	dirs := map[int]string{1: t.TempDir(), 8: t.TempDir()}
+	outputs := map[int][]byte{}
+	for _, width := range []int{1, 8} {
+		opts.Parallel = width
+		if err := run("fig18", opts, dirs[width]); err != nil {
+			t.Fatalf("run(fig18, parallel=%d): %v", width, err)
+		}
+		data, err := os.ReadFile(filepath.Join(dirs[width], "fig18.json"))
+		if err != nil {
+			t.Fatalf("report missing at parallel=%d: %v", width, err)
+		}
+		outputs[width] = data
+		if _, err := os.Stat(filepath.Join(dirs[width], "fig18.timing.json")); err != nil {
+			t.Errorf("timing sidecar missing at parallel=%d: %v", width, err)
+		}
+	}
+	if !bytes.Equal(outputs[1], outputs[8]) {
+		t.Errorf("report differs between -parallel 1 and -parallel 8:\n%s",
+			strings.Join(metrics.Diff(outputs[8], outputs[1]), "\n"))
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "goldens", "fig18.json"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(outputs[1], golden) {
+		t.Errorf("CLI -out report does not match checked-in golden:\n%s",
+			strings.Join(metrics.Diff(outputs[1], golden), "\n"))
 	}
 }

@@ -39,10 +39,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "replay: -trace is required")
 		os.Exit(1)
 	}
-	if err := run(*path, *contig, strings.Split(*policies, ",")); err != nil {
+	names, err := parsePolicies(*policies)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
+	if err := run(*path, *contig, names); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+// policyNames lists the valid -policies values, in display order.
+func policyNames() []string {
+	return []string{"baseline", "colt-sa", "colt-fa", "colt-all", "seq-prefetch"}
 }
 
 func configFor(policy string) (core.Config, error) {
@@ -58,7 +68,32 @@ func configFor(policy string) (core.Config, error) {
 	case "seq-prefetch":
 		return core.SeqPrefetchConfig(), nil
 	}
-	return core.Config{}, fmt.Errorf("unknown policy %q", policy)
+	return core.Config{}, fmt.Errorf("unknown policy %q (valid policies: %s)",
+		policy, strings.Join(policyNames(), ", "))
+}
+
+// parsePolicies validates a -policies flag value: entries are
+// comma-separated, whitespace around each is ignored, and empty or
+// duplicate entries are rejected along with unknown names.
+func parsePolicies(s string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for _, raw := range strings.Split(s, ",") {
+		p := strings.TrimSpace(raw)
+		if p == "" {
+			return nil, fmt.Errorf("empty policy in -policies %q (valid policies: %s)",
+				s, strings.Join(policyNames(), ", "))
+		}
+		if _, err := configFor(p); err != nil {
+			return nil, err
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("duplicate policy %q in -policies", p)
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func run(path string, contig int, policies []string) error {
@@ -67,12 +102,12 @@ func run(path string, contig int, policies []string) error {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("opening trace: %w", err)
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading trace %s: %w", path, err)
 	}
 
 	// Map the trace's pages on first touch: physical frames advance

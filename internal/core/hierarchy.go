@@ -317,6 +317,32 @@ func (h *Hierarchy) ResetStats() {
 // only; nil otherwise).
 func (h *Hierarchy) Subblock() (l1, l2 *SubblockTLB) { return h.sb1, h.sb2 }
 
+// LevelStats bundles the per-structure counters of the hierarchy's
+// three TLBs into one snapshot, the machine-readable metrics layer's
+// per-level view. For the partial-subblock policy the L1/L2 slots hold
+// the subblocked structures' counters (those replace the
+// set-associative TLBs on that policy's access path).
+type LevelStats struct {
+	L1, L2, Sup TLBStats
+	// SupMerges counts the superpage TLB's fill-time coalescings with
+	// resident entries (§4.2.1 step 5).
+	SupMerges uint64
+}
+
+// LevelStats returns a snapshot of every structure's counters.
+func (h *Hierarchy) LevelStats() LevelStats {
+	ls := LevelStats{
+		L1:        h.l1.Stats(),
+		L2:        h.l2.Stats(),
+		Sup:       h.sup.Stats(),
+		SupMerges: h.sup.Merges(),
+	}
+	if h.sb1 != nil {
+		ls.L1, ls.L2 = h.sb1.Stats(), h.sb2.Stats()
+	}
+	return ls
+}
+
 // Access translates vpn, filling TLBs per the policy on misses.
 func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	if h.cfg.Policy == PolicyPartialSubblock {

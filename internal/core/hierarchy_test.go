@@ -325,6 +325,57 @@ func TestHierarchyStatsRates(t *testing.T) {
 	}
 }
 
+func TestTLBStatsHitRate(t *testing.T) {
+	// A structure that was never probed must report 0, not NaN: the
+	// metrics layer serializes this value to JSON.
+	if got := (TLBStats{}).HitRate(); got != 0 {
+		t.Fatalf("zero-lookup HitRate = %v, want 0", got)
+	}
+	s := TLBStats{Lookups: 200, Hits: 150, Misses: 50}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+}
+
+// TestLevelStatsSnapshot checks the per-structure snapshot the metrics
+// layer consumes: counters land in the right level and sum up to the
+// hierarchy-level view.
+func TestLevelStatsSnapshot(t *testing.T) {
+	tbl, w := newWorld(t)
+	mapRun(t, tbl, 64, 5000, 8)
+	h := NewHierarchy(CoLTAllConfig(), w)
+	h.Access(64) // walk + fill
+	h.Access(65) // L1 (or sup) hit
+	ls := h.LevelStats()
+	if ls.L1.Lookups == 0 || ls.L2.Lookups == 0 || ls.Sup.Lookups == 0 {
+		t.Fatalf("snapshot missing lookups: %+v", ls)
+	}
+	if ls.L1.Fills+ls.Sup.Fills == 0 {
+		t.Fatalf("no fill recorded anywhere: %+v", ls)
+	}
+	st := h.Stats()
+	if hits := ls.L1.Hits + ls.Sup.Hits; hits != st.L1Hits+st.SupHits {
+		t.Errorf("level hits %d != hierarchy L1+sup hits %d", hits, st.L1Hits+st.SupHits)
+	}
+	// The snapshot is a copy: mutating the hierarchy afterwards must
+	// not change an already-taken snapshot.
+	before := ls.L1.Lookups
+	h.Access(66)
+	if ls.L1.Lookups != before {
+		t.Error("LevelStats snapshot aliases live counters")
+	}
+
+	// Partial-subblock policy: the L1/L2 slots expose the subblocked
+	// structures actually probed on that access path.
+	hs := NewHierarchy(PartialSubblockConfig(), w)
+	hs.Access(64)
+	hs.Access(65)
+	sls := hs.LevelStats()
+	if sls.L1.Lookups == 0 {
+		t.Fatalf("subblock snapshot has no L1 lookups: %+v", sls)
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	want := map[Policy]string{
 		PolicyBaseline: "baseline", PolicyCoLTSA: "colt-sa",

@@ -23,6 +23,15 @@ type TLBStats struct {
 	Invalidates uint64
 }
 
+// HitRate returns Hits/Lookups. A structure that was never probed
+// (zero lookups) reports 0, never NaN.
+func (s TLBStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
 // saEntry is one CoLT-SA TLB entry (§4.1.3, Figure 4 top): the tag is
 // the VPN bits above the (shifted) index; vbits has one valid bit per
 // possible translation of the aligned coalescing block; BasePPN is the

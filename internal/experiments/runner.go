@@ -9,11 +9,13 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"colt/internal/arch"
 	"colt/internal/cache"
 	"colt/internal/contig"
 	"colt/internal/core"
+	"colt/internal/metrics"
 	"colt/internal/mm"
 	"colt/internal/mmu"
 	"colt/internal/perf"
@@ -66,10 +68,38 @@ type Options struct {
 	// each job's randomness derives from (Seed, benchmark, setup) via
 	// rng.Stream, never from scheduling order.
 	Parallel int
+	// Metrics, when non-nil, receives one structured Record per
+	// (benchmark × setup) job from every driver, forming the
+	// machine-readable run report (see internal/metrics). Collection
+	// never affects simulation results.
+	Metrics *metrics.Collector
 }
 
-// pool returns the scheduler the drivers fan jobs out on.
-func (o Options) pool() *sched.Pool { return sched.New(o.Parallel) }
+// pool returns the scheduler the drivers fan jobs out on, wired to the
+// metrics collector's per-job timing hook when one is attached.
+func (o Options) pool() *sched.Pool {
+	p := sched.New(o.Parallel)
+	if o.Metrics != nil {
+		p.SetObserver(o.Metrics.ObserveJob)
+	}
+	return p
+}
+
+// Snapshot returns the deterministic options snapshot embedded in
+// metrics reports. Parallel is deliberately dropped: reports must be
+// byte-identical at every worker count.
+func (o Options) Snapshot() metrics.Options {
+	return metrics.Options{
+		Frames:      o.Frames,
+		Scale:       o.Scale,
+		ColdScale:   o.ColdScale,
+		ChurnOps:    o.ChurnOps,
+		Warmup:      o.Warmup,
+		Refs:        o.Refs,
+		Seed:        o.Seed,
+		MidRunChurn: o.MidRunChurn,
+	}
+}
 
 // DefaultOptions sizes a full experiment run: a 1 GB machine with
 // footprints scaled so that the biggest benchmarks occupy the same
@@ -101,6 +131,19 @@ func QuickOptions() Options {
 	}
 }
 
+// GoldenOptions sizes the checked-in golden-run subset (TestGoldens):
+// QuickOptions at a further reduced trace length, small enough to run
+// in CI on every merge. The same configuration is reachable from the
+// CLI as `experiments -quick -refs 20000` (the -refs override derives
+// warmup as refs/10), which is how `-out` output is compared against
+// the goldens.
+func GoldenOptions() Options {
+	o := QuickOptions()
+	o.Refs = 20_000
+	o.Warmup = 2_000
+	return o
+}
+
 // Variant names one TLB configuration under test.
 type Variant struct {
 	Name   string
@@ -120,8 +163,13 @@ func StandardVariants() []Variant {
 // VariantResult is one TLB configuration's measurements.
 type VariantResult struct {
 	Name string
-	TLB  core.Stats
-	Run  perf.Run
+	// Policy is the variant's core.Policy name, recorded for the
+	// metrics layer.
+	Policy string
+	TLB    core.Stats
+	// Levels snapshots the per-structure (L1/L2/superpage) counters.
+	Levels core.LevelStats
+	Run    perf.Run
 	// Prefetch is populated for PolicySeqPrefetch variants.
 	Prefetch core.PrefetchStats
 	// SubblockRejectedPct is populated for PolicyPartialSubblock
@@ -153,6 +201,86 @@ func (b *BenchResult) Variant(name string) (VariantResult, bool) {
 		}
 	}
 	return VariantResult{}, false
+}
+
+// levelMetrics converts one TLB structure's counters to the metrics
+// schema, deriving the zero-guarded rates.
+func levelMetrics(s core.TLBStats, merges uint64) metrics.LevelStats {
+	return metrics.LevelStats{
+		Lookups:             s.Lookups,
+		Hits:                s.Hits,
+		Misses:              s.Misses,
+		Fills:               s.Fills,
+		CoalescedIn:         s.CoalescedIn,
+		Evictions:           s.Evictions,
+		Merges:              merges,
+		HitRate:             s.HitRate(),
+		TranslationsPerFill: metrics.Ratio(float64(s.Fills+s.CoalescedIn), float64(s.Fills)),
+	}
+}
+
+// MetricsRecord converts the result to the machine-readable record the
+// experiment drivers emit. Speedups are computed against the result's
+// first variant (the baseline by convention); seed is the job's derived
+// master seed.
+func (b *BenchResult) MetricsRecord(seed uint64) metrics.Record {
+	rec := metrics.Record{
+		Kind:         metrics.KindBench,
+		Bench:        b.Bench,
+		Setup:        b.Setup.Name,
+		Seed:         seed,
+		Instructions: b.Instructions,
+	}
+	model := perf.Default()
+	var baseRun perf.Run
+	for i, v := range b.Variants {
+		l1m, l2m := v.MPMI()
+		mv := metrics.Variant{
+			Name:           v.Name,
+			Policy:         v.Policy,
+			Accesses:       v.TLB.Accesses,
+			L1Misses:       v.TLB.L1Misses,
+			L2Misses:       v.TLB.L2Misses,
+			Walks:          v.TLB.Walks,
+			Faults:         v.TLB.Faults,
+			WalkCycles:     v.TLB.WalkCycles,
+			CoalescedFills: v.TLB.CoalescedFills,
+			L1:             levelMetrics(v.Levels.L1, 0),
+			L2:             levelMetrics(v.Levels.L2, 0),
+			Sup:            levelMetrics(v.Levels.Sup, v.Levels.SupMerges),
+			L1MPMI:         l1m,
+			L2MPMI:         l2m,
+			L1MissRate:     v.TLB.L1MissRate(),
+			L2MissRate:     v.TLB.L2MissRate(),
+			MemStallCycles: v.Run.MemStallCycles,
+			ModelCycles:    model.Cycles(v.Run),
+		}
+		if i == 0 {
+			baseRun = v.Run
+		} else {
+			mv.SpeedupPct = model.Improvement(baseRun, v.Run)
+		}
+		rec.Variants = append(rec.Variants, mv)
+	}
+	return rec
+}
+
+// contigRecord converts one page-table scan to a metrics record.
+func contigRecord(bench string, setup SystemSetup, seed uint64, res contig.Result) metrics.Record {
+	return metrics.Record{
+		Kind:  metrics.KindContig,
+		Bench: bench,
+		Setup: setup.Name,
+		Seed:  seed,
+		Contig: &metrics.Contiguity{
+			PageAvg:       res.AverageContiguity(),
+			RunAvg:        res.RunWeightedAverage(),
+			SuperPages:    res.SuperPages,
+			NonSuperPages: res.NonSuperPages,
+			MaxRun:        res.MaxRun,
+			FracOver512:   res.FractionAtLeast(513),
+		},
+	}
 }
 
 // simulator bundles one TLB variant's private state: its TLB hierarchy,
@@ -235,6 +363,7 @@ func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System,
 // benchmark: build the system and the benchmark's memory, then scan its
 // page table (Figures 7-17).
 func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.Result, error) {
+	start := time.Now()
 	sys, master, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
 		return contig.Result{}, err
@@ -251,7 +380,12 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 	// periodic page-table scans do: under oversubscription this is
 	// where swap thrash reshapes residency.
 	sys.Idle(steadyStateSlots)
-	return contig.Scan(proc.Table), nil
+	res := contig.Scan(proc.Table)
+	if opts.Metrics != nil {
+		seed := seedFor(opts.Seed, spec.Name, setup.Name)
+		opts.Metrics.Add(contigRecord(spec.Name, setup, seed, res), time.Since(start))
+	}
+	return res, nil
 }
 
 // benchSim is one benchmark's simulation in flight: the built system
@@ -382,7 +516,9 @@ func (b *benchSim) result() *BenchResult {
 		}
 		res.Variants = append(res.Variants, VariantResult{
 			Name:                s.name,
+			Policy:              s.hier.Config().Policy.String(),
 			TLB:                 st,
+			Levels:              s.hier.LevelStats(),
 			Prefetch:            s.hier.PrefetchStats(),
 			SubblockRejectedPct: rejectedPct,
 			Run: perf.Run{
@@ -403,6 +539,7 @@ func (b *benchSim) result() *BenchResult {
 // same reference stream and shootdown sequence in lockstep, so
 // parallelism lives one level up, across (benchmark × setup) jobs.
 func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*BenchResult, error) {
+	start := time.Now()
 	b, master, err := newBenchSim(spec, setup, opts, variants)
 	if err != nil {
 		return nil, err
@@ -441,5 +578,10 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 			}
 		}
 	}
-	return b.result(), nil
+	res := b.result()
+	if opts.Metrics != nil {
+		seed := seedFor(opts.Seed, spec.Name, setup.Name)
+		opts.Metrics.Add(res.MetricsRecord(seed), time.Since(start))
+	}
+	return res, nil
 }

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"colt/internal/contig"
+	"colt/internal/metrics"
 	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/vm"
@@ -36,6 +38,7 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 	if samples < 2 {
 		return nil, fmt.Errorf("timeline needs at least 2 samples, got %d", samples)
 	}
+	start := time.Now()
 	sys, master, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
 		return nil, err
@@ -101,6 +104,24 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		}
 		sys.Idle(32)
 		points = append(points, scan(done))
+	}
+	if opts.Metrics != nil {
+		rec := metrics.Record{
+			Kind:  metrics.KindTimeline,
+			Bench: spec.Name,
+			Setup: setup.Name,
+			Seed:  seedFor(opts.Seed, spec.Name, setup.Name),
+		}
+		for _, p := range points {
+			rec.Timeline = append(rec.Timeline, metrics.TimelinePoint{
+				RefsDone:    p.RefsDone,
+				PageAvg:     p.PageAvg,
+				RunAvg:      p.RunAvg,
+				MappedPages: p.MappedPages,
+				Superpages:  p.Superpages,
+			})
+		}
+		opts.Metrics.Add(rec, time.Since(start))
 	}
 	return points, nil
 }

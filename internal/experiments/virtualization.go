@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"colt/internal/arch"
 	"colt/internal/cache"
@@ -121,7 +122,10 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 			NativeSpeedup: model.Improvement(nb.Run, na.Run),
 			VirtSpeedup:   model.Improvement(vb.Run, va.Run),
 		}
-		if nb.TLB.Walks > 0 && nb.Run.WalkCycles > 0 {
+		// Every divisor must be checked: a run short enough to trigger
+		// no virtualized walks would otherwise put Inf in the row (and
+		// then in the metrics JSON, which rejects non-finite values).
+		if nb.TLB.Walks > 0 && vb.TLB.Walks > 0 && nb.Run.WalkCycles > 0 {
 			nativePerWalk := float64(nb.Run.WalkCycles) / float64(nb.TLB.Walks)
 			virtPerWalk := float64(vb.Run.WalkCycles) / float64(vb.TLB.Walks)
 			row.WalkInflation = virtPerWalk / nativePerWalk
@@ -133,6 +137,7 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 // runVirtualized builds the guest system + workload, backs it with a
 // host table, and runs baseline and CoLT-All over the nested walker.
 func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) {
+	start := time.Now()
 	var out [2]VariantResult
 	sys, master, err := buildSystem(SetupTHSOnNormal, opts, spec.Name+"/virt")
 	if err != nil {
@@ -194,14 +199,26 @@ func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) 
 	for j := range sims {
 		st := sims[j].hier.Stats()
 		out[j] = VariantResult{
-			Name: names[j],
-			TLB:  st,
+			Name:   names[j],
+			Policy: configs[j].Policy.String(),
+			TLB:    st,
+			Levels: sims[j].hier.LevelStats(),
 			Run: perf.Run{
 				Instructions:   instructions,
 				MemStallCycles: sims[j].stall,
 				WalkCycles:     st.WalkCycles,
 			},
 		}
+	}
+	if opts.Metrics != nil {
+		res := &BenchResult{
+			Bench:        spec.Name + "/virt",
+			Setup:        SetupTHSOnNormal,
+			Instructions: instructions,
+			Variants:     out[:],
+		}
+		seed := seedFor(opts.Seed, spec.Name+"/virt", SetupTHSOnNormal.Name)
+		opts.Metrics.Add(res.MetricsRecord(seed), time.Since(start))
 	}
 	return out, nil
 }

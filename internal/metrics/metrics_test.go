@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord(bench string) Record {
+	return Record{
+		Kind:         KindBench,
+		Bench:        bench,
+		Setup:        "THS on, normal compaction",
+		Seed:         0xC017,
+		Instructions: 1_000_000,
+		Variants: []Variant{
+			{
+				Name: "baseline", Policy: "baseline",
+				Accesses: 500_000, L1Misses: 40_000, L2Misses: 9_000,
+				Walks: 9_000, WalkCycles: 270_000,
+				L1:          LevelStats{Lookups: 500_000, Hits: 460_000, Misses: 40_000, Fills: 40_000, HitRate: 0.92, TranslationsPerFill: 1},
+				L2:          LevelStats{Lookups: 40_000, Hits: 31_000, Misses: 9_000, Fills: 9_000, HitRate: 0.775, TranslationsPerFill: 1},
+				L1MPMI:      40_000, L2MPMI: 9_000,
+				ModelCycles: 1_000_000,
+			},
+		},
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 4); got != 2.5 {
+		t.Errorf("Ratio(10,4) = %v", got)
+	}
+	if got := Ratio(10, 0); got != 0 {
+		t.Errorf("Ratio(10,0) = %v, want 0", got)
+	}
+	if got := Ratio(0, 0); got != 0 {
+		t.Errorf("Ratio(0,0) = %v, want 0", got)
+	}
+}
+
+// TestStableJSONSortedAndStable: records collected in any order yield
+// identical bytes, and every object's keys come out sorted.
+func TestStableJSONSortedAndStable(t *testing.T) {
+	opts := Options{Frames: 1 << 15, Scale: 0.05, Refs: 60_000, Seed: 0xC017}
+
+	c1 := NewCollector()
+	c1.Add(sampleRecord("Mcf"), time.Millisecond)
+	c1.Add(sampleRecord("Astar"), time.Millisecond)
+	c2 := NewCollector()
+	c2.Add(sampleRecord("Astar"), time.Millisecond)
+	c2.Add(sampleRecord("Mcf"), time.Millisecond)
+
+	j1, err := c1.Report("fig18", opts).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c2.Report("fig18", opts).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("collection order leaked into stable JSON")
+	}
+
+	// Keys sorted: "bench" must appear before "kind" in a record object.
+	s := string(j1)
+	if !strings.Contains(s, `"schema": "colt-metrics/1"`) {
+		t.Errorf("schema missing:\n%s", s)
+	}
+	bi, ki := strings.Index(s, `"bench"`), strings.Index(s, `"kind"`)
+	if bi == -1 || ki == -1 || bi > ki {
+		t.Errorf("keys not sorted: bench@%d kind@%d", bi, ki)
+	}
+	// Numeric values survive the normalization round-trip exactly.
+	if !strings.Contains(s, `"hit_rate": 0.775`) {
+		t.Errorf("float literal not preserved:\n%s", s)
+	}
+}
+
+func TestStableJSONRejectsNonFinite(t *testing.T) {
+	for name, poison := range map[string]func(*Record){
+		"speedup-inf":  func(r *Record) { r.Variants[0].SpeedupPct = math.Inf(1) },
+		"hit-rate-nan": func(r *Record) { r.Variants[0].L1.HitRate = math.NaN() },
+	} {
+		rec := sampleRecord("Mcf")
+		poison(&rec)
+		c := NewCollector()
+		c.Add(rec, 0)
+		_, err := c.Report("fig18", Options{}).StableJSON()
+		if err == nil {
+			t.Errorf("%s: non-finite value serialized without error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Mcf") {
+			t.Errorf("%s: error %q does not name the record", name, err)
+		}
+	}
+}
+
+func TestReportEmptyRecords(t *testing.T) {
+	c := NewCollector()
+	out, err := c.Report("empty", Options{}).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"records": []`) {
+		t.Errorf("empty report should serialize records as []:\n%s", out)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	c := NewCollector()
+	c.Add(sampleRecord("Mcf"), 0)
+	base, err := c.Report("fig18", Options{Refs: 100}).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := Diff(base, base); d != nil {
+		t.Errorf("Diff of identical documents = %v", d)
+	}
+
+	changed := NewCollector()
+	rec := sampleRecord("Mcf")
+	rec.Variants[0].L2Misses = 9_001
+	changed.Add(rec, 0)
+	mod, err := changed.Report("fig18", Options{Refs: 100}).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(mod, base)
+	if len(d) == 0 {
+		t.Fatal("Diff missed a changed field")
+	}
+	joined := strings.Join(d, "\n")
+	if !strings.Contains(joined, "l2_misses") || !strings.Contains(joined, "9001") || !strings.Contains(joined, "9000") {
+		t.Errorf("diff lines do not name the field and both values:\n%s", joined)
+	}
+}
+
+func TestCollectorMergeAndTiming(t *testing.T) {
+	a := NewCollector()
+	a.Add(sampleRecord("Mcf"), 5*time.Millisecond)
+	a.ObserveJob(0, 5*time.Millisecond)
+
+	b := NewCollector()
+	b.Merge(a)
+	b.Merge(nil) // no-op
+	b.Merge(b)   // self-merge is a no-op, not a deadlock or duplication
+	if b.Len() != 1 {
+		t.Fatalf("merged collector has %d records", b.Len())
+	}
+
+	out, err := b.TimingJSON("fig18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TimingReport
+	if err := json.Unmarshal(out, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SchedJobs != 1 || len(tr.Records) != 1 || tr.Records[0].Bench != "Mcf" {
+		t.Errorf("timing report %+v", tr)
+	}
+	if tr.Records[0].WallMS != 5 {
+		t.Errorf("wall_ms = %v, want 5", tr.Records[0].WallMS)
+	}
+}

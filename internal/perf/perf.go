@@ -55,7 +55,9 @@ func (m Model) PerfectTLBCycles(r Run) float64 {
 
 // Improvement returns the percentage speedup of the candidate run over
 // the baseline run: 100 * (T_base/T_cand - 1). This is the quantity
-// Figure 21 plots.
+// Figure 21 plots. The degenerate case of a zero-cycle candidate run
+// is defined as 0 (no measurable improvement), never ±Inf — these
+// values are serialized to JSON, which admits no non-finite numbers.
 func (m Model) Improvement(baseline, candidate Run) float64 {
 	tb, tc := m.Cycles(baseline), m.Cycles(candidate)
 	if tc == 0 {

@@ -50,6 +50,23 @@ func TestImprovementDegenerate(t *testing.T) {
 	if m.PerfectImprovement(Run{}) != 0 {
 		t.Fatal("zero-cycle perfect improvement")
 	}
+	// A zero-cycle candidate against a real baseline must return the
+	// defined degenerate value 0 — never +Inf. These values are
+	// serialized to JSON by the metrics layer, which rejects Inf/NaN.
+	base := Run{Instructions: 1000, MemStallCycles: 200, WalkCycles: 300}
+	if got := m.Improvement(base, Run{}); got != 0 {
+		t.Fatalf("zero-cycle candidate improvement = %v, want 0", got)
+	}
+	for _, r := range []Run{{}, base, {WalkCycles: 7}} {
+		for _, v := range []float64{
+			m.Improvement(base, r), m.Improvement(r, base), m.Improvement(r, r),
+			m.PerfectImprovement(r), m.WalkStallFraction(r), MPMI(r.WalkCycles, r.Instructions),
+		} {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("degenerate run %+v produced non-finite value %v", r, v)
+			}
+		}
+	}
 }
 
 func TestWalkStallFraction(t *testing.T) {

@@ -20,12 +20,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool schedules independent jobs over a fixed number of workers. The
 // zero value is not useful; use New.
 type Pool struct {
 	workers int
+	observe func(job int, d time.Duration)
 }
 
 // New returns a pool running up to workers jobs concurrently. Values
@@ -40,6 +42,26 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's concurrency limit.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetObserver registers fn to receive each job's wall-clock duration
+// as it completes (the metrics layer's per-job timing hook). fn may be
+// called concurrently from several workers and must be safe for that;
+// it is invoked for failed jobs too. Returns p for chaining.
+func (p *Pool) SetObserver(fn func(job int, d time.Duration)) *Pool {
+	p.observe = fn
+	return p
+}
+
+// timed runs fn(i) and reports its duration to the observer, if any.
+func (p *Pool) timed(i int, fn func(i int) error) error {
+	if p.observe == nil {
+		return fn(i)
+	}
+	start := time.Now()
+	err := fn(i)
+	p.observe(i, time.Since(start))
+	return err
+}
 
 // Map runs fn(i) for every i in [0, n) on the pool's workers and
 // returns the results ordered by input index — never by completion
@@ -62,8 +84,11 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		// -parallel 1 has the exact serial semantics (and stack traces)
 		// of the pre-scheduler code.
 		for i := 0; i < n; i++ {
-			var err error
-			if results[i], err = fn(i); err != nil {
+			if err := p.timed(i, func(i int) error {
+				var err error
+				results[i], err = fn(i)
+				return err
+			}); err != nil {
 				return nil, err
 			}
 		}
@@ -95,8 +120,11 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 							panicMu.Unlock()
 						}
 					}()
-					var err error
-					if results[i], err = fn(i); err != nil {
+					if err := p.timed(i, func(i int) error {
+						var err error
+						results[i], err = fn(i)
+						return err
+					}); err != nil {
 						errs[i] = err
 						failed.Store(true)
 					}

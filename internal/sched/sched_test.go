@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdersResultsByInput(t *testing.T) {
@@ -161,4 +162,53 @@ func busy(n int) uint64 {
 		x ^= x << 17
 	}
 	return x
+}
+
+// TestObserverSeesEveryJob: the per-job timing hook fires exactly once
+// per job (including failed jobs) on both the serial and concurrent
+// paths, with non-negative durations.
+func TestObserverSeesEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		var negative atomic.Bool
+		seen := make([]atomic.Int64, 10)
+		p := New(workers).SetObserver(func(job int, d time.Duration) {
+			calls.Add(1)
+			if d < 0 {
+				negative.Store(true)
+			}
+			seen[job].Add(1)
+		})
+		if _, err := Map(p, 10, func(i int) (uint64, error) { return busy(i), nil }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != 10 {
+			t.Errorf("workers=%d: observer fired %d times, want 10", workers, calls.Load())
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Errorf("workers=%d: job %d observed %d times", workers, i, seen[i].Load())
+			}
+		}
+		if negative.Load() {
+			t.Errorf("workers=%d: observer saw a negative duration", workers)
+		}
+	}
+
+	// Failed jobs are observed too (serial path stops at the error, so
+	// the observed count equals the jobs actually dispatched).
+	var calls atomic.Int64
+	p := New(1).SetObserver(func(int, time.Duration) { calls.Add(1) })
+	_, err := Map(p, 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated through timed path")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("observer fired %d times before the serial error stop, want 3", calls.Load())
+	}
 }

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the decoder's contract over arbitrary byte streams:
+// Read never panics, and any stream it accepts round-trips — the
+// decoded trace re-encodes without error and decodes back to identical
+// records. Acceptance also implies every format invariant holds
+// (InstGap >= 1, address within the 63-bit encoding).
+func FuzzRead(f *testing.F) {
+	// Seed 1: a valid two-record trace.
+	valid := &Trace{}
+	valid.Append(Record{VAddr: 0x1000, Write: false, InstGap: 1})
+	valid.Append(Record{VAddr: 0xdeadbeef000, Write: true, InstGap: 250})
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Seed 2: the same stream truncated mid-record.
+	f.Add(buf.Bytes()[:buf.Len()-5])
+	// Seed 3: bad magic.
+	f.Add([]byte("NOTATRACE!!!"))
+	// Seed 4: magic only (empty trace).
+	f.Add(buf.Bytes()[:8])
+	// Seed 5: a record with a zero InstGap, which Read must reject.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	copy(corrupt[16:20], []byte{0, 0, 0, 0})
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for i := 0; i < tr.Len(); i++ {
+			r := tr.At(i)
+			if r.InstGap == 0 {
+				t.Fatalf("record %d: accepted InstGap 0", i)
+			}
+			if uint64(r.VAddr)&(uint64(1)<<63) != 0 {
+				t.Fatalf("record %d: accepted address %#x outside encoding", i, uint64(r.VAddr))
+			}
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace fails to re-encode: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v", err)
+		}
+		if tr2.Len() != tr.Len() {
+			t.Fatalf("round-trip length %d != %d", tr2.Len(), tr.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if tr2.At(i) != tr.At(i) {
+				t.Fatalf("round-trip record %d: %+v != %+v", i, tr2.At(i), tr.At(i))
+			}
+		}
+		if tr2.Instructions() != tr.Instructions() {
+			t.Fatalf("round-trip instructions %d != %d", tr2.Instructions(), tr.Instructions())
+		}
+	})
+}

@@ -59,17 +59,22 @@ const writeBit = uint64(1) << 63
 // ErrBadMagic reports a stream that is not a CoLT trace.
 var ErrBadMagic = errors.New("trace: bad magic (not a CoLT trace)")
 
-// Write encodes the trace to w.
+// Write encodes the trace to w. Every record's InstGap must be >= 1
+// (each reference is itself an instruction); a zero gap is rejected
+// rather than silently corrupting downstream instruction counts.
 func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	var buf [12]byte
-	for _, r := range t.recs {
+	for i, r := range t.recs {
 		word := uint64(r.VAddr)
 		if word&writeBit != 0 {
 			return fmt.Errorf("trace: address %#x overflows encoding", uint64(r.VAddr))
+		}
+		if r.InstGap == 0 {
+			return fmt.Errorf("trace: record %d: InstGap 0 is invalid (must be >= 1)", i)
 		}
 		if r.Write {
 			word |= writeBit
@@ -83,7 +88,9 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace from r.
+// Read decodes a trace from r, enforcing the format's invariants: a
+// stream whose records carry a zero InstGap is rejected with a
+// descriptive error, never silently accepted.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
@@ -95,19 +102,23 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	t := &Trace{}
 	var buf [12]byte
-	for {
+	for i := 0; ; i++ {
 		_, err := io.ReadFull(br, buf[:])
 		if err == io.EOF {
 			return t, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: truncated record: %w", err)
+			return nil, fmt.Errorf("trace: truncated record %d: %w", i, err)
 		}
 		word := binary.LittleEndian.Uint64(buf[0:8])
+		gap := binary.LittleEndian.Uint32(buf[8:12])
+		if gap == 0 {
+			return nil, fmt.Errorf("trace: record %d: InstGap 0 is invalid (must be >= 1)", i)
+		}
 		t.Append(Record{
 			VAddr:   arch.VAddr(word &^ writeBit),
 			Write:   word&writeBit != 0,
-			InstGap: binary.LittleEndian.Uint32(buf[8:12]),
+			InstGap: gap,
 		})
 	}
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -92,6 +94,37 @@ func TestTruncatedRecord(t *testing.T) {
 	cut := buf.Bytes()[:buf.Len()-3]
 	if _, err := Read(bytes.NewReader(cut)); err == nil {
 		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestZeroGapRejectedOnWrite(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Record{VAddr: 0x1000, InstGap: 1})
+	tr.Append(Record{VAddr: 0x2000, InstGap: 0})
+	err := tr.Write(&bytes.Buffer{})
+	if err == nil {
+		t.Fatal("zero InstGap accepted by Write")
+	}
+	if !strings.Contains(err.Error(), "record 1") || !strings.Contains(err.Error(), "InstGap") {
+		t.Errorf("error %q does not name the offending record and field", err)
+	}
+}
+
+func TestZeroGapRejectedOnRead(t *testing.T) {
+	// Hand-assemble a stream with a zero gap, which Write refuses to
+	// produce: magic plus one 12-byte record whose gap field is 0.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var rec [12]byte
+	binary.LittleEndian.PutUint64(rec[0:8], 0x1000)
+	binary.LittleEndian.PutUint32(rec[8:12], 0)
+	buf.Write(rec[:])
+	_, err := Read(&buf)
+	if err == nil {
+		t.Fatal("zero InstGap accepted by Read")
+	}
+	if !strings.Contains(err.Error(), "record 0") || !strings.Contains(err.Error(), "InstGap") {
+		t.Errorf("error %q does not name the offending record and field", err)
 	}
 }
 
