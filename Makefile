@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race golden golden-update bench-parallel
+.PHONY: check vet build test race golden golden-update bench-parallel chaos fuzz-buddy
 
 check: vet build test race golden
 
@@ -37,3 +37,15 @@ golden-update:
 # output at every width; see EXPERIMENTS.md for recorded numbers).
 bench-parallel:
 	$(GO) test -bench ParallelFig18 -cpu 1,4,8 -benchtime 3x -run '^$$' .
+
+# Chaos soak: fault injection at every site with the invariant auditors
+# armed — injected failures must surface as structured records, the
+# surviving jobs must render, and the degraded report must be
+# byte-identical at every scheduler width (see DESIGN.md).
+chaos:
+	$(GO) test ./internal/experiments -run TestChaos -count=1 -v
+
+# A short buddy-allocator fuzz run with the free-list auditor asserted
+# after every operation (CI runs the corpus only, via `make test`).
+fuzz-buddy:
+	$(GO) test ./internal/mm -run '^$$' -fuzz FuzzBuddyAllocFree -fuzztime 30s

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"colt"
+)
+
+func TestRunRejectsBadMemhog(t *testing.T) {
+	for _, pct := range []int{-1, 95, 200} {
+		kernel := colt.DefaultKernel()
+		kernel.MemhogPct = pct
+		err := run("Mcf", kernel, colt.QuickOptions())
+		if err == nil {
+			t.Errorf("run with memhog=%d succeeded", pct)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-memhog") {
+			t.Errorf("memhog=%d error %q does not mention the flag", pct, err)
+		}
+	}
+}
+
+func TestRunUnknownBenchNamesValidSet(t *testing.T) {
+	err := run("NoSuchBench", colt.DefaultKernel(), colt.QuickOptions())
+	if err == nil {
+		t.Fatal("run with unknown benchmark succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"NoSuchBench"`) {
+		t.Errorf("error %q does not quote the bad benchmark", msg)
+	}
+	for _, want := range colt.Benchmarks() {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid benchmark %q", msg, want)
+		}
+	}
+}
+
+func TestRunSingleBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full workload image")
+	}
+	if err := run("Mcf", colt.DefaultKernel(), colt.QuickOptions()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

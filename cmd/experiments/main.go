@@ -3,13 +3,20 @@
 // Usage:
 //
 //	experiments -exp table1|contig|fig16|...|all [-quick] [-parallel N] [-scale F] [-refs N] [-frames N]
-//	            [-out DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-out DIR] [-faults SPEC] [-strict-invariants] [-job-timeout D] [-retries N]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Run with -exp list (or an unknown name) to see every experiment.
 // With -out DIR, each experiment additionally writes its
 // machine-readable report to DIR/<name>.json (stable, key-sorted JSON —
 // see internal/metrics and EXPERIMENTS.md) plus a DIR/<name>.timing.json
 // wall-clock sidecar.
+//
+// -faults injects deterministic failures ("site=rate,..." or "all=rate";
+// see internal/fault); failed jobs are retried -retries times, then
+// recorded in the report's Failures section while surviving jobs still
+// render. -strict-invariants runs the internal/invariant auditors at
+// every checkpoint. -job-timeout bounds each scheduler job's wall time.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"colt/internal/experiments"
+	"colt/internal/fault"
 	"colt/internal/metrics"
 	"colt/internal/stats"
 	"colt/internal/workload"
@@ -39,6 +47,10 @@ func main() {
 		frames     = flag.Int("frames", 0, "override physical memory frames")
 		seed       = flag.Uint64("seed", 0, "override RNG seed")
 		outDir     = flag.String("out", "", "directory for machine-readable metrics JSON (one report per experiment)")
+		faults     = flag.String("faults", "", `deterministic fault injection, "site=rate,..." or "all=rate"`)
+		strict     = flag.Bool("strict-invariants", false, "run invariant auditors at every checkpoint")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per scheduler job (0 = none)")
+		retries    = flag.Int("retries", 1, "deterministic retries per job for injected faults")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -62,6 +74,19 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	spec, err := fault.ParseSpec(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: -faults:", err)
+		os.Exit(2)
+	}
+	opts.Faults = spec
+	opts.CheckInvariants = *strict
+	opts.JobTimeout = *jobTimeout
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -retries must be >= 0, got", *retries)
+		os.Exit(2)
+	}
+	opts.Retries = *retries
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -77,7 +102,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err := run(*exp, opts, *outDir)
+	err = run(*exp, opts, *outDir)
 
 	if *memProfile != "" {
 		if perr := writeHeapProfile(*memProfile); perr != nil {
@@ -329,6 +354,11 @@ func registry() []experiment {
 					return err
 				}
 				for i, points := range series {
+					if points == nil {
+						// The benchmark's job failed under -faults; its
+						// failure is reported separately.
+						continue
+					}
 					fmt.Println(experiments.RenderTimeline(names[i], experiments.SetupTHSOnMemhog50, points))
 				}
 				return nil
@@ -384,15 +414,21 @@ func run(exp string, opts experiments.Options, outDir string) error {
 }
 
 // runOne executes one registry entry, collecting and writing its
-// metrics report when -out is set.
+// metrics report when -out is set. With -faults, a collector is
+// attached even without -out so injected job failures are reported
+// rather than silently dropped with the degraded rows.
 func runOne(e experiment, opts experiments.Options, outDir string) error {
-	if outDir == "" {
+	if outDir == "" && !opts.Faults.Enabled() {
 		return e.run(opts)
 	}
 	col := metrics.NewCollector()
 	opts.Metrics = col
 	if err := e.run(opts); err != nil {
 		return err
+	}
+	printFailures(e.name, col)
+	if outDir == "" {
+		return nil
 	}
 	report, err := col.Report(e.name, opts.Snapshot()).StableJSON()
 	if err != nil {
@@ -409,6 +445,23 @@ func runOne(e experiment, opts experiments.Options, outDir string) error {
 		return fmt.Errorf("%s: writing timing report: %w", e.name, err)
 	}
 	return nil
+}
+
+// printFailures summarizes the jobs an experiment lost to injected
+// faults or timeouts; surviving rows have already been rendered.
+func printFailures(name string, col *metrics.Collector) {
+	failures := col.Failures()
+	if len(failures) == 0 {
+		return
+	}
+	fmt.Printf("%s: %d job(s) failed and were dropped from the tables above:\n", name, len(failures))
+	for _, f := range failures {
+		detail := fmt.Sprintf("after %d attempt(s)", f.Attempts)
+		if f.TimedOut {
+			detail = "timed out"
+		}
+		fmt.Printf("  %s/%s (%s, %s): %s\n", f.Bench, f.Setup, f.Kind, detail, f.Error)
+	}
 }
 
 // calibrate prints a compact per-benchmark summary used while tuning

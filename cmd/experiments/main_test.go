@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"colt/internal/experiments"
+	"colt/internal/fault"
 	"colt/internal/metrics"
 )
 
@@ -91,5 +92,46 @@ func TestOutDirDeterministic(t *testing.T) {
 	if !bytes.Equal(outputs[1], golden) {
 		t.Errorf("CLI -out report does not match checked-in golden:\n%s",
 			strings.Join(metrics.Diff(outputs[1], golden), "\n"))
+	}
+}
+
+// TestFaultedRunRendersPartialReport guards the -faults contract: a
+// degraded run exits zero, and its report carries both surviving
+// records and a structured failures section.
+func TestFaultedRunRendersPartialReport(t *testing.T) {
+	spec, err := fault.ParseSpec("trace-corrupt=5e-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := experiments.GoldenOptions()
+	opts.Faults = spec
+	opts.Retries = 1
+	opts.CheckInvariants = true
+	dir := t.TempDir()
+	if err := run("fig18", opts, dir); err != nil {
+		t.Fatalf("faulted run failed outright: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig18.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"failures"`, `"injected": true`, `"fault_spec": "trace-corrupt=5e-05"`, `"records"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("faulted report lacks %s", want)
+		}
+	}
+}
+
+// TestBadFaultSpecNamesSites guards the -faults parse contract relied
+// on by main: the error must name every valid site.
+func TestBadFaultSpecNamesSites(t *testing.T) {
+	_, err := fault.ParseSpec("bogus-site=0.5")
+	if err == nil {
+		t.Fatal("ParseSpec accepted an unknown site")
+	}
+	for _, site := range fault.Sites() {
+		if !strings.Contains(err.Error(), string(site)) {
+			t.Errorf("parse error %q does not name site %s", err, site)
+		}
 	}
 }

@@ -50,6 +50,9 @@ func main() {
 }
 
 func generate(bench, out string, refs int, quick bool) error {
+	if refs <= 0 {
+		return fmt.Errorf("references must be positive, got %d", refs)
+	}
 	spec, err := workload.ByName(bench)
 	if err != nil {
 		return err
@@ -69,7 +72,7 @@ func generate(bench, out string, refs int, quick bool) error {
 	}
 	w, err := workload.Build(spec.Scale(opts.Scale), proc, master.Stream("workload"))
 	if err != nil {
-		return err
+		return fmt.Errorf("building %s: %w", bench, err)
 	}
 	var tr trace.Trace
 	for i := 0; i < refs; i++ {
@@ -78,11 +81,11 @@ func generate(bench, out string, refs int, quick bool) error {
 	}
 	f, err := os.Create(out)
 	if err != nil {
-		return err
+		return fmt.Errorf("creating %s: %w", out, err)
 	}
 	defer f.Close()
 	if err := tr.Write(f); err != nil {
-		return err
+		return fmt.Errorf("writing %s: %w", out, err)
 	}
 	fmt.Printf("wrote %d references (%d instructions) for %s to %s\n",
 		tr.Len(), tr.Instructions(), bench, out)
@@ -90,14 +93,17 @@ func generate(bench, out string, refs int, quick bool) error {
 }
 
 func dumpTrace(path string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", n)
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("opening trace: %w", err)
 	}
 	defer f.Close()
 	tr, err := trace.Read(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading trace %s: %w", path, err)
 	}
 	fmt.Printf("%d records, %d instructions\n", tr.Len(), tr.Instructions())
 	count := 0

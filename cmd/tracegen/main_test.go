@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"colt/internal/workload"
+)
+
+func TestGenerateRejectsBadRefs(t *testing.T) {
+	for _, refs := range []int{0, -5} {
+		err := generate("Mcf", filepath.Join(t.TempDir(), "x.trace"), refs, true)
+		if err == nil {
+			t.Errorf("generate with refs=%d succeeded", refs)
+			continue
+		}
+		if !strings.Contains(err.Error(), "references") {
+			t.Errorf("refs=%d error %q does not mention references", refs, err)
+		}
+	}
+}
+
+func TestGenerateUnknownBenchNamesValidSet(t *testing.T) {
+	err := generate("NoSuchBench", filepath.Join(t.TempDir(), "x.trace"), 100, true)
+	if err == nil {
+		t.Fatal("generate with unknown benchmark succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"NoSuchBench"`) {
+		t.Errorf("error %q does not quote the bad benchmark", msg)
+	}
+	for _, want := range workload.Names() {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid benchmark %q", msg, want)
+		}
+	}
+}
+
+func TestGenerateCreateError(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "no-such-dir", "x.trace")
+	err := generate("Mcf", out, 100, true)
+	if err == nil {
+		t.Fatal("generate into a missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "creating "+out) {
+		t.Errorf("error %q does not wrap the create failure with the path", err)
+	}
+}
+
+func TestGenerateThenDumpRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mcf.trace")
+	if err := generate("Mcf", out, 200, true); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := dumpTrace(out, 5); err != nil {
+		t.Fatalf("dumpTrace: %v", err)
+	}
+}
+
+func TestDumpMissingTraceError(t *testing.T) {
+	err := dumpTrace(filepath.Join(t.TempDir(), "absent.trace"), 5)
+	if err == nil {
+		t.Fatal("dump of missing trace succeeded")
+	}
+	if !strings.Contains(err.Error(), "opening trace") {
+		t.Errorf("error %q does not say the trace failed to open", err)
+	}
+}
+
+func TestDumpCorruptTraceError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("NOTATRACE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := dumpTrace(path, 5)
+	if err == nil {
+		t.Fatal("dump of corrupt trace succeeded")
+	}
+	if !strings.Contains(err.Error(), "reading trace") {
+		t.Errorf("error %q does not say the trace failed to parse", err)
+	}
+}
+
+func TestDumpRejectsBadN(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if err := dumpTrace("irrelevant", n); err == nil {
+			t.Errorf("dumpTrace with n=%d succeeded", n)
+		}
+	}
+}

@@ -244,6 +244,24 @@ func (t *FullyAssocTLB) InvalidateAll() {
 	t.stats.Invalidates++
 }
 
+// EachEntry calls fn with every valid entry's range (as a Run) and
+// whether it is a superpage entry, in entry order. Invariant auditors
+// use this to check resident ranges against the page table; it does
+// not touch recency or counters.
+func (t *FullyAssocTLB) EachEntry(fn func(run Run, huge bool)) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			continue
+		}
+		n := e.length
+		if e.huge {
+			n = arch.PagesPerHuge
+		}
+		fn(Run{BaseVPN: e.baseVPN, BasePFN: e.basePFN, Len: n, Attr: e.attr}, e.huge)
+	}
+}
+
 // Occupied returns the number of valid entries.
 func (t *FullyAssocTLB) Occupied() int {
 	n := 0

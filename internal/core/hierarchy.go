@@ -566,6 +566,19 @@ func (h *Hierarchy) Invalidate(vpn arch.VPN) {
 	h.sup.Invalidate(vpn)
 }
 
+// EachRun calls fn with every translation range resident in the L1,
+// L2, or superpage TLB, labeled with the holding level ("l1", "l2",
+// "sup") and whether it is a superpage entry. Invariant auditors use
+// this to check resident translations against the page table. The
+// prefetch buffer and subblock structures are not enumerated: they
+// hold speculative or partial-coverage state audited by their own
+// unit tests, not page-table-coherent ranges.
+func (h *Hierarchy) EachRun(fn func(level string, run Run, huge bool)) {
+	h.l1.EachRun(func(r Run) { fn("l1", r, false) })
+	h.l2.EachRun(func(r Run) { fn("l2", r, false) })
+	h.sup.EachEntry(func(r Run, huge bool) { fn("sup", r, huge) })
+}
+
 // InvalidateAll flushes the entire hierarchy (context switch without
 // ASIDs).
 func (h *Hierarchy) InvalidateAll() {

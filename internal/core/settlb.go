@@ -276,6 +276,19 @@ func (t *SetAssocTLB) InvalidateAll() {
 	t.stats.Invalidates++
 }
 
+// EachRun calls fn with every valid entry's coalesced run, in entry
+// order. Invariant auditors use this to check resident translations
+// against the page table; it does not touch recency or counters.
+func (t *SetAssocTLB) EachRun(fn func(Run)) {
+	for idx := range t.entries {
+		e := &t.entries[idx]
+		if !e.valid || e.vbits == 0 {
+			continue
+		}
+		fn(t.entryRun(e, t.victimVPN(idx, e)))
+	}
+}
+
 // Occupied returns the number of valid entries; coalesced entries count
 // once.
 func (t *SetAssocTLB) Occupied() int {

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"colt/internal/fault"
+	"colt/internal/metrics"
+	"colt/internal/workload"
+)
+
+// The chaos suite is the fault plane's end-to-end proof: every site can
+// fire, injected failures surface as structured errors (never panics),
+// surviving jobs still produce results, and the whole degraded run is
+// byte-identical across scheduler widths. `make chaos` runs these
+// tests; they are also part of the ordinary test run.
+
+// chaosSpec returns a spec with the given per-crossing rates.
+func chaosSpec(rates map[fault.Site]float64) fault.Spec {
+	return fault.Spec{Rates: rates}
+}
+
+// TestChaosHardSitesFailRun forces the two hard sites — allocation
+// during system build and trace decoding — to fire on the first
+// crossing and requires a structured injected error, not a panic.
+func TestChaosHardSitesFailRun(t *testing.T) {
+	spec, _ := workload.ByName("Mcf")
+	for _, site := range []fault.Site{fault.SiteBuddyAlloc, fault.SiteTraceCorrupt} {
+		opts := GoldenOptions()
+		opts.Faults = chaosSpec(map[fault.Site]float64{site: 1})
+		_, err := RunBenchmark(spec, SetupTHSOnNormal, opts, StandardVariants())
+		if err == nil {
+			t.Fatalf("site %s at rate 1.0 did not fail the run", site)
+		}
+		if !fault.IsInjected(err) {
+			t.Fatalf("site %s produced a non-injected error: %v", site, err)
+		}
+		if !strings.Contains(err.Error(), string(site)) {
+			t.Fatalf("site %s error does not name the site: %v", site, err)
+		}
+	}
+}
+
+// TestChaosSoftSitesDegradeGracefully forces the two recoverable sites
+// — THP allocation and compaction migration — to fail on every
+// crossing; the simulated OS must fall back to base pages and unmoved
+// frames and the run must still complete.
+func TestChaosSoftSitesDegradeGracefully(t *testing.T) {
+	spec, _ := workload.ByName("Mcf")
+	opts := GoldenOptions()
+	opts.CheckInvariants = true
+	opts.Faults = chaosSpec(map[fault.Site]float64{
+		fault.SiteTHPAlloc:       1,
+		fault.SiteCompactMigrate: 1,
+	})
+	res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, StandardVariants())
+	if err != nil {
+		t.Fatalf("run with failing THP+compaction did not degrade gracefully: %v", err)
+	}
+	if len(res.Variants) != len(StandardVariants()) {
+		t.Fatalf("degraded run produced %d variants, want %d", len(res.Variants), len(StandardVariants()))
+	}
+}
+
+// TestChaosStrictInvariantsCleanWithoutFaults is the auditors'
+// false-positive check: a full unfaulted evaluation with every
+// invariant checkpoint armed must pass clean.
+func TestChaosStrictInvariantsCleanWithoutFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	opts := GoldenOptions()
+	opts.CheckInvariants = true
+	e, err := RunStandardEvaluation(opts)
+	if err != nil {
+		t.Fatalf("strict-invariants unfaulted evaluation failed: %v", err)
+	}
+	if len(e.Results) != len(workload.All()) {
+		t.Fatalf("unfaulted evaluation kept %d/%d benchmarks", len(e.Results), len(workload.All()))
+	}
+}
+
+// chaosOptions is the soak configuration: every site armed at a rate
+// tuned so that some jobs die (even after a retry) and some survive,
+// with all invariant auditors running at their checkpoints.
+func chaosOptions(parallel int) Options {
+	opts := GoldenOptions()
+	opts.Parallel = parallel
+	opts.CheckInvariants = true
+	opts.Retries = 1
+	opts.JobTimeout = 5 * time.Minute
+	opts.Metrics = metrics.NewCollector()
+	opts.Faults = chaosSpec(map[fault.Site]float64{
+		fault.SiteBuddyAlloc:     2e-6,
+		fault.SiteCompactMigrate: 2e-3,
+		fault.SiteTHPAlloc:       2e-3,
+		fault.SiteTraceCorrupt:   5e-5,
+	})
+	return opts
+}
+
+// TestChaosDeterministicAcrossWidths is the acceptance soak: a faulted,
+// audited evaluation where some jobs fail and the rest render, whose
+// full report — results AND failure records — is byte-identical
+// between a serial and an eight-worker pool.
+func TestChaosDeterministicAcrossWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs full golden-size streams")
+	}
+	report := func(parallel int) (*Evaluation, []byte) {
+		opts := chaosOptions(parallel)
+		e, err := RunStandardEvaluation(opts)
+		if err != nil {
+			t.Fatalf("parallel=%d: faulted evaluation failed outright: %v", parallel, err)
+		}
+		js, err := opts.Metrics.Report("chaos", opts.Snapshot()).StableJSON()
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		failures := opts.Metrics.Failures()
+		if len(failures) == 0 {
+			t.Fatalf("parallel=%d: chaos rates injected no failures; raise the rates", parallel)
+		}
+		for _, f := range failures {
+			if !f.Injected {
+				t.Fatalf("parallel=%d: non-injected failure under chaos: %+v", parallel, f)
+			}
+			if f.TimedOut {
+				t.Fatalf("parallel=%d: unexpected timeout under chaos: %+v", parallel, f)
+			}
+			if f.Attempts != 1+chaosOptions(parallel).Retries {
+				t.Fatalf("parallel=%d: failure recorded after %d attempts, want %d: %+v",
+					parallel, f.Attempts, 1+chaosOptions(parallel).Retries, f)
+			}
+		}
+		if len(e.Results) == 0 {
+			t.Fatalf("parallel=%d: no benchmark survived; lower the rates", parallel)
+		}
+		if len(e.Results) == len(workload.All()) {
+			t.Fatalf("parallel=%d: every benchmark survived; the soak is not exercising degradation", parallel)
+		}
+		return e, js
+	}
+
+	serialEval, serial := report(1)
+	_, wide := report(8)
+	if !bytes.Equal(serial, wide) {
+		t.Errorf("chaos report differs between parallel=1 and parallel=8:\n%s",
+			strings.Join(metrics.Diff(wide, serial), "\n"))
+	}
+	t.Logf("chaos soak: %d/%d benchmarks survived", len(serialEval.Results), len(workload.All()))
+}
+
+// TestChaosFaultsOffIsByteIdentical proves the fault plane is inert
+// when disabled: a collector-backed golden-size run with a zero Spec
+// must produce byte-identical reports with and without the plane code
+// in the path (i.e. against a plain GoldenOptions run).
+func TestChaosFaultsOffIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-size streams")
+	}
+	run := func(opts Options) []byte {
+		opts.Metrics = metrics.NewCollector()
+		if _, err := Table1(opts); err != nil {
+			t.Fatal(err)
+		}
+		js, err := opts.Metrics.Report("table1", opts.Snapshot()).StableJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	plain := run(GoldenOptions())
+	zero := GoldenOptions()
+	zero.Faults = fault.Spec{}
+	if !bytes.Equal(plain, run(zero)) {
+		t.Error("zero fault spec changed the table1 report")
+	}
+}

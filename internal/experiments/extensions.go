@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"colt/internal/core"
-	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/workload"
 )
@@ -39,26 +38,34 @@ func PrefetchComparison(opts Options) ([]PrefetchRow, error) {
 		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
 		{Name: "colt-all", Config: core.CoLTAllConfig()},
 	}
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (PrefetchRow, error) {
-		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
-		if err != nil {
-			return PrefetchRow{}, fmt.Errorf("prefetch comparison %s: %w", spec.Name, err)
-		}
-		base, _ := res.Variant("baseline")
-		pf, _ := res.Variant("seq-prefetch")
-		sa, _ := res.Variant("colt-sa")
-		all, _ := res.Variant("colt-all")
-		row := PrefetchRow{
-			Bench:        spec.Name,
-			PrefetchElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(pf.TLB.L2Misses)),
-			SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
-			AllElim:      stats.PercentEliminated(float64(base.TLB.L2Misses), float64(all.TLB.L2Misses)),
-		}
-		if base.TLB.Walks > 0 {
-			row.WalkOverheadPct = 100 * float64(pf.Prefetch.PrefetchWalks) / float64(base.TLB.Walks)
-		}
-		return row, nil
-	})
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "prefetch", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (PrefetchRow, error) {
+			res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+			if err != nil {
+				return PrefetchRow{}, fmt.Errorf("prefetch comparison %s: %w", spec.Name, err)
+			}
+			base, _ := res.Variant("baseline")
+			pf, _ := res.Variant("seq-prefetch")
+			sa, _ := res.Variant("colt-sa")
+			all, _ := res.Variant("colt-all")
+			row := PrefetchRow{
+				Bench:        spec.Name,
+				PrefetchElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(pf.TLB.L2Misses)),
+				SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
+				AllElim:      stats.PercentEliminated(float64(base.TLB.L2Misses), float64(all.TLB.L2Misses)),
+			}
+			if base.TLB.Walks > 0 {
+				row.WalkOverheadPct = 100 * float64(pf.Prefetch.PrefetchWalks) / float64(base.TLB.Walks)
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // RenderPrefetchComparison formats the comparison as text.
@@ -99,21 +106,29 @@ func SubblockComparison(opts Options) ([]SubblockRow, error) {
 		{Name: "partial-subblock", Config: core.PartialSubblockConfig()},
 		{Name: "colt-sa", Config: core.CoLTSAConfig(core.DefaultCoLTShift)},
 	}
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (SubblockRow, error) {
-		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
-		if err != nil {
-			return SubblockRow{}, fmt.Errorf("subblock comparison %s: %w", spec.Name, err)
-		}
-		base, _ := res.Variant("baseline")
-		sb, _ := res.Variant("partial-subblock")
-		sa, _ := res.Variant("colt-sa")
-		return SubblockRow{
-			Bench:        spec.Name,
-			SubblockElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sb.TLB.L2Misses)),
-			SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
-			RejectedPct:  sb.SubblockRejectedPct,
-		}, nil
-	})
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "subblock", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (SubblockRow, error) {
+			res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+			if err != nil {
+				return SubblockRow{}, fmt.Errorf("subblock comparison %s: %w", spec.Name, err)
+			}
+			base, _ := res.Variant("baseline")
+			sb, _ := res.Variant("partial-subblock")
+			sa, _ := res.Variant("colt-sa")
+			return SubblockRow{
+				Bench:        spec.Name,
+				SubblockElim: stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sb.TLB.L2Misses)),
+				SAElim:       stats.PercentEliminated(float64(base.TLB.L2Misses), float64(sa.TLB.L2Misses)),
+				RejectedPct:  sb.SubblockRejectedPct,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // RenderSubblockComparison formats the comparison as text.
@@ -184,19 +199,27 @@ func SupSizeSensitivity(opts Options) ([]SupSizeRow, error) {
 		cfg.SupEntries = n
 		variants = append(variants, Variant{Name: fmt.Sprintf("fa-%d", n), Config: cfg})
 	}
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (SupSizeRow, error) {
-		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
-		if err != nil {
-			return SupSizeRow{}, fmt.Errorf("sup-size sweep %s: %w", spec.Name, err)
-		}
-		base, _ := res.Variant("baseline")
-		row := SupSizeRow{Bench: spec.Name, Elim: map[int]float64{}}
-		for _, n := range SupSizes {
-			v, _ := res.Variant(fmt.Sprintf("fa-%d", n))
-			row.Elim[n] = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
-		}
-		return row, nil
-	})
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "sup-size", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (SupSizeRow, error) {
+			res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+			if err != nil {
+				return SupSizeRow{}, fmt.Errorf("sup-size sweep %s: %w", spec.Name, err)
+			}
+			base, _ := res.Variant("baseline")
+			row := SupSizeRow{Bench: spec.Name, Elim: map[int]float64{}}
+			for _, n := range SupSizes {
+				v, _ := res.Variant(fmt.Sprintf("fa-%d", n))
+				row.Elim[n] = stats.PercentEliminated(float64(base.TLB.L2Misses), float64(v.TLB.L2Misses))
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // RenderSupSizeSensitivity formats the sweep as text.
@@ -250,22 +273,30 @@ func L2SizeSensitivity(opts Options) ([]L2SizeRow, error) {
 			Variant{Name: fmt.Sprintf("base-%d", n), Config: base},
 			Variant{Name: fmt.Sprintf("sa-%d", n), Config: sa})
 	}
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (L2SizeRow, error) {
-		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
-		if err != nil {
-			return L2SizeRow{}, fmt.Errorf("l2-size sweep %s: %w", spec.Name, err)
-		}
-		row := L2SizeRow{Bench: spec.Name, BaseMPMI: map[int]float64{}, SAMPMI: map[int]float64{}}
-		for _, n := range L2Sizes {
-			if v, ok := res.Variant(fmt.Sprintf("base-%d", n)); ok {
-				_, row.BaseMPMI[n] = v.MPMI()
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "l2-size", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (L2SizeRow, error) {
+			res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+			if err != nil {
+				return L2SizeRow{}, fmt.Errorf("l2-size sweep %s: %w", spec.Name, err)
 			}
-			if v, ok := res.Variant(fmt.Sprintf("sa-%d", n)); ok {
-				_, row.SAMPMI[n] = v.MPMI()
+			row := L2SizeRow{Bench: spec.Name, BaseMPMI: map[int]float64{}, SAMPMI: map[int]float64{}}
+			for _, n := range L2Sizes {
+				if v, ok := res.Variant(fmt.Sprintf("base-%d", n)); ok {
+					_, row.BaseMPMI[n] = v.MPMI()
+				}
+				if v, ok := res.Variant(fmt.Sprintf("sa-%d", n)); ok {
+					_, row.SAMPMI[n] = v.MPMI()
+				}
 			}
-		}
-		return row, nil
-	})
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // RenderL2SizeSensitivity formats the sweep as text.

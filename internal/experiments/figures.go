@@ -7,7 +7,6 @@ import (
 	"colt/internal/contig"
 	"colt/internal/core"
 	"colt/internal/perf"
-	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/workload"
 )
@@ -24,7 +23,9 @@ type Table1Row struct {
 }
 
 // Table1 regenerates the paper's Table 1. Each (benchmark × THS
-// setting) pair is an independent scheduler job.
+// setting) pair is an independent scheduler job; a benchmark whose
+// jobs fail under fault injection drops out of the table (both halves
+// of its row are needed), the rest still render.
 func Table1(opts Options) ([]Table1Row, error) {
 	variant := []Variant{{Name: "real-system", Config: core.RealSystemBaselineConfig()}}
 	type job struct {
@@ -37,19 +38,24 @@ func Table1(opts Options) ([]Table1Row, error) {
 			job{spec, SetupTHSOnNormal},
 			job{spec, SetupTHSOffNormal})
 	}
-	mpmis, err := sched.MapSlice(opts.pool(), jobs, func(_ int, j job) ([2]float64, error) {
-		res, err := RunBenchmark(j.spec, j.setup, opts, variant)
-		if err != nil {
-			return [2]float64{}, fmt.Errorf("table1 %s: %w", j.spec.Name, err)
-		}
-		l1, l2 := res.Variants[0].MPMI()
-		return [2]float64{l1, l2}, nil
-	})
+	mpmis, ok, err := mapJobs(opts, jobs,
+		func(j job) jobMeta { return jobMeta{kind: "table1", bench: j.spec.Name, setup: j.setup.Name} },
+		func(j job, opts Options) ([2]float64, error) {
+			res, err := RunBenchmark(j.spec, j.setup, opts, variant)
+			if err != nil {
+				return [2]float64{}, fmt.Errorf("table1 %s: %w", j.spec.Name, err)
+			}
+			l1, l2 := res.Variants[0].MPMI()
+			return [2]float64{l1, l2}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table1Row
 	for i, spec := range workload.All() {
+		if !ok[2*i] || !ok[2*i+1] {
+			continue
+		}
 		rows = append(rows, Table1Row{
 			Bench: spec.Name, Suite: spec.Suite,
 			OnL1MPMI: mpmis[2*i][0], OnL2MPMI: mpmis[2*i][1],
@@ -88,20 +94,28 @@ type ContiguityRow struct {
 // SetupTHSOnNormal, 10-12 for SetupTHSOffNormal, 13-15 for
 // SetupTHSOffLow.
 func ContiguityCDFs(setup SystemSetup, opts Options) ([]ContiguityRow, error) {
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (ContiguityRow, error) {
-		res, err := RunContiguity(spec, setup, opts)
-		if err != nil {
-			return ContiguityRow{}, fmt.Errorf("contiguity %s under %s: %w", spec.Name, setup.Name, err)
-		}
-		return ContiguityRow{
-			Bench:       spec.Name,
-			Average:     res.AverageContiguity(),
-			RunAverage:  res.RunWeightedAverage(),
-			Points:      res.CDF.SampleAt(contig.PaperXAxis),
-			FracOver512: res.FractionAtLeast(513),
-			SuperPages:  res.SuperPages,
-		}, nil
-	})
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "contiguity", bench: spec.Name, setup: setup.Name}
+		},
+		func(spec workload.Spec, opts Options) (ContiguityRow, error) {
+			res, err := RunContiguity(spec, setup, opts)
+			if err != nil {
+				return ContiguityRow{}, fmt.Errorf("contiguity %s under %s: %w", spec.Name, setup.Name, err)
+			}
+			return ContiguityRow{
+				Bench:       spec.Name,
+				Average:     res.AverageContiguity(),
+				RunAverage:  res.RunWeightedAverage(),
+				Points:      res.CDF.SampleAt(contig.PaperXAxis),
+				FracOver512: res.FractionAtLeast(513),
+				SuperPages:  res.SuperPages,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // RenderContiguity formats a CDF figure group as text.
@@ -145,33 +159,39 @@ func Figure17(opts Options) ([]MemhogRow, error) { return memhogSweep(opts, fals
 func memhogSweep(opts Options, ths bool) ([]MemhogRow, error) {
 	pcts := []int{0, 25, 50}
 	type job struct {
-		spec workload.Spec
-		pct  int
+		spec  workload.Spec
+		setup SystemSetup
 	}
 	var jobs []job
 	for _, spec := range workload.All() {
 		for _, pct := range pcts {
-			jobs = append(jobs, job{spec, pct})
+			setup := SetupTHSOnNormal
+			if !ths {
+				setup = SetupTHSOffNormal
+			}
+			setup.MemhogPct = pct
+			setup.Name = fmt.Sprintf("%s, memhog(%d)", setup.Name, pct)
+			jobs = append(jobs, job{spec, setup})
 		}
 	}
-	avgs, err := sched.MapSlice(opts.pool(), jobs, func(_ int, j job) (float64, error) {
-		setup := SetupTHSOnNormal
-		if !ths {
-			setup = SetupTHSOffNormal
-		}
-		setup.MemhogPct = j.pct
-		setup.Name = fmt.Sprintf("%s, memhog(%d)", setup.Name, j.pct)
-		res, err := RunContiguity(j.spec, setup, opts)
-		if err != nil {
-			return 0, fmt.Errorf("memhog sweep %s pct %d: %w", j.spec.Name, j.pct, err)
-		}
-		return res.AverageContiguity(), nil
-	})
+	avgs, ok, err := mapJobs(opts, jobs,
+		func(j job) jobMeta { return jobMeta{kind: "memhog-sweep", bench: j.spec.Name, setup: j.setup.Name} },
+		func(j job, opts Options) (float64, error) {
+			res, err := RunContiguity(j.spec, j.setup, opts)
+			if err != nil {
+				return 0, fmt.Errorf("memhog sweep %s pct %d: %w", j.spec.Name, j.setup.MemhogPct, err)
+			}
+			return res.AverageContiguity(), nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	var rows []MemhogRow
 	for i, spec := range workload.All() {
+		// A sweep row compares the three loads; it needs all of them.
+		if !ok[i*len(pcts)] || !ok[i*len(pcts)+1] || !ok[i*len(pcts)+2] {
+			continue
+		}
 		rows = append(rows, MemhogRow{
 			Bench:    spec.Name,
 			NoMemhog: avgs[i*len(pcts)],
@@ -211,19 +231,24 @@ type Evaluation struct {
 // with the given TLB variants (the first is treated as the baseline).
 // Benchmarks fan out across the scheduler; the variants of one
 // benchmark share its goroutine because they consume one reference
-// stream in lockstep.
+// stream in lockstep. Under fault injection, benchmarks whose jobs
+// fail terminally are dropped and the evaluation covers the survivors.
 func RunEvaluation(opts Options, variants []Variant) (*Evaluation, error) {
-	results, err := sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (*BenchResult, error) {
-		res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
-		if err != nil {
-			return nil, fmt.Errorf("evaluation %s: %w", spec.Name, err)
-		}
-		return res, nil
-	})
+	results, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "evaluation", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (*BenchResult, error) {
+			res, err := RunBenchmark(spec, SetupTHSOnNormal, opts, variants)
+			if err != nil {
+				return nil, fmt.Errorf("evaluation %s: %w", spec.Name, err)
+			}
+			return res, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluation{Results: results, Baseline: variants[0].Name}, nil
+	return &Evaluation{Results: surviving(results, ok), Baseline: variants[0].Name}, nil
 }
 
 // RunStandardEvaluation runs baseline + CoLT-SA/FA/All (Figures 18 and

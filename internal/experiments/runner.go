@@ -7,14 +7,18 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 
 	"colt/internal/arch"
 	"colt/internal/cache"
 	"colt/internal/contig"
 	"colt/internal/core"
+	"colt/internal/fault"
+	"colt/internal/invariant"
 	"colt/internal/metrics"
 	"colt/internal/mm"
 	"colt/internal/mmu"
@@ -73,6 +77,32 @@ type Options struct {
 	// machine-readable run report (see internal/metrics). Collection
 	// never affects simulation results.
 	Metrics *metrics.Collector
+	// Faults configures the deterministic fault-injection plane: each
+	// job builds a private fault.Plane seeded from
+	// (Seed, benchmark, setup, attempt), so the injected fault sequence
+	// is a function of the job identity alone — identical at every
+	// Parallel width. The zero Spec disables injection entirely: no
+	// plane is built and no hot path draws a random number.
+	Faults fault.Spec
+	// CheckInvariants runs the internal/invariant auditors at job
+	// checkpoints (after system build, after warmup, after each mid-run
+	// churn burst, at run end). A violation fails that job with a
+	// structured error; it never panics and never stops sibling jobs.
+	CheckInvariants bool
+	// Retries is how many additional deterministic attempts a job gets
+	// after failing on an INJECTED fault (each attempt reseeds the
+	// fault plane with its attempt number, so the retry trajectory is
+	// itself deterministic). Real errors are never retried.
+	Retries int
+	// JobTimeout bounds one scheduler job's wall-clock runtime,
+	// retries included (0 = unbounded). Timeouts are wall-clock events:
+	// runs that must stay deterministic use a bound generous enough
+	// that it only fires on hangs.
+	JobTimeout time.Duration
+	// attempt is the retry attempt this Options copy drives, folded
+	// into the fault plane's seed by mapJobs so attempt N+1 draws a
+	// fresh (but deterministic) fault sequence.
+	attempt int
 }
 
 // pool returns the scheduler the drivers fan jobs out on, wired to the
@@ -82,7 +112,20 @@ func (o Options) pool() *sched.Pool {
 	if o.Metrics != nil {
 		p.SetObserver(o.Metrics.ObserveJob)
 	}
+	if o.JobTimeout > 0 {
+		p.SetJobTimeout(o.JobTimeout)
+	}
 	return p
+}
+
+// plane builds the job's fault-injection plane (nil when injection is
+// disabled). The seed folds in the attempt number so a retried job
+// sees a different — but deterministic — fault sequence.
+func (o Options) plane(bench, setupName string) *fault.Plane {
+	if !o.Faults.Enabled() {
+		return nil
+	}
+	return fault.NewPlane(o.Faults, seedFor(o.Seed, bench, setupName, "fault-plane", strconv.Itoa(o.attempt)))
 }
 
 // Snapshot returns the deterministic options snapshot embedded in
@@ -98,6 +141,7 @@ func (o Options) Snapshot() metrics.Options {
 		Refs:        o.Refs,
 		Seed:        o.Seed,
 		MidRunChurn: o.MidRunChurn,
+		FaultSpec:   o.Faults.String(),
 	}
 }
 
@@ -333,19 +377,27 @@ const settlePasses = 20
 const steadyStateSlots = 512
 
 // buildSystem boots and fragments a system per the setup, returning it
-// plus the master RNG for the benchmark. Every random consumer draws
+// plus the master RNG for the benchmark and the job's fault plane
+// (nil when injection is disabled). Every random consumer draws
 // from a NAMED stream of the master (churn, memhog, workload, …), and
 // the master's seed is itself a pure function of
 // (opts.Seed, benchmark, setup): no draw anywhere depends on which
 // other experiments ran before this one, which is what lets the
 // scheduler run jobs in any order — or in parallel — and still produce
-// byte-identical tables.
-func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System, *rng.RNG, error) {
+// byte-identical tables. The fault plane's hooks are wired before the
+// churn phase, so injection covers system build as well as the run.
+func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System, *rng.RNG, *fault.Plane, error) {
 	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: setup.THP, Compaction: setup.Compaction})
+	plane := opts.plane(benchName, setup.Name)
+	if plane != nil {
+		sys.Buddy.SetAllocFaultHook(func(int) error { return plane.Fail(fault.SiteBuddyAlloc) })
+		sys.Compactor.SetMigrateFaultHook(func() error { return plane.Fail(fault.SiteCompactMigrate) })
+		sys.THP.SetHugeFaultHook(func() error { return plane.Fail(fault.SiteTHPAlloc) })
+	}
 	master := rng.New(seedFor(opts.Seed, benchName, setup.Name))
 	if opts.ChurnOps > 0 {
 		if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Stream("churn")); err != nil {
-			return nil, nil, fmt.Errorf("background churn: %w", err)
+			return nil, nil, nil, fmt.Errorf("background churn: %w", err)
 		}
 	}
 	if setup.Compaction == mm.CompactionNormal {
@@ -354,9 +406,33 @@ func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System,
 		}
 	}
 	if _, err := vm.StartMemhog(sys, setup.MemhogPct, master.Stream("memhog")); err != nil {
-		return nil, nil, fmt.Errorf("memhog: %w", err)
+		return nil, nil, nil, fmt.Errorf("memhog: %w", err)
 	}
-	return sys, master, nil
+	if err := auditSystem(opts, "after build", sys); err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, master, plane, nil
+}
+
+// auditSystem runs the OS-level invariant auditors (buddy free lists,
+// frame↔page-table ownership) at a checkpoint when CheckInvariants is
+// on. Violations come back as one structured error naming the
+// checkpoint, never as a panic.
+func auditSystem(opts Options, where string, sys *vm.System) error {
+	if !opts.CheckInvariants {
+		return nil
+	}
+	audits := [][]invariant.Violation{
+		invariant.AuditBuddy(sys.Buddy),
+		invariant.AuditFrameOwners(sys),
+	}
+	for _, proc := range sys.Processes() {
+		audits = append(audits, invariant.AuditPageTable(proc.PID, proc.Table))
+	}
+	if err := invariant.Check(audits...); err != nil {
+		return fmt.Errorf("invariant check %s: %w", where, err)
+	}
+	return nil
 }
 
 // RunContiguity performs the paper's characterization for one
@@ -364,7 +440,7 @@ func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System,
 // page table (Figures 7-17).
 func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.Result, error) {
 	start := time.Now()
-	sys, master, err := buildSystem(setup, opts, spec.Name)
+	sys, master, _, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
 		return contig.Result{}, err
 	}
@@ -380,6 +456,9 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 	// periodic page-table scans do: under oversubscription this is
 	// where swap thrash reshapes residency.
 	sys.Idle(steadyStateSlots)
+	if err := auditSystem(opts, "after idle", sys); err != nil {
+		return contig.Result{}, err
+	}
 	res := contig.Scan(proc.Table)
 	if opts.Metrics != nil {
 		seed := seedFor(opts.Seed, spec.Name, setup.Name)
@@ -401,6 +480,9 @@ type benchSim struct {
 	w      *workload.Workload
 	sims   []*simulator
 	contig contig.Result
+	// plane is the job's fault-injection plane (nil when disabled);
+	// step crosses its trace-corrupt site once per reference.
+	plane *fault.Plane
 
 	instructions uint64
 }
@@ -408,7 +490,7 @@ type benchSim struct {
 // newBenchSim boots the system, fragments it, builds the workload, and
 // attaches one simulator per variant (all registered for shootdowns).
 func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*benchSim, *rng.RNG, error) {
-	sys, master, err := buildSystem(setup, opts, spec.Name)
+	sys, master, plane, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -429,6 +511,7 @@ func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants [
 		w:      w,
 		sims:   make([]*simulator, len(variants)),
 		contig: contig.Scan(proc.Table),
+		plane:  plane,
 	}
 	for i, v := range variants {
 		caches := cache.DefaultHierarchy()
@@ -450,6 +533,13 @@ func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants [
 // swap-in, no OS churn event) it performs zero heap allocations per
 // reference — guarded by testing.AllocsPerRun.
 func (b *benchSim) step(ref int) error {
+	// One trace-corrupt crossing per reference: an injected fault means
+	// this record of the reference stream could not be decoded, which
+	// aborts the job (there is no way to skip a reference and keep the
+	// variants' streams aligned). Nil planes return immediately.
+	if err := b.plane.Fail(fault.SiteTraceCorrupt); err != nil {
+		return fmt.Errorf("%s: decoding trace record %d: %w", b.spec.Name, ref, err)
+	}
 	va, write, gap := b.w.Next()
 	vpn := va.Page()
 	b.instructions += uint64(gap)
@@ -486,6 +576,27 @@ func (b *benchSim) step(ref int) error {
 			if got, hit := s.hier.L2().LookupRun(vpn); hit && got.Translate(vpn) != want {
 				return fmt.Errorf("%s/%s: stale L2 entry for vpn %d", b.spec.Name, s.name, vpn)
 			}
+		}
+	}
+	return nil
+}
+
+// audit runs the full invariant checkpoint for this job when enabled:
+// the OS-level auditors plus, per variant, TLB↔pagetable coherence and
+// the CoLT coalescing invariant.
+func (b *benchSim) audit(opts Options, where string) error {
+	if !opts.CheckInvariants {
+		return nil
+	}
+	if err := auditSystem(opts, where, b.sys); err != nil {
+		return err
+	}
+	for _, s := range b.sims {
+		err := invariant.Check(
+			invariant.AuditTLBCoherence(s.name, s.hier, b.proc.Table),
+			invariant.AuditCoalescing(s.name, s.hier, b.proc.Table))
+		if err != nil {
+			return fmt.Errorf("invariant check %s (%s): %w", where, s.name, err)
 		}
 	}
 	return nil
@@ -558,6 +669,9 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 			return nil, err
 		}
 	}
+	if err := b.audit(opts, "after warmup"); err != nil {
+		return nil, err
+	}
 	b.resetStats()
 
 	churnEvery := 0
@@ -576,7 +690,15 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 					return nil, err
 				}
 			}
+			// The churn burst is exactly where migrations, splits, and
+			// shootdowns concentrate — audit right after it.
+			if err := b.audit(opts, fmt.Sprintf("after churn burst %d", i/churnEvery)); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := b.audit(opts, "at run end"); err != nil {
+		return nil, err
 	}
 	res := b.result()
 	if opts.Metrics != nil {
@@ -584,4 +706,95 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 		opts.Metrics.Add(res.MetricsRecord(seed), time.Since(start))
 	}
 	return res, nil
+}
+
+// jobMeta labels one scheduler job for failure reporting: the driver
+// kind plus the benchmark and setup the job simulates.
+type jobMeta struct {
+	kind  string
+	bench string
+	setup string
+}
+
+// mapJobs fans items across the scheduler with this package's
+// robustness contract:
+//
+//   - a panic in one job becomes that job's *sched.PanicError;
+//   - a job that failed on an injected fault is re-attempted up to
+//     opts.Retries times, each attempt reseeding the fault plane with
+//     its attempt number (deterministic retry trajectory);
+//   - every terminal failure is recorded in the metrics collector's
+//     Failures section (kind/bench/setup/attempts/error);
+//   - ok[i] reports whether results[i] is valid, so drivers render
+//     the surviving jobs.
+//
+// With fault injection disabled a failure is a real bug, and mapJobs
+// keeps the strict pre-fault-plane contract: the first error (by job
+// index) is returned and no partial results are. Under injection it
+// degrades gracefully, erroring only when no job survived.
+func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(item S, opts Options) (T, error)) (results []T, ok []bool, err error) {
+	attempts := make([]int, len(items))
+	results, errs := sched.MapPartial(opts.pool(), len(items), func(i int) (T, error) {
+		var out T
+		err := sched.Retry(1+opts.Retries, 0, fault.IsInjected, func(attempt int) error {
+			attempts[i] = attempt + 1
+			o := opts
+			o.attempt = attempt
+			var runErr error
+			out, runErr = run(items[i], o)
+			return runErr
+		})
+		return out, err
+	})
+	ok = make([]bool, len(items))
+	var firstErr error
+	failed := 0
+	for i, jobErr := range errs {
+		if jobErr == nil {
+			ok[i] = true
+			continue
+		}
+		failed++
+		if firstErr == nil {
+			firstErr = jobErr
+		}
+		if opts.Metrics != nil {
+			var te *sched.TimeoutError
+			timedOut := errors.As(jobErr, &te)
+			m := meta(items[i])
+			f := metrics.Failure{
+				Kind:     m.kind,
+				Bench:    m.bench,
+				Setup:    m.setup,
+				Error:    jobErr.Error(),
+				Injected: fault.IsInjected(jobErr),
+				TimedOut: timedOut,
+			}
+			// A timed-out job's goroutine is still running and still
+			// owns attempts[i]; leave Attempts zero rather than race.
+			if !timedOut {
+				f.Attempts = attempts[i]
+			}
+			opts.Metrics.AddFailure(f)
+		}
+	}
+	if failed == 0 {
+		return results, ok, nil
+	}
+	if !opts.Faults.Enabled() || failed == len(items) {
+		return nil, nil, firstErr
+	}
+	return results, ok, nil
+}
+
+// surviving filters a mapJobs result down to its successful entries,
+// preserving input order.
+func surviving[T any](results []T, ok []bool) []T {
+	out := make([]T, 0, len(results))
+	for i := range results {
+		if ok[i] {
+			out = append(out, results[i])
+		}
+	}
+	return out
 }

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"colt/internal/contig"
+	"colt/internal/fault"
 	"colt/internal/metrics"
-	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/vm"
 	"colt/internal/workload"
@@ -39,7 +39,7 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		return nil, fmt.Errorf("timeline needs at least 2 samples, got %d", samples)
 	}
 	start := time.Now()
-	sys, master, err := buildSystem(setup, opts, spec.Name)
+	sys, master, plane, err := buildSystem(setup, opts, spec.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +78,9 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 	done := 0
 	for s := 1; s < samples; s++ {
 		for i := 0; i < slice; i++ {
+			if err := plane.Fail(fault.SiteTraceCorrupt); err != nil {
+				return nil, fmt.Errorf("%s: decoding trace record %d: %w", spec.Name, done, err)
+			}
 			va, _, _ := w.Next()
 			vpn := va.Page()
 			// Touch pages so swap pressure and re-faults happen as in
@@ -105,6 +108,9 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		sys.Idle(32)
 		points = append(points, scan(done))
 	}
+	if err := auditSystem(opts, "at timeline end", sys); err != nil {
+		return nil, err
+	}
 	if opts.Metrics != nil {
 		rec := metrics.Record{
 			Kind:  metrics.KindTimeline,
@@ -127,11 +133,29 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 }
 
 // Timelines runs ContiguityTimeline for several benchmarks, fanning
-// them across the scheduler; results keep the order of specs.
+// them across the scheduler; results keep the order of specs. Under
+// fault injection a failed benchmark leaves a nil entry at its
+// position rather than failing the whole sweep.
 func Timelines(specs []workload.Spec, setup SystemSetup, opts Options, samples int) ([][]TimelinePoint, error) {
-	return sched.MapSlice(opts.pool(), specs, func(_ int, spec workload.Spec) ([]TimelinePoint, error) {
-		return ContiguityTimeline(spec, setup, opts, samples)
-	})
+	series, ok, err := mapJobs(opts, specs,
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "timeline", bench: spec.Name, setup: setup.Name}
+		},
+		func(spec workload.Spec, opts Options) ([]TimelinePoint, error) {
+			return ContiguityTimeline(spec, setup, opts, samples)
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Copy survivors into a fresh slice: a timed-out job's goroutine may
+	// still be writing into the scheduler's result slot.
+	out := make([][]TimelinePoint, len(specs))
+	for i := range series {
+		if ok[i] {
+			out[i] = series[i]
+		}
+	}
+	return out, nil
 }
 
 // RenderTimeline formats a timeline as text.

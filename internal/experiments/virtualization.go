@@ -7,12 +7,12 @@ import (
 	"colt/internal/arch"
 	"colt/internal/cache"
 	"colt/internal/core"
+	"colt/internal/fault"
 	"colt/internal/mm"
 	"colt/internal/mmu"
 	"colt/internal/pagetable"
 	"colt/internal/perf"
 	"colt/internal/rng"
-	"colt/internal/sched"
 	"colt/internal/stats"
 	"colt/internal/vm"
 	"colt/internal/workload"
@@ -97,41 +97,49 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 	model := perf.Default()
 	// Each benchmark's native + virtualized pair is one scheduler job:
 	// the two runs feed one comparison row.
-	return sched.MapSlice(opts.pool(), workload.All(), func(_ int, spec workload.Spec) (VirtRow, error) {
-		// Native run reuses the standard pipeline.
-		native, err := RunBenchmark(spec, SetupTHSOnNormal, opts, []Variant{
-			{Name: "baseline", Config: core.BaselineConfig()},
-			{Name: "colt-all", Config: core.CoLTAllConfig()},
+	rows, ok, err := mapJobs(opts, workload.All(),
+		func(spec workload.Spec) jobMeta {
+			return jobMeta{kind: "virtualization", bench: spec.Name, setup: SetupTHSOnNormal.Name}
+		},
+		func(spec workload.Spec, opts Options) (VirtRow, error) {
+			// Native run reuses the standard pipeline.
+			native, err := RunBenchmark(spec, SetupTHSOnNormal, opts, []Variant{
+				{Name: "baseline", Config: core.BaselineConfig()},
+				{Name: "colt-all", Config: core.CoLTAllConfig()},
+			})
+			if err != nil {
+				return VirtRow{}, fmt.Errorf("native %s: %w", spec.Name, err)
+			}
+
+			virt, err := runVirtualized(spec, opts)
+			if err != nil {
+				return VirtRow{}, fmt.Errorf("virtualized %s: %w", spec.Name, err)
+			}
+
+			nb, _ := native.Variant("baseline")
+			na, _ := native.Variant("colt-all")
+			vb, va := virt[0], virt[1]
+			row := VirtRow{
+				Bench:         spec.Name,
+				NativeElim:    stats.PercentEliminated(float64(nb.TLB.L2Misses), float64(na.TLB.L2Misses)),
+				VirtElim:      stats.PercentEliminated(float64(vb.TLB.L2Misses), float64(va.TLB.L2Misses)),
+				NativeSpeedup: model.Improvement(nb.Run, na.Run),
+				VirtSpeedup:   model.Improvement(vb.Run, va.Run),
+			}
+			// Every divisor must be checked: a run short enough to trigger
+			// no virtualized walks would otherwise put Inf in the row (and
+			// then in the metrics JSON, which rejects non-finite values).
+			if nb.TLB.Walks > 0 && vb.TLB.Walks > 0 && nb.Run.WalkCycles > 0 {
+				nativePerWalk := float64(nb.Run.WalkCycles) / float64(nb.TLB.Walks)
+				virtPerWalk := float64(vb.Run.WalkCycles) / float64(vb.TLB.Walks)
+				row.WalkInflation = virtPerWalk / nativePerWalk
+			}
+			return row, nil
 		})
-		if err != nil {
-			return VirtRow{}, fmt.Errorf("native %s: %w", spec.Name, err)
-		}
-
-		virt, err := runVirtualized(spec, opts)
-		if err != nil {
-			return VirtRow{}, fmt.Errorf("virtualized %s: %w", spec.Name, err)
-		}
-
-		nb, _ := native.Variant("baseline")
-		na, _ := native.Variant("colt-all")
-		vb, va := virt[0], virt[1]
-		row := VirtRow{
-			Bench:         spec.Name,
-			NativeElim:    stats.PercentEliminated(float64(nb.TLB.L2Misses), float64(na.TLB.L2Misses)),
-			VirtElim:      stats.PercentEliminated(float64(vb.TLB.L2Misses), float64(va.TLB.L2Misses)),
-			NativeSpeedup: model.Improvement(nb.Run, na.Run),
-			VirtSpeedup:   model.Improvement(vb.Run, va.Run),
-		}
-		// Every divisor must be checked: a run short enough to trigger
-		// no virtualized walks would otherwise put Inf in the row (and
-		// then in the metrics JSON, which rejects non-finite values).
-		if nb.TLB.Walks > 0 && vb.TLB.Walks > 0 && nb.Run.WalkCycles > 0 {
-			nativePerWalk := float64(nb.Run.WalkCycles) / float64(nb.TLB.Walks)
-			virtPerWalk := float64(vb.Run.WalkCycles) / float64(vb.TLB.Walks)
-			row.WalkInflation = virtPerWalk / nativePerWalk
-		}
-		return row, nil
-	})
+	if err != nil {
+		return nil, err
+	}
+	return surviving(rows, ok), nil
 }
 
 // runVirtualized builds the guest system + workload, backs it with a
@@ -139,7 +147,7 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) {
 	start := time.Now()
 	var out [2]VariantResult
-	sys, master, err := buildSystem(SetupTHSOnNormal, opts, spec.Name+"/virt")
+	sys, master, plane, err := buildSystem(SetupTHSOnNormal, opts, spec.Name+"/virt")
 	if err != nil {
 		return out, err
 	}
@@ -175,6 +183,9 @@ func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) 
 	var instructions uint64
 	refs := opts.Warmup + opts.Refs
 	for i := 0; i < refs; i++ {
+		if err := plane.Fail(fault.SiteTraceCorrupt); err != nil {
+			return out, fmt.Errorf("%s/virt: decoding trace record %d: %w", spec.Name, i, err)
+		}
 		va, write, gap := w.Next()
 		vpn := va.Page()
 		if i == opts.Warmup {
@@ -195,6 +206,12 @@ func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) 
 				sims[j].stall += uint64(lat - l1HitLatency)
 			}
 		}
+	}
+	// System-level audits only: the nested walker's TLB entries hold
+	// host PFNs, which by design never match the guest page table, so
+	// the coherence/coalescing auditors would flag every entry.
+	if err := auditSystem(opts, "at virtualized run end", sys); err != nil {
+		return out, err
 	}
 	for j := range sims {
 		st := sims[j].hier.Stats()

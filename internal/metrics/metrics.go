@@ -130,6 +130,31 @@ type Record struct {
 	Timeline     []TimelinePoint `json:"timeline,omitempty"`
 }
 
+// Failure is one (benchmark × setup) job that produced no record:
+// every attempt errored, panicked, or timed out. Failures are part of
+// the stable report — the error text and attempt count are
+// deterministic functions of the run's seed and fault spec — so a
+// degraded run is still byte-identical across parallel widths.
+type Failure struct {
+	Kind  string `json:"kind"`
+	Bench string `json:"bench"`
+	Setup string `json:"setup"`
+	// Attempts is how many times the job ran (1 = no retries).
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+	// Injected marks failures caused by the fault-injection plane.
+	Injected bool `json:"injected"`
+	// TimedOut marks per-job timeout kills. Timeouts are wall-clock
+	// events; runs that must stay deterministic use bounds generous
+	// enough that this only fires on hangs.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// failureKey orders failures like records: by identity, then content.
+func failureKey(f Failure) string {
+	return f.Kind + "\x00" + f.Bench + "\x00" + f.Setup + "\x00" + f.Error
+}
+
 // Options is the deterministic snapshot of an experiment run's knobs.
 // The worker count is deliberately absent: it is a throughput knob,
 // never a results knob, and reports must be byte-identical across
@@ -143,6 +168,10 @@ type Options struct {
 	Refs        int     `json:"refs"`
 	Seed        uint64  `json:"seed"`
 	MidRunChurn bool    `json:"mid_run_churn"`
+	// FaultSpec is the canonical fault-injection spec ("" when faults
+	// are disabled, which keeps faultless reports byte-identical to
+	// pre-fault goldens).
+	FaultSpec string `json:"fault_spec,omitempty"`
 }
 
 // Report is one experiment's full machine-readable result.
@@ -151,6 +180,9 @@ type Report struct {
 	Experiment string   `json:"experiment"`
 	Options    Options  `json:"options"`
 	Records    []Record `json:"records"`
+	// Failures lists jobs that produced no record (absent when every
+	// job succeeded, so faultless goldens are unchanged).
+	Failures []Failure `json:"failures,omitempty"`
 }
 
 // recordKey orders records deterministically regardless of the
@@ -254,6 +286,7 @@ type timedRecord struct {
 type Collector struct {
 	mu        sync.Mutex
 	recs      []timedRecord
+	fails     []Failure
 	schedJobs int
 	schedWall time.Duration
 }
@@ -275,6 +308,24 @@ func (c *Collector) Len() int {
 	return len(c.recs)
 }
 
+// AddFailure records one job that produced no record.
+func (c *Collector) AddFailure(f Failure) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails = append(c.fails, f)
+}
+
+// Failures returns the collected failures sorted deterministically.
+func (c *Collector) Failures() []Failure {
+	c.mu.Lock()
+	fails := append([]Failure(nil), c.fails...)
+	c.mu.Unlock()
+	sort.SliceStable(fails, func(i, j int) bool {
+		return failureKey(fails[i]) < failureKey(fails[j])
+	})
+	return fails
+}
+
 // ObserveJob implements the scheduler's per-job timing hook
 // (sched.Pool.SetObserver): it aggregates dispatch counts and total
 // busy time for the timing report.
@@ -293,11 +344,13 @@ func (c *Collector) Merge(from *Collector) {
 	}
 	from.mu.Lock()
 	recs := append([]timedRecord(nil), from.recs...)
+	fails := append([]Failure(nil), from.fails...)
 	jobs, wall := from.schedJobs, from.schedWall
 	from.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.recs = append(c.recs, recs...)
+	c.fails = append(c.fails, fails...)
 	c.schedJobs += jobs
 	c.schedWall += wall
 }
@@ -328,7 +381,7 @@ func (c *Collector) Report(experiment string, opts Options) *Report {
 	for i, tr := range timed {
 		recs[i] = tr.rec
 	}
-	return &Report{Schema: Schema, Experiment: experiment, Options: opts, Records: recs}
+	return &Report{Schema: Schema, Experiment: experiment, Options: opts, Records: recs, Failures: c.Failures()}
 }
 
 // TimingReport is the non-deterministic sidecar: per-job wall-clock

@@ -21,9 +21,9 @@ func sampleRecord(bench string) Record {
 				Name: "baseline", Policy: "baseline",
 				Accesses: 500_000, L1Misses: 40_000, L2Misses: 9_000,
 				Walks: 9_000, WalkCycles: 270_000,
-				L1:          LevelStats{Lookups: 500_000, Hits: 460_000, Misses: 40_000, Fills: 40_000, HitRate: 0.92, TranslationsPerFill: 1},
-				L2:          LevelStats{Lookups: 40_000, Hits: 31_000, Misses: 9_000, Fills: 9_000, HitRate: 0.775, TranslationsPerFill: 1},
-				L1MPMI:      40_000, L2MPMI: 9_000,
+				L1:     LevelStats{Lookups: 500_000, Hits: 460_000, Misses: 40_000, Fills: 40_000, HitRate: 0.92, TranslationsPerFill: 1},
+				L2:     LevelStats{Lookups: 40_000, Hits: 31_000, Misses: 9_000, Fills: 9_000, HitRate: 0.775, TranslationsPerFill: 1},
+				L1MPMI: 40_000, L2MPMI: 9_000,
 				ModelCycles: 1_000_000,
 			},
 		},

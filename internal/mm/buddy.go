@@ -68,6 +68,10 @@ type Buddy struct {
 	freeBlocks [MaxOrder]int
 	freePages  uint64
 	stats      BuddyStats
+
+	// failAlloc, when set, may veto block allocations before any state
+	// changes (the fault-injection plane's memory-pressure hook).
+	failAlloc func(order int) error
 }
 
 // NewBuddy builds an allocator owning every frame of pm, initially all
@@ -172,6 +176,13 @@ func (b *Buddy) LargestFreeOrder() int {
 // Stats returns a snapshot of allocator counters.
 func (b *Buddy) Stats() BuddyStats { return b.stats }
 
+// SetAllocFaultHook installs fn to run at the top of every AllocBlock
+// call (including those made by AllocRange): a non-nil return fails
+// the allocation with that error before any allocator state changes,
+// simulating memory pressure. nil uninstalls. The allocator stays
+// fault-agnostic — callers wire this to the fault plane.
+func (b *Buddy) SetAllocFaultHook(fn func(order int) error) { b.failAlloc = fn }
+
 // AllocBlock allocates one naturally-aligned block of 2^order frames,
 // splitting a larger block if needed (Figure 2's walk up the free
 // lists). The returned block's frames are marked allocated; the caller
@@ -179,6 +190,12 @@ func (b *Buddy) Stats() BuddyStats { return b.stats }
 func (b *Buddy) AllocBlock(order int) (arch.PFN, error) {
 	if order < 0 || order >= MaxOrder {
 		return 0, fmt.Errorf("mm: invalid order %d", order)
+	}
+	if b.failAlloc != nil {
+		if err := b.failAlloc(order); err != nil {
+			b.stats.AllocFails++
+			return 0, err
+		}
 	}
 	k := order
 	for k < MaxOrder && b.freeHead[k] == nilPFN {
@@ -418,10 +435,15 @@ func (b *Buddy) FragmentationIndex(order int) float64 {
 	return 1 - (1+float64(b.freePages)/float64(requested))/(1+float64(totalBlocks))
 }
 
-// CheckInvariants validates the free-list structure against frame
-// metadata; used by tests and returns an error describing the first
-// inconsistency found.
-func (b *Buddy) CheckInvariants() error {
+// Audit validates the free-list structure against frame metadata and
+// returns EVERY inconsistency found, one line each: free-list blocks
+// must match their recorded order, be naturally aligned, stay inside
+// memory, never overlap, and never cover allocated frames; the
+// per-order block counts and the free-page total must match the
+// lists; and every frame must be either allocated or on a free list.
+// An empty slice means the allocator is consistent.
+func (b *Buddy) Audit() []string {
+	var issues []string
 	seen := make(map[arch.PFN]bool)
 	var pages uint64
 	for k := 0; k < MaxOrder; k++ {
@@ -430,38 +452,49 @@ func (b *Buddy) CheckInvariants() error {
 			count++
 			head := arch.PFN(p)
 			if b.orderOf[p] != int8(k) {
-				return fmt.Errorf("block %d on list %d has orderOf %d", head, k, b.orderOf[p])
+				issues = append(issues, fmt.Sprintf("block %d on list %d has orderOf %d", head, k, b.orderOf[p]))
 			}
 			if uint64(head)%(1<<k) != 0 {
-				return fmt.Errorf("block %d on list %d is misaligned", head, k)
+				issues = append(issues, fmt.Sprintf("block %d on list %d is misaligned", head, k))
 			}
 			for i := 0; i < 1<<k; i++ {
 				f := head + arch.PFN(i)
 				if !b.phys.Valid(f) {
-					return fmt.Errorf("block %d order %d exceeds memory", head, k)
+					issues = append(issues, fmt.Sprintf("block %d order %d exceeds memory", head, k))
+					break
 				}
 				if seen[f] {
-					return fmt.Errorf("frame %d on two free blocks", f)
+					issues = append(issues, fmt.Sprintf("frame %d on two free blocks", f))
 				}
 				seen[f] = true
 				if b.phys.Frame(f).Allocated {
-					return fmt.Errorf("frame %d free but marked allocated", f)
+					issues = append(issues, fmt.Sprintf("frame %d free but marked allocated", f))
 				}
 			}
 			pages += 1 << k
 		}
 		if count != b.freeBlocks[k] {
-			return fmt.Errorf("order %d: counted %d blocks, recorded %d", k, count, b.freeBlocks[k])
+			issues = append(issues, fmt.Sprintf("order %d: counted %d blocks, recorded %d", k, count, b.freeBlocks[k]))
 		}
 	}
 	if pages != b.freePages {
-		return fmt.Errorf("counted %d free pages, recorded %d", pages, b.freePages)
+		issues = append(issues, fmt.Sprintf("counted %d free pages, recorded %d", pages, b.freePages))
 	}
 	for i := 0; i < b.phys.NumFrames(); i++ {
 		pfn := arch.PFN(i)
 		if !b.phys.Frame(pfn).Allocated && !seen[pfn] {
-			return fmt.Errorf("frame %d neither allocated nor on a free list", pfn)
+			issues = append(issues, fmt.Sprintf("frame %d neither allocated nor on a free list", pfn))
 		}
+	}
+	return issues
+}
+
+// CheckInvariants validates the free-list structure against frame
+// metadata and returns an error describing the first inconsistency
+// found (nil when consistent). Audit returns the full list.
+func (b *Buddy) CheckInvariants() error {
+	if issues := b.Audit(); len(issues) > 0 {
+		return errors.New(issues[0])
 	}
 	return nil
 }

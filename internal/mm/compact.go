@@ -4,9 +4,11 @@ import "colt/internal/arch"
 
 // Migrator is implemented by the virtual-memory layer: when the
 // compaction daemon moves a frame, the owning process's page table must
-// be rehomed to the new frame (and any TLB entries shot down).
+// be rehomed to the new frame (and any TLB entries shot down). A
+// non-nil error means the rehoming did not happen; the compactor rolls
+// the migration back and leaves the source frame in place.
 type Migrator interface {
-	MigratePage(owner PageOwner, from, to arch.PFN)
+	MigratePage(owner PageOwner, from, to arch.PFN) error
 }
 
 // CompactionMode selects how eagerly the compaction daemon runs,
@@ -67,6 +69,10 @@ type CompactStats struct {
 	Background uint64
 	Direct     uint64
 	Skipped    uint64 // direct triggers suppressed by CompactionLow
+	// MigrateFails counts individual page migrations that failed (the
+	// rehoming callback errored, the target vanished, or the fault
+	// plane vetoed) and were rolled back.
+	MigrateFails uint64
 }
 
 // Compactor is the memory-compaction daemon of paper §3.2.2 / Figure 3:
@@ -88,6 +94,10 @@ type Compactor struct {
 	bgBackoff    uint
 	bgSkip       uint64
 	stats        CompactStats
+
+	// failMigrate, when set, may veto individual page migrations
+	// before any state changes (the fault-injection plane's hook).
+	failMigrate func() error
 }
 
 // NewCompactor wires a compaction daemon to the allocator. migrator may
@@ -101,6 +111,13 @@ func (c *Compactor) Mode() CompactionMode { return c.mode }
 
 // Stats returns a snapshot of daemon counters.
 func (c *Compactor) Stats() CompactStats { return c.stats }
+
+// SetMigrateFaultHook installs fn to run before each individual page
+// migration: a non-nil return fails that migration (counted in
+// MigrateFails) and the page is treated as unmovable for the rest of
+// the pass. nil uninstalls. The daemon stays fault-agnostic — callers
+// wire this to the fault plane.
+func (c *Compactor) SetMigrateFaultHook(fn func() error) { c.failMigrate = fn }
 
 // OnAllocFailure is called by the VM layer when an allocation fails with
 // ErrFragmented. It decides, per the mode and the deferral backoff,
@@ -214,25 +231,62 @@ func (c *Compactor) compact(targetOrder, budget int) int {
 			break
 		}
 		freeScan = hint
+		failedAt := arch.PFN(0)
+		failed := false
 		for i := 0; i < k; i++ {
 			from := migScan + arch.PFN(i)
 			to := target + arch.PFN(i)
-			if !c.buddy.AllocSpecific(to) {
-				panic("mm: compaction target vanished")
+			if !c.migratePage(from, to) {
+				// The page stays where it is, metadata intact; treat it
+				// as unmovable and resume scanning past it. Target
+				// frames beyond i were never claimed and remain free.
+				failedAt, failed = from, true
+				break
 			}
-			owner := c.phys.Frame(from).Owner
-			c.phys.SetOwner(to, owner, true)
-			if c.migrator != nil {
-				c.migrator.MigratePage(owner, from, to)
-			}
-			c.buddy.FreeRange(from, 1)
 			moved++
 			c.stats.Migrated++
+		}
+		if failed {
+			migScan = failedAt + 1
+			continue
 		}
 		migScan += arch.PFN(k)
 	}
 	c.stats.Aborted++
 	return moved
+}
+
+// migratePage moves one allocated movable frame from 'from' to the
+// free frame 'to', claiming the target, copying ownership, rehoming
+// the owner's page table, and freeing the source. Any failure —
+// injected veto, vanished target, or rehoming error — is rolled back
+// so frame metadata stays consistent: the source keeps its owner and
+// the target returns to (or stays on) the free lists. Returns whether
+// the page moved.
+func (c *Compactor) migratePage(from, to arch.PFN) bool {
+	if c.failMigrate != nil {
+		if err := c.failMigrate(); err != nil {
+			c.stats.MigrateFails++
+			return false
+		}
+	}
+	if !c.buddy.AllocSpecific(to) {
+		c.stats.MigrateFails++
+		return false
+	}
+	owner := c.phys.Frame(from).Owner
+	c.phys.SetOwner(to, owner, true)
+	if c.migrator != nil {
+		if err := c.migrator.MigratePage(owner, from, to); err != nil {
+			// The page table still references 'from'; release the
+			// claimed target (FreeRange clears its owner metadata).
+			c.buddy.FreeRange(to, 1)
+			c.stats.MigrateFails++
+			return false
+		}
+	}
+	c.buddy.FreeRange(from, 1)
+	return true
 }
 
 // findFreeRun searches downward from hi for k consecutive free frames

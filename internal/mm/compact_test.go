@@ -1,25 +1,32 @@
 package mm
 
 import (
+	"errors"
 	"testing"
 
 	"colt/internal/arch"
 )
 
 // recordingMigrator remembers every migration so tests can validate
-// rehoming callbacks.
+// rehoming callbacks. failAfter > 0 makes every migration past that
+// count fail, exercising the rollback path.
 type recordingMigrator struct {
 	moves []struct {
 		owner    PageOwner
 		from, to arch.PFN
 	}
+	failAfter int
 }
 
-func (m *recordingMigrator) MigratePage(owner PageOwner, from, to arch.PFN) {
+func (m *recordingMigrator) MigratePage(owner PageOwner, from, to arch.PFN) error {
+	if m.failAfter > 0 && len(m.moves) >= m.failAfter {
+		return errors.New("rehoming refused")
+	}
 	m.moves = append(m.moves, struct {
 		owner    PageOwner
 		from, to arch.PFN
 	}{owner, from, to})
+	return nil
 }
 
 // fragment sets up a checkerboard: all frames allocated, every even
@@ -258,6 +265,115 @@ func TestBackgroundCompactionBackoff(t *testing.T) {
 	// must cut that dramatically.
 	if ran >= 40 {
 		t.Fatalf("background backoff ineffective: %d runs in 1000 ticks", ran)
+	}
+}
+
+// TestCompactNoFreeTarget: when no free frame exists above the migrate
+// scanner there is nowhere to move pages to; the pass must stop
+// cleanly with nothing migrated and the allocator consistent.
+func TestCompactNoFreeTarget(t *testing.T) {
+	pm := NewPhysMem(64)
+	b := NewBuddy(pm)
+	mig := &recordingMigrator{}
+	c := NewCompactor(pm, b, mig, CompactionNormal)
+	// Fill memory completely: movable pages at the bottom, pinned pages
+	// above them, zero free frames anywhere.
+	if _, err := b.AllocRange(64); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		pm.SetOwner(arch.PFN(i), PageOwner{PID: 1, VPN: arch.VPN(i)}, true)
+	}
+	for i := 32; i < 64; i++ {
+		pm.SetOwner(arch.PFN(i), PageOwner{PID: KernelPID}, false)
+	}
+	if moved := c.Compact(-1); moved != 0 {
+		t.Fatalf("compaction moved %d pages with no free target", moved)
+	}
+	if len(mig.moves) != 0 {
+		t.Fatalf("migrator called %d times with no free target", len(mig.moves))
+	}
+	if issues := b.Audit(); len(issues) > 0 {
+		t.Fatalf("allocator inconsistent: %v", issues)
+	}
+	// The movable pages must be untouched.
+	for i := 0; i < 32; i++ {
+		f := pm.Frame(arch.PFN(i))
+		if !f.Allocated || f.Owner.PID != 1 || f.Owner.VPN != arch.VPN(i) {
+			t.Fatalf("frame %d metadata disturbed: %+v", i, *f)
+		}
+	}
+}
+
+// TestCompactRehomingFailureRollsBack: a failing rehoming callback must
+// leave the source frame owned and allocated, return the claimed
+// target to the free lists, and keep the allocator consistent — and
+// the failure must be counted.
+func TestCompactRehomingFailureRollsBack(t *testing.T) {
+	pm := NewPhysMem(256)
+	b := NewBuddy(pm)
+	mig := &recordingMigrator{failAfter: 3}
+	c := NewCompactor(pm, b, mig, CompactionNormal)
+	fragment(t, pm, b, true)
+
+	freeBefore := b.FreePages()
+	moved := c.Compact(-1)
+	if moved != 3 {
+		t.Fatalf("moved %d pages, want exactly the 3 successful rehomings", moved)
+	}
+	if got := c.Stats().MigrateFails; got == 0 {
+		t.Fatal("MigrateFails not counted")
+	}
+	if b.FreePages() != freeBefore {
+		t.Fatalf("free pages drifted: %d -> %d", freeBefore, b.FreePages())
+	}
+	if issues := b.Audit(); len(issues) > 0 {
+		t.Fatalf("allocator inconsistent after rollback: %v", issues)
+	}
+	// Every odd frame that did not migrate must still be owned by pid 1
+	// with its original VPN (fragment() set Owner.VPN = frame index).
+	migrated := map[arch.PFN]bool{}
+	for _, m := range mig.moves {
+		migrated[m.from] = true
+	}
+	for i := 1; i < pm.NumFrames(); i += 2 {
+		pfn := arch.PFN(i)
+		if migrated[pfn] {
+			continue
+		}
+		f := pm.Frame(pfn)
+		if !f.Allocated || f.Owner.PID != 1 || f.Owner.VPN != arch.VPN(i) {
+			t.Fatalf("unmigrated frame %d metadata wrong after rollback: %+v", i, *f)
+		}
+	}
+}
+
+// TestCompactMigrateFaultHook: an injected veto skips the page without
+// touching any state and is counted in MigrateFails.
+func TestCompactMigrateFaultHook(t *testing.T) {
+	pm := NewPhysMem(256)
+	b := NewBuddy(pm)
+	mig := &recordingMigrator{}
+	c := NewCompactor(pm, b, mig, CompactionNormal)
+	fragment(t, pm, b, true)
+	vetoed := errors.New("vetoed")
+	c.SetMigrateFaultHook(func() error { return vetoed })
+	if moved := c.Compact(-1); moved != 0 {
+		t.Fatalf("compaction moved %d pages with every migration vetoed", moved)
+	}
+	if len(mig.moves) != 0 {
+		t.Fatal("migrator reached despite veto")
+	}
+	if c.Stats().MigrateFails == 0 {
+		t.Fatal("vetoes not counted")
+	}
+	if issues := b.Audit(); len(issues) > 0 {
+		t.Fatalf("allocator inconsistent: %v", issues)
+	}
+	// Uninstall: compaction proceeds normally again.
+	c.SetMigrateFaultHook(nil)
+	if moved := c.Compact(-1); moved == 0 {
+		t.Fatal("compaction still stuck after hook removal")
 	}
 }
 

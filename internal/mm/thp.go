@@ -34,6 +34,11 @@ type THP struct {
 	// first (an LRU approximation of Linux's shrinker behaviour).
 	huges []HugeAlloc
 	stats THPStats
+
+	// failHuge, when set, may veto huge allocations before any state
+	// changes (the fault-injection plane's hook); vetoed attempts fall
+	// back to base pages like any other huge-allocation failure.
+	failHuge func() error
 }
 
 // splitWatermark: when free memory drops below this fraction of total,
@@ -52,6 +57,12 @@ func (t *THP) Enabled() bool { return t.enabled }
 // Stats returns a snapshot of the counters.
 func (t *THP) Stats() THPStats { return t.stats }
 
+// SetHugeFaultHook installs fn to run at the top of every TryAllocHuge
+// call: a non-nil return fails the attempt (counted in HugeFails) and
+// the caller falls back to base pages — the graceful THP degradation
+// path. nil uninstalls.
+func (t *THP) SetHugeFaultHook(fn func() error) { t.failHuge = fn }
+
 // LiveHuges returns the number of currently-mapped superpages.
 func (t *THP) LiveHuges() int { return len(t.huges) }
 
@@ -67,6 +78,12 @@ func (t *THP) TryAllocHuge(pid int, baseVPN arch.VPN) (arch.PFN, bool) {
 	}
 	if baseVPN%arch.PagesPerHuge != 0 {
 		panic("mm: TryAllocHuge with unaligned base VPN")
+	}
+	if t.failHuge != nil {
+		if err := t.failHuge(); err != nil {
+			t.stats.HugeFails++
+			return 0, false
+		}
 	}
 	pfn, err := t.buddy.AllocBlock(HugeOrder)
 	if err == ErrFragmented && t.compact != nil {

@@ -1,0 +1,76 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"colt/internal/arch"
+)
+
+// Audit walks the whole radix tree and verifies its structural
+// invariants, returning a description of every inconsistency found
+// (empty means healthy). It is a checkpoint diagnostic for the
+// invariant auditors, not a hot-path check:
+//
+//   - a slot holds an interior child or a PTE, never both;
+//   - PTEs appear only at the PMD (huge, with the Huge flag) and leaf
+//     (base, without it) levels;
+//   - huge PTEs keep MapHuge's 2 MB physical alignment;
+//   - every node's live count matches its populated slots;
+//   - the mappedBase/mappedHuge counters match a full walk.
+func (t *Table) Audit() []string {
+	var issues []string
+	var base, huge int
+	var walk func(n *node, level int)
+	walk = func(n *node, level int) {
+		live := 0
+		for i := 0; i < fanout; i++ {
+			child := n.children[i]
+			pte := n.ptes[i]
+			if child != nil {
+				live++
+				if level >= LeafLevel {
+					issues = append(issues, fmt.Sprintf("leaf node %#x entry %d: has a child table", uint64(n.pfn), i))
+					continue
+				}
+				if pte.Present() {
+					issues = append(issues, fmt.Sprintf("level-%d node %#x entry %d: child table and PTE both present", level, uint64(n.pfn), i))
+				}
+				walk(child, level+1)
+				continue
+			}
+			if !pte.Present() {
+				continue
+			}
+			live++
+			switch {
+			case level == LeafLevel:
+				if pte.Huge {
+					issues = append(issues, fmt.Sprintf("leaf node %#x entry %d: huge flag on a 4KB PTE", uint64(n.pfn), i))
+				}
+				base++
+			case level == HugeLevel:
+				if !pte.Huge {
+					issues = append(issues, fmt.Sprintf("PMD node %#x entry %d: present PTE without huge flag", uint64(n.pfn), i))
+					continue
+				}
+				if pte.PFN%arch.PagesPerHuge != 0 {
+					issues = append(issues, fmt.Sprintf("PMD node %#x entry %d: huge PTE frame %d not 2MB-aligned", uint64(n.pfn), i, pte.PFN))
+				}
+				huge++
+			default:
+				issues = append(issues, fmt.Sprintf("level-%d node %#x entry %d: PTE above the PMD level", level, uint64(n.pfn), i))
+			}
+		}
+		if live != n.live {
+			issues = append(issues, fmt.Sprintf("level-%d node %#x: live count %d, found %d populated slots", level, uint64(n.pfn), n.live, live))
+		}
+	}
+	walk(t.root, 0)
+	if base != t.mappedBase {
+		issues = append(issues, fmt.Sprintf("mappedBase counter %d, walk found %d base mappings", t.mappedBase, base))
+	}
+	if huge != t.mappedHuge {
+		issues = append(issues, fmt.Sprintf("mappedHuge counter %d, walk found %d huge mappings", t.mappedHuge, huge))
+	}
+	return issues
+}

@@ -13,21 +13,55 @@
 // deliberately NOT split across workers: all variants of a benchmark
 // share one reference stream and one set of OS shootdown events, so
 // they must advance in lockstep on a single goroutine.
+//
+// Failure containment: a panicking job never tears down the pool or
+// the process — it is converted into a *PanicError for that job, on
+// both the serial and concurrent paths. Pools can also bound each
+// job's wall-clock via SetJobTimeout, and MapPartial runs every job
+// to completion reporting per-job errors, which is what lets the
+// experiment drivers render partial results instead of aborting.
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// PanicError is a job panic converted to an error. Error() is a pure
+// function of the job index and panic value — the stack (kept in
+// Stack for debugging) is excluded so failure reports stay
+// byte-identical across runs and parallel widths.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job %d panicked: %v", e.Job, e.Value)
+}
+
+// TimeoutError is a job that exceeded the pool's per-job timeout.
+type TimeoutError struct {
+	Job     int
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sched: job %d exceeded %v timeout", e.Job, e.Timeout)
+}
+
 // Pool schedules independent jobs over a fixed number of workers. The
 // zero value is not useful; use New.
 type Pool struct {
-	workers int
-	observe func(job int, d time.Duration)
+	workers    int
+	jobTimeout time.Duration
+	observe    func(job int, d time.Duration)
 }
 
 // New returns a pool running up to workers jobs concurrently. Values
@@ -52,6 +86,18 @@ func (p *Pool) SetObserver(fn func(job int, d time.Duration)) *Pool {
 	return p
 }
 
+// SetJobTimeout bounds each job's wall-clock at d (<= 0 disables, the
+// default). A job that exceeds the bound fails with *TimeoutError;
+// its goroutine keeps running to completion in the background (the
+// simulator has no preemption points), but its result is discarded.
+// Timeouts are inherently wall-clock-dependent, so deterministic runs
+// should set a bound generous enough that it only fires on hangs.
+// Returns p for chaining.
+func (p *Pool) SetJobTimeout(d time.Duration) *Pool {
+	p.jobTimeout = d
+	return p
+}
+
 // timed runs fn(i) and reports its duration to the observer, if any.
 func (p *Pool) timed(i int, fn func(i int) error) error {
 	if p.observe == nil {
@@ -63,85 +109,42 @@ func (p *Pool) timed(i int, fn func(i int) error) error {
 	return err
 }
 
+// runJob runs one job with panic containment and the pool's per-job
+// timeout. Panics become *PanicError; overruns become *TimeoutError.
+func (p *Pool) runJob(i int, fn func(i int) error) error {
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: i, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		return p.timed(i, fn)
+	}
+	if p.jobTimeout <= 0 {
+		return run()
+	}
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	timer := time.NewTimer(p.jobTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return &TimeoutError{Job: i, Timeout: p.jobTimeout}
+	}
+}
+
 // Map runs fn(i) for every i in [0, n) on the pool's workers and
 // returns the results ordered by input index — never by completion
 // order. The first error (by job index) cancels dispatch of jobs that
 // have not yet started and is returned; results from jobs that already
-// completed are discarded. A panic in fn propagates to the caller,
-// annotated with the job index.
+// completed are discarded. A panic in fn is contained to its job and
+// reported as a *PanicError — it never tears down the pool.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
+	results, errs := mapAll(p, n, fn, true)
+	if results == nil && errs == nil {
 		return nil, nil
-	}
-	results := make([]T, n)
-	errs := make([]error, n)
-	workers := p.workers
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		// Degenerate pool: run inline, stopping at the first error, so
-		// -parallel 1 has the exact serial semantics (and stack traces)
-		// of the pre-scheduler code.
-		for i := 0; i < n; i++ {
-			if err := p.timed(i, func(i int) error {
-				var err error
-				results[i], err = fn(i)
-				return err
-			}); err != nil {
-				return nil, err
-			}
-		}
-		return results, nil
-	}
-
-	var (
-		next    atomic.Int64 // next job index to claim
-		failed  atomic.Bool  // set once any job errors
-		panicMu sync.Mutex
-		panics  []panicInfo
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || failed.Load() {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							failed.Store(true)
-							panicMu.Lock()
-							panics = append(panics, panicInfo{job: i, value: r})
-							panicMu.Unlock()
-						}
-					}()
-					if err := p.timed(i, func(i int) error {
-						var err error
-						results[i], err = fn(i)
-						return err
-					}); err != nil {
-						errs[i] = err
-						failed.Store(true)
-					}
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	if len(panics) > 0 {
-		// Re-panic deterministically: lowest job index wins.
-		min := panics[0]
-		for _, p := range panics[1:] {
-			if p.job < min.job {
-				min = p
-			}
-		}
-		panic(fmt.Sprintf("sched: job %d panicked: %v", min.job, min.value))
 	}
 	// First error by job index, not completion order, so the reported
 	// failure is deterministic too.
@@ -153,13 +156,108 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
-type panicInfo struct {
-	job   int
-	value any
+// MapPartial runs fn(i) for EVERY i in [0, n) — an error or panic in
+// one job never cancels the others — and returns both slices indexed
+// by job: errs[i] is nil exactly when results[i] is valid. This is
+// the graceful-degradation entry point: callers render the surviving
+// jobs and report the failed ones.
+func MapPartial[T any](p *Pool, n int, fn func(i int) (T, error)) (results []T, errs []error) {
+	return mapAll(p, n, fn, false)
+}
+
+// mapAll is the shared engine behind Map and MapPartial. When
+// cancelOnError is set, a failed job stops dispatch of jobs that have
+// not yet started (Map's contract); otherwise every job runs.
+func mapAll[T any](p *Pool, n int, fn func(i int) (T, error), cancelOnError bool) ([]T, []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Degenerate pool: run inline so -parallel 1 has the exact
+		// serial semantics of the pre-scheduler code (stopping at the
+		// first error when cancellation is on).
+		for i := 0; i < n; i++ {
+			errs[i] = p.runJob(i, func(i int) error {
+				var err error
+				results[i], err = fn(i)
+				return err
+			})
+			if errs[i] != nil && cancelOnError {
+				break
+			}
+		}
+		return results, errs
+	}
+
+	var (
+		next   atomic.Int64 // next job index to claim
+		failed atomic.Bool  // set once any job errors (cancel mode)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || (cancelOnError && failed.Load()) {
+					return
+				}
+				if err := p.runJob(i, func(i int) error {
+					var err error
+					results[i], err = fn(i)
+					return err
+				}); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
 }
 
 // MapSlice is Map over a slice: it runs fn(i, items[i]) for every item
 // and returns the outputs in item order.
 func MapSlice[S, T any](p *Pool, items []S, fn func(i int, item S) (T, error)) ([]T, error) {
 	return Map(p, len(items), func(i int) (T, error) { return fn(i, items[i]) })
+}
+
+// Retry runs fn up to attempts times (attempt is 0-based), returning
+// nil on the first success. Only errors for which transient returns
+// true are retried; other errors — including *TimeoutError, which is
+// wall-clock-dependent — return immediately. Between attempts it
+// sleeps backoff << attempt (bounded), which spaces wall-clock without
+// affecting results: fn's outcome must be a deterministic function of
+// the attempt number, so the retry trajectory is identical at every
+// parallel width.
+func Retry(attempts int, backoff time.Duration, transient func(error) bool, fn func(attempt int) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			d := backoff << uint(attempt-1)
+			if max := 100 * backoff; d > max {
+				d = max
+			}
+			time.Sleep(d)
+		}
+		if err = fn(attempt); err == nil {
+			return nil
+		}
+		var te *TimeoutError
+		if errors.As(err, &te) || transient == nil || !transient(err) {
+			return err
+		}
+	}
+	return err
 }

@@ -122,21 +122,177 @@ func TestMapSlice(t *testing.T) {
 	}
 }
 
-func TestMapPanicPropagates(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic did not propagate")
+// TestMapPanicContained: a panicking job is converted to a *PanicError
+// and never tears down the pool (regression: the pool used to re-panic
+// after the wait, killing every job in the run).
+func TestMapPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(New(workers), 8, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic did not surface as an error", workers)
 		}
-		if s := fmt.Sprint(r); !strings.Contains(s, "job 5") {
-			t.Fatalf("panic lost job context: %v", s)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *PanicError", workers, err, err)
 		}
-	}()
-	Map(New(4), 8, func(i int) (int, error) {
-		if i == 5 {
-			panic("boom")
+		if pe.Job != 5 || !strings.Contains(err.Error(), "job 5") || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("workers=%d: error lost job context: %v", workers, err)
+		}
+		if pe.Stack == "" {
+			t.Errorf("workers=%d: stack not captured", workers)
+		}
+		if strings.Contains(err.Error(), "goroutine") {
+			t.Errorf("workers=%d: Error() leaks the stack (nondeterministic text): %q", workers, err.Error())
+		}
+	}
+}
+
+// TestPoolSurvivesPanic: the same pool keeps scheduling after a job
+// panicked — the process and its sibling jobs are unaffected.
+func TestPoolSurvivesPanic(t *testing.T) {
+	p := New(4)
+	if _, err := Map(p, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic(fmt.Sprintf("job %d exploding", i))
 		}
 		return i, nil
+	}); err == nil {
+		t.Fatal("expected the panic error")
+	}
+	got, err := Map(p, 4, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatalf("pool unusable after a contained panic: %v", err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d] = %d after panic recovery", i, v)
+		}
+	}
+}
+
+func TestMapPartialRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var started atomic.Int64
+		results, errs := MapPartial(New(workers), 10, func(i int) (int, error) {
+			started.Add(1)
+			switch i {
+			case 3:
+				return 0, errors.New("job 3 failed")
+			case 7:
+				panic("job 7 panicked")
+			}
+			return i * i, nil
+		})
+		if started.Load() != 10 {
+			t.Fatalf("workers=%d: only %d of 10 jobs ran", workers, started.Load())
+		}
+		for i := 0; i < 10; i++ {
+			switch i {
+			case 3:
+				if errs[i] == nil || !strings.Contains(errs[i].Error(), "job 3 failed") {
+					t.Errorf("workers=%d: errs[3] = %v", workers, errs[i])
+				}
+			case 7:
+				var pe *PanicError
+				if !errors.As(errs[i], &pe) || pe.Job != 7 {
+					t.Errorf("workers=%d: errs[7] = %v, want *PanicError job 7", workers, errs[i])
+				}
+			default:
+				if errs[i] != nil {
+					t.Errorf("workers=%d: errs[%d] = %v", workers, i, errs[i])
+				}
+				if results[i] != i*i {
+					t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, results[i], i*i)
+				}
+			}
+		}
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	p := New(2).SetJobTimeout(20 * time.Millisecond)
+	block := make(chan struct{})
+	defer close(block)
+	_, errs := MapPartial(p, 3, func(i int) (int, error) {
+		if i == 1 {
+			<-block // hang until the test exits
+		}
+		return i, nil
+	})
+	var te *TimeoutError
+	if !errors.As(errs[1], &te) {
+		t.Fatalf("errs[1] = %v, want *TimeoutError", errs[1])
+	}
+	if te.Job != 1 || !strings.Contains(te.Error(), "timeout") {
+		t.Errorf("timeout error = %v", te)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy jobs failed: %v %v", errs[0], errs[2])
+	}
+}
+
+func TestRetry(t *testing.T) {
+	transient := func(err error) bool { return strings.Contains(err.Error(), "transient") }
+	t.Run("retries transient until success", func(t *testing.T) {
+		var calls []int
+		err := Retry(4, 0, transient, func(attempt int) error {
+			calls = append(calls, attempt)
+			if attempt < 2 {
+				return errors.New("transient glitch")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Retry: %v", err)
+		}
+		if len(calls) != 3 || calls[0] != 0 || calls[1] != 1 || calls[2] != 2 {
+			t.Fatalf("attempts = %v, want [0 1 2]", calls)
+		}
+	})
+	t.Run("exhausts attempts and returns last error", func(t *testing.T) {
+		var calls int
+		err := Retry(3, 0, transient, func(attempt int) error {
+			calls++
+			return fmt.Errorf("transient %d", attempt)
+		})
+		if calls != 3 {
+			t.Fatalf("fn called %d times, want 3", calls)
+		}
+		if err == nil || !strings.Contains(err.Error(), "transient 2") {
+			t.Fatalf("err = %v, want the final attempt's error", err)
+		}
+	})
+	t.Run("permanent error not retried", func(t *testing.T) {
+		var calls int
+		err := Retry(5, 0, transient, func(int) error {
+			calls++
+			return errors.New("permanent")
+		})
+		if calls != 1 {
+			t.Fatalf("permanent error retried %d times", calls)
+		}
+		if err == nil {
+			t.Fatal("error swallowed")
+		}
+	})
+	t.Run("timeouts never retried", func(t *testing.T) {
+		var calls int
+		err := Retry(5, 0, func(error) bool { return true }, func(int) error {
+			calls++
+			return fmt.Errorf("wrapped: %w", &TimeoutError{Job: 0, Timeout: time.Second})
+		})
+		if calls != 1 {
+			t.Fatalf("timeout retried %d times", calls)
+		}
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("err = %v, want *TimeoutError", err)
+		}
 	})
 }
 

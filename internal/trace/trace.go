@@ -56,6 +56,11 @@ var magic = [8]byte{'C', 'O', 'L', 'T', 'T', 'R', 'C', '1'}
 
 const writeBit = uint64(1) << 63
 
+// reservedMask covers the word bits between the 52-bit address and the
+// write flag. They are always zero in a valid trace, so a set bit is
+// proof of corruption rather than a legal future extension.
+const reservedMask = uint64(1)<<63 - uint64(1)<<52
+
 // ErrBadMagic reports a stream that is not a CoLT trace.
 var ErrBadMagic = errors.New("trace: bad magic (not a CoLT trace)")
 
@@ -70,7 +75,7 @@ func (t *Trace) Write(w io.Writer) error {
 	var buf [12]byte
 	for i, r := range t.recs {
 		word := uint64(r.VAddr)
-		if word&writeBit != 0 {
+		if word&(writeBit|reservedMask) != 0 {
 			return fmt.Errorf("trace: address %#x overflows encoding", uint64(r.VAddr))
 		}
 		if r.InstGap == 0 {
@@ -112,6 +117,9 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		word := binary.LittleEndian.Uint64(buf[0:8])
 		gap := binary.LittleEndian.Uint32(buf[8:12])
+		if word&reservedMask != 0 {
+			return nil, fmt.Errorf("trace: record %d: corrupt address word %#x (reserved bits set)", i, word)
+		}
 		if gap == 0 {
 			return nil, fmt.Errorf("trace: record %d: InstGap 0 is invalid (must be >= 1)", i)
 		}

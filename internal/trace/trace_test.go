@@ -129,10 +129,30 @@ func TestZeroGapRejectedOnRead(t *testing.T) {
 }
 
 func TestAddressOverflowRejected(t *testing.T) {
-	tr := &Trace{}
-	tr.Append(Record{VAddr: arch.VAddr(writeBit), InstGap: 1})
-	if err := tr.Write(&bytes.Buffer{}); err == nil {
-		t.Fatal("overflowing address accepted")
+	for _, addr := range []uint64{writeBit, uint64(1) << 52, uint64(1) << 62} {
+		tr := &Trace{}
+		tr.Append(Record{VAddr: arch.VAddr(addr), InstGap: 1})
+		if err := tr.Write(&bytes.Buffer{}); err == nil {
+			t.Errorf("address %#x accepted by Write", addr)
+		}
+	}
+}
+
+func TestReservedBitsRejectedOnRead(t *testing.T) {
+	// Hand-assemble a stream with a reserved address bit set — the bit
+	// pattern of a flipped word, which Write refuses to produce.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var rec [12]byte
+	binary.LittleEndian.PutUint64(rec[0:8], 0x1000|uint64(1)<<55)
+	binary.LittleEndian.PutUint32(rec[8:12], 3)
+	buf.Write(rec[:])
+	_, err := Read(&buf)
+	if err == nil {
+		t.Fatal("corrupt address word accepted by Read")
+	}
+	if !strings.Contains(err.Error(), "record 0") || !strings.Contains(err.Error(), "reserved bits") {
+		t.Errorf("error %q does not name the offending record and corruption", err)
 	}
 }
 

@@ -120,17 +120,19 @@ func (s *System) shootdown(pid int, vpn arch.VPN) {
 
 // MigratePage implements mm.Migrator: the compaction daemon moved the
 // frame backing (owner.PID, owner.VPN); rehome the page table and shoot
-// down stale TLB entries.
-func (s *System) MigratePage(owner mm.PageOwner, from, to arch.PFN) {
+// down stale TLB entries. On error the compactor rolls the migration
+// back, so the page table and frame metadata stay consistent.
+func (s *System) MigratePage(owner mm.PageOwner, from, to arch.PFN) error {
 	proc, ok := s.procs[owner.PID]
 	if !ok {
-		panic(fmt.Sprintf("vm: migration for unknown pid %d", owner.PID))
+		return fmt.Errorf("vm: migration for unknown pid %d", owner.PID)
 	}
 	if err := proc.Table.Remap(owner.VPN, to); err != nil {
-		panic(fmt.Sprintf("vm: migration remap pid %d vpn %d: %v", owner.PID, owner.VPN, err))
+		return fmt.Errorf("vm: migration remap pid %d vpn %d: %w", owner.PID, owner.VPN, err)
 	}
 	s.shootdown(owner.PID, owner.VPN)
 	_ = from
+	return nil
 }
 
 // NewProcess creates a process with an empty address space.
