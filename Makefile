@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race golden golden-update bench-parallel chaos fuzz-buddy
+.PHONY: check vet build test race golden golden-update bench-parallel chaos fuzz-buddy cover
 
 check: vet build test race golden
 
@@ -19,8 +19,10 @@ test:
 
 # The scheduler and the parallel-determinism guards under the race
 # detector: concurrency bugs in the experiment engine show up here.
+# The telemetry determinism tests ride along — TraceSet/Reporter are
+# fed concurrently from all workers.
 race:
-	$(GO) test -race ./internal/sched ./internal/experiments -run Parallel
+	$(GO) test -race ./internal/sched ./internal/experiments -run 'Parallel|GoldenHistograms|TraceEvents'
 
 # Golden-run regression diff: re-runs the golden experiment subset and
 # byte-compares its metrics JSON against internal/experiments/testdata/
@@ -49,3 +51,16 @@ chaos:
 # after every operation (CI runs the corpus only, via `make test`).
 fuzz-buddy:
 	$(GO) test ./internal/mm -run '^$$' -fuzz FuzzBuddyAllocFree -fuzztime 30s
+
+# Statement-coverage gate for the observability stack: each package
+# listed in .coverage-floor must meet its checked-in minimum.
+cover:
+	@set -e; \
+	while read -r pkg floor; do \
+		case "$$pkg" in ''|\#*) continue;; esac; \
+		pct=$$($(GO) test -count=1 -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		echo "$$pkg: $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit !(p + 0 >= f + 0) }' || \
+			{ echo "cover: $$pkg coverage $$pct% fell below the $$floor% floor"; exit 1; }; \
+	done < .coverage-floor

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	coltsim -bench Mcf [-ths=false] [-lowcompaction] [-memhog 25] [-refs N] [-quick]
+//
+// Invalid flag values (unknown benchmark, out-of-range -memhog,
+// negative -refs) exit with status 2 and an error naming the valid
+// set; simulation failures exit with status 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"colt"
 )
@@ -21,7 +26,7 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmark names and exit")
 		ths     = flag.Bool("ths", true, "enable transparent hugepage support")
 		lowComp = flag.Bool("lowcompaction", false, "reduce memory compaction (defrag off)")
-		memhog  = flag.Int("memhog", 0, "memhog percentage (0, 25, 50)")
+		memhog  = flag.Int("memhog", 0, "memhog percentage (0-94; the paper uses 0, 25, 50)")
 		refs    = flag.Int("refs", 0, "measured references (default full run)")
 		quick   = flag.Bool("quick", false, "small fast run")
 	)
@@ -38,18 +43,52 @@ func main() {
 	if *quick {
 		opts = colt.QuickOptions()
 	}
+	kernel := colt.KernelConfig{THP: *ths, LowCompaction: *lowComp, MemhogPct: *memhog}
+	if err := validate(*bench, kernel, *refs); err != nil {
+		fmt.Fprintln(os.Stderr, "coltsim:", err)
+		os.Exit(2)
+	}
 	if *refs > 0 {
 		opts.References = *refs
 		opts.Warmup = *refs / 10
 	}
-	kernel := colt.KernelConfig{THP: *ths, LowCompaction: *lowComp, MemhogPct: *memhog}
-
-	rep, err := colt.RunBenchmark(*bench, kernel, opts, colt.AllPolicies())
-	if err != nil {
+	if err := run(*bench, kernel, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "coltsim:", err)
 		os.Exit(1)
 	}
+}
 
+// validate checks the flag-derived configuration, returning errors
+// that name the offending flag and the valid set.
+func validate(bench string, kernel colt.KernelConfig, refs int) error {
+	if kernel.MemhogPct < 0 || kernel.MemhogPct >= 95 {
+		return fmt.Errorf("-memhog %d%% is out of range [0, 95); the paper uses 0, 25, and 50", kernel.MemhogPct)
+	}
+	if refs < 0 {
+		return fmt.Errorf("-refs must be >= 0, got %d", refs)
+	}
+	if !knownBench(bench) {
+		return fmt.Errorf("unknown benchmark %q (known: %s)", bench, strings.Join(colt.Benchmarks(), ", "))
+	}
+	return nil
+}
+
+// knownBench reports whether name is one of the paper's benchmarks.
+func knownBench(name string) bool {
+	for _, b := range colt.Benchmarks() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// run simulates the benchmark and prints the per-policy table.
+func run(bench string, kernel colt.KernelConfig, opts colt.Options) error {
+	rep, err := colt.RunBenchmark(bench, kernel, opts, colt.AllPolicies())
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s: %d instructions, avg contiguity %.1f pages, perfect-TLB speedup %.1f%%\n\n",
 		rep.Bench, rep.Instructions, rep.AvgContiguity, rep.PerfectSpeedupPct)
 	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n",
@@ -58,4 +97,5 @@ func main() {
 		fmt.Printf("%-10s %12.0f %12.0f %10.1f %10.1f %10.1f\n",
 			p.Policy, p.L1MPMI, p.L2MPMI, p.L1Eliminated, p.L2Eliminated, p.SpeedupPct)
 	}
+	return nil
 }

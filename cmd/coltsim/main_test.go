@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"colt"
+)
+
+func TestValidateRejectsBadMemhog(t *testing.T) {
+	for _, pct := range []int{-1, 95, 200} {
+		kernel := colt.DefaultKernel()
+		kernel.MemhogPct = pct
+		err := validate("Mcf", kernel, 0)
+		if err == nil {
+			t.Errorf("validate with memhog=%d succeeded", pct)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-memhog") {
+			t.Errorf("memhog=%d error %q does not mention the flag", pct, err)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeRefs(t *testing.T) {
+	err := validate("Mcf", colt.DefaultKernel(), -1)
+	if err == nil {
+		t.Fatal("validate with refs=-1 succeeded")
+	}
+	if !strings.Contains(err.Error(), "-refs") {
+		t.Errorf("error %q does not mention -refs", err)
+	}
+}
+
+func TestValidateUnknownBenchNamesValidSet(t *testing.T) {
+	err := validate("NoSuchBench", colt.DefaultKernel(), 0)
+	if err == nil {
+		t.Fatal("validate with unknown benchmark succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"NoSuchBench"`) {
+		t.Errorf("error %q does not quote the bad benchmark", msg)
+	}
+	for _, want := range colt.Benchmarks() {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid benchmark %q", msg, want)
+		}
+	}
+}
+
+func TestValidateAcceptsPaperConfigs(t *testing.T) {
+	for _, pct := range []int{0, 25, 50} {
+		kernel := colt.DefaultKernel()
+		kernel.MemhogPct = pct
+		if err := validate("Mcf", kernel, 0); err != nil {
+			t.Errorf("validate rejected the paper's memhog=%d: %v", pct, err)
+		}
+	}
+}
+
+func TestRunSingleBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full workload image")
+	}
+	opts := colt.QuickOptions()
+	if err := run("Mcf", colt.DefaultKernel(), opts); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

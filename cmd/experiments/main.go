@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments -exp table1|contig|fig16|...|all [-quick] [-parallel N] [-scale F] [-refs N] [-frames N]
-//	            [-out DIR] [-faults SPEC] [-strict-invariants] [-job-timeout D] [-retries N]
+//	            [-out DIR] [-hist] [-trace-events DIR] [-progress]
+//	            [-faults SPEC] [-strict-invariants] [-job-timeout D] [-retries N]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Run with -exp list (or an unknown name) to see every experiment.
@@ -11,6 +12,14 @@
 // machine-readable report to DIR/<name>.json (stable, key-sorted JSON —
 // see internal/metrics and EXPERIMENTS.md) plus a DIR/<name>.timing.json
 // wall-clock sidecar.
+//
+// Observability: -hist embeds deterministic log2 histograms (coalescing
+// run length, walk depth/cycles, contiguity runs, TLB entry lifetimes)
+// and simulated-time phase spans into each report record; -trace-events
+// DIR writes one Chrome trace-event file per experiment
+// (DIR/<name>.trace.json, loadable in ui.perfetto.dev); -progress
+// prints live per-job phase and completion lines to stderr. None of
+// these change simulation results.
 //
 // -faults injects deterministic failures ("site=rate,..." or "all=rate";
 // see internal/fault); failed jobs are retried -retries times, then
@@ -33,6 +42,7 @@ import (
 	"colt/internal/fault"
 	"colt/internal/metrics"
 	"colt/internal/stats"
+	"colt/internal/telemetry"
 	"colt/internal/workload"
 )
 
@@ -47,6 +57,9 @@ func main() {
 		frames     = flag.Int("frames", 0, "override physical memory frames")
 		seed       = flag.Uint64("seed", 0, "override RNG seed")
 		outDir     = flag.String("out", "", "directory for machine-readable metrics JSON (one report per experiment)")
+		hist       = flag.Bool("hist", false, "embed telemetry histograms and phase spans into metrics records")
+		traceDir   = flag.String("trace-events", "", "directory for Chrome trace-event JSON (one trace per experiment)")
+		progress   = flag.Bool("progress", false, "print live per-job progress to stderr")
 		faults     = flag.String("faults", "", `deterministic fault injection, "site=rate,..." or "all=rate"`)
 		strict     = flag.Bool("strict-invariants", false, "run invariant auditors at every checkpoint")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock limit per scheduler job (0 = none)")
@@ -87,6 +100,10 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Retries = *retries
+	opts.Histograms = *hist
+	if *progress {
+		opts.Progress = telemetry.NewReporter(os.Stderr)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -102,7 +119,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err = run(*exp, opts, *outDir)
+	err = run(*exp, opts, *outDir, *traceDir)
 
 	if *memProfile != "" {
 		if perr := writeHeapProfile(*memProfile); perr != nil {
@@ -380,7 +397,7 @@ func expNames(reg []experiment) string {
 	return strings.Join(names, ", ")
 }
 
-func run(exp string, opts experiments.Options, outDir string) error {
+func run(exp string, opts experiments.Options, outDir, traceDir string) error {
 	reg := registry()
 	if exp == "list" {
 		for _, e := range reg {
@@ -394,12 +411,17 @@ func run(exp string, opts experiments.Options, outDir string) error {
 			return fmt.Errorf("creating -out directory: %w", err)
 		}
 	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return fmt.Errorf("creating -trace-events directory: %w", err)
+		}
+	}
 	if exp == "all" {
 		for _, e := range reg {
 			if e.skipAll {
 				continue
 			}
-			if err := runOne(e, opts, outDir); err != nil {
+			if err := runOne(e, opts, outDir, traceDir); err != nil {
 				return err
 			}
 		}
@@ -407,44 +429,70 @@ func run(exp string, opts experiments.Options, outDir string) error {
 	}
 	for _, e := range reg {
 		if e.name == exp {
-			return runOne(e, opts, outDir)
+			return runOne(e, opts, outDir, traceDir)
 		}
 	}
 	return fmt.Errorf("unknown experiment %q; valid experiments: %s", exp, expNames(reg))
 }
 
 // runOne executes one registry entry, collecting and writing its
-// metrics report when -out is set. With -faults, a collector is
-// attached even without -out so injected job failures are reported
-// rather than silently dropped with the degraded rows.
-func runOne(e experiment, opts experiments.Options, outDir string) error {
-	if outDir == "" && !opts.Faults.Enabled() {
-		return e.run(opts)
+// metrics report when -out is set and its Chrome trace when
+// -trace-events is set. With -faults, a collector is attached even
+// without -out so injected job failures are reported rather than
+// silently dropped with the degraded rows.
+func runOne(e experiment, opts experiments.Options, outDir, traceDir string) error {
+	if traceDir != "" {
+		// A fresh set per experiment, so each registry entry exports its
+		// own DIR/<name>.trace.json.
+		opts.Events = new(telemetry.TraceSet)
 	}
-	col := metrics.NewCollector()
-	opts.Metrics = col
+	var col *metrics.Collector
+	if outDir != "" || opts.Faults.Enabled() {
+		col = metrics.NewCollector()
+		opts.Metrics = col
+	}
 	if err := e.run(opts); err != nil {
 		return err
 	}
-	printFailures(e.name, col)
-	if outDir == "" {
-		return nil
+	if col != nil {
+		printFailures(e.name, col)
 	}
-	report, err := col.Report(e.name, opts.Snapshot()).StableJSON()
-	if err != nil {
-		return fmt.Errorf("%s: %w", e.name, err)
+	if outDir != "" {
+		report, err := col.Report(e.name, opts.Snapshot()).StableJSON()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.name+".json"), report, 0o644); err != nil {
+			return fmt.Errorf("%s: writing report: %w", e.name, err)
+		}
+		timing, err := col.TimingJSON(e.name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if err := os.WriteFile(filepath.Join(outDir, e.name+".timing.json"), timing, 0o644); err != nil {
+			return fmt.Errorf("%s: writing timing report: %w", e.name, err)
+		}
 	}
-	if err := os.WriteFile(filepath.Join(outDir, e.name+".json"), report, 0o644); err != nil {
-		return fmt.Errorf("%s: writing report: %w", e.name, err)
-	}
-	timing, err := col.TimingJSON(e.name)
-	if err != nil {
-		return fmt.Errorf("%s: %w", e.name, err)
-	}
-	if err := os.WriteFile(filepath.Join(outDir, e.name+".timing.json"), timing, 0o644); err != nil {
-		return fmt.Errorf("%s: writing timing report: %w", e.name, err)
+	if traceDir != "" {
+		if err := writeTrace(filepath.Join(traceDir, e.name+".trace.json"), opts.Events); err != nil {
+			return fmt.Errorf("%s: writing trace events: %w", e.name, err)
+		}
 	}
 	return nil
+}
+
+// writeTrace renders one experiment's collected job traces as a Chrome
+// trace-event file.
+func writeTrace(path string, events *telemetry.TraceSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := events.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printFailures summarizes the jobs an experiment lost to injected

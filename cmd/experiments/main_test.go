@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ import (
 // must produce an error (non-zero exit in main) whose message names the
 // bad input and lists every valid experiment.
 func TestUnknownExperimentError(t *testing.T) {
-	err := run("no-such-experiment", experiments.QuickOptions(), "")
+	err := run("no-such-experiment", experiments.QuickOptions(), "", "")
 	if err == nil {
 		t.Fatal("run with unknown experiment returned nil error")
 	}
@@ -55,7 +56,7 @@ func TestKnownExperimentRuns(t *testing.T) {
 	opts := experiments.QuickOptions()
 	opts.Refs = 5_000
 	opts.Warmup = 500
-	if err := run("timeline", opts, ""); err != nil {
+	if err := run("timeline", opts, "", ""); err != nil {
 		t.Fatalf("run(timeline): %v", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestOutDirDeterministic(t *testing.T) {
 	outputs := map[int][]byte{}
 	for _, width := range []int{1, 8} {
 		opts.Parallel = width
-		if err := run("fig18", opts, dirs[width]); err != nil {
+		if err := run("fig18", opts, dirs[width], ""); err != nil {
 			t.Fatalf("run(fig18, parallel=%d): %v", width, err)
 		}
 		data, err := os.ReadFile(filepath.Join(dirs[width], "fig18.json"))
@@ -108,7 +109,7 @@ func TestFaultedRunRendersPartialReport(t *testing.T) {
 	opts.Retries = 1
 	opts.CheckInvariants = true
 	dir := t.TempDir()
-	if err := run("fig18", opts, dir); err != nil {
+	if err := run("fig18", opts, dir, ""); err != nil {
 		t.Fatalf("faulted run failed outright: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig18.json"))
@@ -118,6 +119,45 @@ func TestFaultedRunRendersPartialReport(t *testing.T) {
 	for _, want := range []string{`"failures"`, `"injected": true`, `"fault_spec": "trace-corrupt=5e-05"`, `"records"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("faulted report lacks %s", want)
+		}
+	}
+}
+
+// TestTraceEventsOutput guards the -trace-events contract: the run
+// writes one valid Chrome trace-event file per experiment, and -hist
+// embeds histogram objects into the -out report.
+func TestTraceEventsOutput(t *testing.T) {
+	opts := experiments.GoldenOptions()
+	opts.Histograms = true
+	outDir, traceDir := t.TempDir(), t.TempDir()
+	if err := run("table1", opts, outDir, traceDir); err != nil {
+		t.Fatalf("run(table1): %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(traceDir, "table1.trace.json"))
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	for _, key := range []string{"ph", "pid", "name"} {
+		if _, ok := doc.TraceEvents[0][key]; !ok {
+			t.Errorf("first trace event lacks required key %q: %v", key, doc.TraceEvents[0])
+		}
+	}
+	report, err := os.ReadFile(filepath.Join(outDir, "table1.json"))
+	if err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	for _, want := range []string{`"hists"`, `"spans"`, `"histograms": true`} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("-hist report lacks %s", want)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"colt/internal/arch"
 	"colt/internal/pagetable"
 	"colt/internal/stats"
+	"colt/internal/telemetry"
 )
 
 // PaperXAxis is the log-scale x-axis the paper's CDFs use.
@@ -29,6 +30,10 @@ type Result struct {
 	Runs int
 	// MaxRun is the longest run observed.
 	MaxRun int
+	// RunLenHist is the log2 histogram of maximal run lengths (each
+	// run counts once, unlike the page-weighted CDF) — the telemetry
+	// layer's view of the same distribution's shape.
+	RunLenHist telemetry.Hist
 }
 
 // AverageContiguity is the page-weighted mean run length: the expected
@@ -74,6 +79,7 @@ func Scan(t *pagetable.Table) Result {
 		}
 		res.CDF.AddWeighted(float64(runLen), float64(runLen))
 		res.Runs++
+		res.RunLenHist.Observe(uint64(runLen))
 		if runLen > res.MaxRun {
 			res.MaxRun = runLen
 		}
@@ -116,6 +122,7 @@ func Merge(results ...Result) Result {
 		out.NonSuperPages += r.NonSuperPages
 		out.SuperPages += r.SuperPages
 		out.Runs += r.Runs
+		out.RunLenHist.Merge(&r.RunLenHist)
 		if r.MaxRun > out.MaxRun {
 			out.MaxRun = r.MaxRun
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"colt/internal/arch"
+	"colt/internal/telemetry"
 )
 
 // MaxFACoalesce caps a fully-associative entry's coalescing length: the
@@ -23,6 +24,9 @@ type faEntry struct {
 	length  int
 	attr    arch.Attr
 	lru     uint64
+	// born is the telemetry clock value at fill, so eviction can report
+	// the entry's lifetime in references without any per-entry map.
+	born uint64
 }
 
 func (e *faEntry) contains(vpn arch.VPN) bool {
@@ -46,6 +50,25 @@ type FullyAssocTLB struct {
 	// coalesceBias enables coalescing-aware replacement (future work
 	// of paper §4.2.3): see SetReplacementBias.
 	coalesceBias bool
+	// Telemetry (nil when disabled); see SetAssocTLB.SetTelemetry.
+	tel      *telemetry.Sink
+	telLevel uint8
+	telClock *uint64
+}
+
+// SetTelemetry attaches a telemetry sink reporting this structure as
+// level, with clock as the monotonic reference counter used to stamp
+// fills and measure entry lifetimes. Pass a nil sink to detach.
+func (t *FullyAssocTLB) SetTelemetry(s *telemetry.Sink, level uint8, clock *uint64) {
+	t.tel, t.telLevel, t.telClock = s, level, clock
+}
+
+// telNow reads the telemetry clock (0 when detached).
+func (t *FullyAssocTLB) telNow() uint64 {
+	if t.telClock == nil {
+		return 0
+	}
+	return *t.telClock
 }
 
 // NewFullyAssocTLB builds an empty structure with the given capacity
@@ -109,7 +132,7 @@ func (t *FullyAssocTLB) InsertHuge(baseVPN arch.VPN, basePFN arch.PFN, attr arch
 		}
 	}
 	v := t.victim()
-	*v = faEntry{valid: true, huge: true, baseVPN: baseVPN, basePFN: basePFN, length: arch.PagesPerHuge, attr: attr, lru: t.tick}
+	*v = faEntry{valid: true, huge: true, baseVPN: baseVPN, basePFN: basePFN, length: arch.PagesPerHuge, attr: attr, lru: t.tick, born: t.telNow()}
 }
 
 // Insert fills a coalesced range entry, first attempting to coalesce
@@ -159,6 +182,9 @@ func (t *FullyAssocTLB) Insert(run Run) {
 			}
 			e.valid = false
 			t.merges++
+			if t.tel != nil {
+				t.tel.Merge(t.telLevel, uint64(run.BaseVPN), uint64(run.Len))
+			}
 			mergedAny = true
 		}
 		if !mergedAny {
@@ -167,7 +193,7 @@ func (t *FullyAssocTLB) Insert(run Run) {
 	}
 
 	v := t.victim()
-	*v = faEntry{valid: true, baseVPN: run.BaseVPN, basePFN: run.BasePFN, length: run.Len, attr: run.Attr, lru: t.tick}
+	*v = faEntry{valid: true, baseVPN: run.BaseVPN, basePFN: run.BasePFN, length: run.Len, attr: run.Attr, lru: t.tick, born: t.telNow()}
 }
 
 // rangesMergeable reports whether entry e and run cover adjacent or
@@ -199,6 +225,9 @@ func (t *FullyAssocTLB) victim() *faEntry {
 	}
 	if victim.valid {
 		t.stats.Evictions++
+		if t.tel != nil {
+			t.tel.Evict(t.telLevel, uint64(victim.baseVPN), t.telNow()-victim.born)
+		}
 	}
 	return victim
 }

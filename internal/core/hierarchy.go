@@ -5,6 +5,7 @@ import (
 
 	"colt/internal/arch"
 	"colt/internal/mmu"
+	"colt/internal/telemetry"
 )
 
 // Policy selects which CoLT variant the hierarchy runs.
@@ -239,6 +240,22 @@ type Hierarchy struct {
 	walker   Walker
 	stats    Stats
 	prefetch PrefetchStats
+	// tel receives per-access telemetry (hit/miss/walk/fill events and
+	// walk-cycle/coalesce-length histograms). Nil when disabled; every
+	// call is a nil-safe no-op then.
+	tel *telemetry.Sink
+}
+
+// SetTelemetry attaches a telemetry sink to the hierarchy and its
+// component TLBs. clock must point at the driver's monotonic
+// reference counter (it stamps entry lifetimes; it must never rewind,
+// so drivers keep counting across warmup resets). Pass a nil sink to
+// detach.
+func (h *Hierarchy) SetTelemetry(s *telemetry.Sink, clock *uint64) {
+	h.tel = s
+	h.l1.SetTelemetry(s, telemetry.LevelL1, clock)
+	h.l2.SetTelemetry(s, telemetry.LevelL2, clock)
+	h.sup.SetTelemetry(s, telemetry.LevelSup, clock)
 }
 
 // NewHierarchy builds a hierarchy from cfg, validating the geometry.
@@ -354,13 +371,16 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	// parallel; both have the same hit time.
 	if pfn, ok := h.l1.Lookup(vpn); ok {
 		h.stats.L1Hits++
+		h.tel.Hit(telemetry.LevelL1, uint64(vpn))
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	if pfn, ok := h.sup.Lookup(vpn); ok {
 		h.stats.SupHits++
+		h.tel.Hit(telemetry.LevelSup, uint64(vpn))
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	h.stats.L1Misses++
+	h.tel.Miss(telemetry.LevelL1, uint64(vpn))
 
 	// PolicySeqPrefetch: the prefetch buffer is probed alongside the
 	// L2; a hit consumes the entry, promotes it into the TLBs, and
@@ -379,16 +399,19 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	// Step 2: L2 probe.
 	if pfn, ok := h.l2.Lookup(vpn); ok {
 		h.stats.L2Hits++
+		h.tel.Hit(telemetry.LevelL2, uint64(vpn))
 		h.fillL1FromL2(vpn)
 		return AccessResult{PFN: pfn, L2Hit: true}
 	}
 	h.stats.L2Misses++
+	h.tel.Miss(telemetry.LevelL2, uint64(vpn))
 
 	// Step 3: page walk; the LLC fill exposes the PTE's cache line to
 	// the coalescing logic.
 	info := h.walker.Walk(vpn)
 	h.stats.Walks++
 	h.stats.WalkCycles += uint64(info.Latency)
+	h.tel.Walk(uint64(vpn), uint64(info.Latency))
 	if !info.Found {
 		h.stats.Faults++
 		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}
@@ -424,6 +447,7 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	if run.Len > 1 {
 		h.stats.CoalescedFills++
 	}
+	h.tel.Fill(uint64(run.BaseVPN), uint64(run.Len))
 	h.fill(vpn, run, info.PTE)
 	return res
 }
@@ -435,22 +459,28 @@ func (h *Hierarchy) accessSubblock(vpn arch.VPN) AccessResult {
 	h.stats.Accesses++
 	if pfn, ok := h.sb1.Lookup(vpn); ok {
 		h.stats.L1Hits++
+		h.tel.Hit(telemetry.LevelL1, uint64(vpn))
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	if pfn, ok := h.sup.Lookup(vpn); ok {
 		h.stats.SupHits++
+		h.tel.Hit(telemetry.LevelSup, uint64(vpn))
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	h.stats.L1Misses++
+	h.tel.Miss(telemetry.LevelL1, uint64(vpn))
 	if pfn, ok := h.sb2.Lookup(vpn); ok {
 		h.stats.L2Hits++
+		h.tel.Hit(telemetry.LevelL2, uint64(vpn))
 		h.sb1.Insert(vpn, pfn, 0)
 		return AccessResult{PFN: pfn, L2Hit: true}
 	}
 	h.stats.L2Misses++
+	h.tel.Miss(telemetry.LevelL2, uint64(vpn))
 	info := h.walker.Walk(vpn)
 	h.stats.Walks++
 	h.stats.WalkCycles += uint64(info.Latency)
+	h.tel.Walk(uint64(vpn), uint64(info.Latency))
 	if !info.Found {
 		h.stats.Faults++
 		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}

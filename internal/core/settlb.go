@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"colt/internal/arch"
+	"colt/internal/telemetry"
 )
 
 // MaxSAShift bounds the left-shift of the set-index bits: a shift of 3
@@ -44,6 +45,9 @@ type saEntry struct {
 	basePPN arch.PFN
 	attr    arch.Attr
 	lru     uint64
+	// born is the telemetry clock value at fill, so eviction can report
+	// the entry's lifetime in references without any per-entry map.
+	born uint64
 }
 
 // SetAssocTLB is a set-associative TLB supporting CoLT-SA coalescing.
@@ -60,6 +64,19 @@ type SetAssocTLB struct {
 	// coalesceBias enables coalescing-aware replacement (future work
 	// of paper §4.1.5): see SetReplacementBias.
 	coalesceBias bool
+	// Telemetry (nil when disabled): tel receives eviction events at
+	// telLevel; telClock points at the driver's monotonic reference
+	// counter, stamping fills so evictions can report entry lifetime.
+	tel      *telemetry.Sink
+	telLevel uint8
+	telClock *uint64
+}
+
+// SetTelemetry attaches a telemetry sink reporting this structure as
+// level, with clock as the monotonic reference counter used to stamp
+// fills and measure entry lifetimes. Pass a nil sink to detach.
+func (t *SetAssocTLB) SetTelemetry(s *telemetry.Sink, level uint8, clock *uint64) {
+	t.tel, t.telLevel, t.telClock = s, level, clock
 }
 
 // NewSetAssocTLB builds a TLB with the given geometry. shift selects
@@ -181,6 +198,10 @@ func (t *SetAssocTLB) Insert(run Run) (evicted Run, wasEvicted bool) {
 	t.tick++
 	t.stats.Fills++
 	t.stats.CoalescedIn += uint64(run.Len - 1)
+	var now uint64
+	if t.telClock != nil {
+		now = *t.telClock
+	}
 
 	base := set * t.ways
 	victim := base
@@ -188,7 +209,7 @@ func (t *SetAssocTLB) Insert(run Run) (evicted Run, wasEvicted bool) {
 		e := &t.entries[base+i]
 		if e.valid && e.tag == tag && e.vbits&vbits != 0 {
 			// Same block, overlapping coverage: replace in place.
-			*e = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick}
+			*e = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick, born: now}
 			return Run{}, false
 		}
 		if lessEntryLRU(&t.entries[base+i], &t.entries[victim]) {
@@ -203,8 +224,11 @@ func (t *SetAssocTLB) Insert(run Run) (evicted Run, wasEvicted bool) {
 		t.stats.Evictions++
 		evicted = t.entryRun(v, t.victimVPN(victim, v))
 		wasEvicted = true
+		if t.tel != nil {
+			t.tel.Evict(t.telLevel, uint64(evicted.BaseVPN), now-v.born)
+		}
 	}
-	*v = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick}
+	*v = saEntry{valid: true, tag: tag, vbits: vbits, basePPN: run.BasePFN, attr: run.Attr, lru: t.tick, born: now}
 	return evicted, wasEvicted
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"colt/internal/core"
+	"colt/internal/telemetry"
 	"colt/internal/workload"
 )
 
@@ -15,6 +16,27 @@ import (
 func TestSteadyStateAccessZeroAlloc(t *testing.T) {
 	opts := QuickOptions()
 	opts.Refs = 0
+	stepAllocFree(t, opts)
+}
+
+// TestSteadyStateAccessZeroAllocWithTelemetry pins the same bound with
+// the full observability stack live: histograms on, an event tracer
+// attached, per-variant sinks wired into every TLB level, and the
+// reference clock advancing. The tracer's ring and the sinks'
+// fixed-size histograms are allocated up front, so emitting events and
+// observing values must stay off the heap.
+func TestSteadyStateAccessZeroAllocWithTelemetry(t *testing.T) {
+	opts := QuickOptions()
+	opts.Refs = 0
+	opts.Histograms = true
+	opts.Events = new(telemetry.TraceSet)
+	stepAllocFree(t, opts)
+}
+
+// stepAllocFree builds a two-variant Mcf benchSim under opts, warms it
+// up, and asserts steady-state steps allocate nothing.
+func stepAllocFree(t *testing.T, opts Options) {
+	t.Helper()
 	spec, err := workload.ByName("Mcf")
 	if err != nil {
 		t.Fatal(err)

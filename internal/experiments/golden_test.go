@@ -99,3 +99,66 @@ func TestGoldens(t *testing.T) {
 		})
 	}
 }
+
+// histReport runs Table 1 with telemetry histograms embedded and
+// returns the stable report JSON.
+func histReport(parallel int) ([]byte, error) {
+	opts := GoldenOptions()
+	opts.Parallel = parallel
+	opts.Histograms = true
+	opts.Metrics = metrics.NewCollector()
+	if _, err := Table1(opts); err != nil {
+		return nil, fmt.Errorf("table1-hist: %w", err)
+	}
+	return opts.Metrics.Report("table1-hist", opts.Snapshot()).StableJSON()
+}
+
+// TestGoldenHistograms extends the golden harness to telemetry:
+// Table 1 with Histograms on is byte-compared against its own golden,
+// and — like every report — must be identical at parallel widths 1 and
+// 8. Histogram buckets, spans, and entry lifetimes are all functions
+// of the per-job reference stream, so worker count must not leak in.
+func TestGoldenHistograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs simulate full reference streams")
+	}
+	got, err := histReport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded telemetry must actually be there — an empty-schema
+	// pass would make this golden vacuous.
+	for _, key := range []string{`"hists"`, `"spans"`, `"coalesce_len"`, `"entry_lifetime"`, `"walk_depth"`, `"buckets"`} {
+		if !strings.Contains(string(got), key) {
+			t.Fatalf("histogram report lacks %s:\n%.2000s", key, got)
+		}
+	}
+	path := filepath.Join("testdata", "goldens", "table1-hist.json")
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		diffs := metrics.Diff(got, want)
+		t.Errorf("table1-hist diverges from golden (%d fields differ; re-run with -update if intended):\n%s",
+			len(diffs), strings.Join(diffs, "\n"))
+	}
+	wide, err := histReport(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wide) {
+		t.Errorf("histogram report differs between parallel=1 and parallel=8:\n%s",
+			strings.Join(metrics.Diff(wide, got), "\n"))
+	}
+}

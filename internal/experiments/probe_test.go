@@ -21,7 +21,7 @@ func TestProbeSystemState(t *testing.T) {
 	opts.Frames = 1 << 18
 	spec, _ := workload.ByName("Mcf")
 	for _, setup := range []SystemSetup{SetupTHSOnNormal, SetupTHSOffNormal, SetupTHSOffLow} {
-		sys, master, _, err := buildSystem(setup, opts, spec.Name)
+		sys, master, _, err := buildSystem(setup, opts, spec.Name, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,6 +25,7 @@ import (
 	"colt/internal/perf"
 	"colt/internal/rng"
 	"colt/internal/sched"
+	"colt/internal/telemetry"
 	"colt/internal/vm"
 	"colt/internal/workload"
 )
@@ -99,10 +100,41 @@ type Options struct {
 	// runs that must stay deterministic use a bound generous enough
 	// that it only fires on hangs.
 	JobTimeout time.Duration
+	// Histograms embeds telemetry distributions (coalescing run
+	// length, walk depth/cycles, contiguity run length, TLB entry
+	// lifetime) and simulated-time phase spans into each job's metrics
+	// record. Everything embedded is a pure function of the job's
+	// workload — byte-identical at every Parallel width.
+	Histograms bool
+	// Events, when non-nil, collects each job's structured event trace
+	// (TLB hits/misses, coalesces, evictions, walks, THP, compaction,
+	// fault injections) for Chrome trace-event export. Tracing is
+	// bounded (ring buffer) and deterministically sampled; it never
+	// affects simulation results.
+	Events *telemetry.TraceSet
+	// Progress, when non-nil, receives live per-job phase updates and
+	// completion lines (the CLI's opt-in -progress stderr reporter).
+	// Progress output is wall-clock-ordered and never golden-diffed.
+	Progress *telemetry.Reporter
 	// attempt is the retry attempt this Options copy drives, folded
 	// into the fault plane's seed by mapJobs so attempt N+1 draws a
 	// fresh (but deterministic) fault sequence.
 	attempt int
+}
+
+// telemetryOn reports whether jobs should wire telemetry sinks into
+// the TLB hierarchies (histograms requested or event tracing
+// attached). Phase spans are always recorded — they cost a handful of
+// operations per job — but are only embedded in records under
+// Histograms.
+func (o Options) telemetryOn() bool {
+	return o.Histograms || o.Events != nil
+}
+
+// jobLabel is the canonical display name of one scheduler job, shared
+// by timing sidecars, progress lines, and trace exports.
+func jobLabel(kind, bench, setup string) string {
+	return kind + "/" + bench + "/" + setup
 }
 
 // pool returns the scheduler the drivers fan jobs out on, wired to the
@@ -142,6 +174,7 @@ func (o Options) Snapshot() metrics.Options {
 		Seed:        o.Seed,
 		MidRunChurn: o.MidRunChurn,
 		FaultSpec:   o.Faults.String(),
+		Histograms:  o.Histograms,
 	}
 }
 
@@ -220,6 +253,10 @@ type VariantResult struct {
 	// variants: the share of L2 fills blocked from sharing by physical
 	// misalignment.
 	SubblockRejectedPct float64
+	// Hists carries this variant's telemetry distributions (coalescing
+	// run length, walk cycles, TLB entry lifetime) when
+	// Options.Histograms is set.
+	Hists *metrics.VariantHists
 }
 
 // MPMI returns (L1, L2) misses per million instructions.
@@ -235,6 +272,13 @@ type BenchResult struct {
 	Contig       contig.Result
 	Instructions uint64
 	Variants     []VariantResult
+	// Spans are the job's simulated-time phase spans (build, warmup,
+	// simulate) in reference-index units, populated when
+	// Options.Histograms is set so they flow into the metrics record.
+	Spans []telemetry.Span
+	// Hists carries the job-level telemetry distributions (contiguity
+	// run length, page-walk depth) when Options.Histograms is set.
+	Hists *metrics.RecordHists
 }
 
 // Variant returns the named variant's result.
@@ -274,6 +318,8 @@ func (b *BenchResult) MetricsRecord(seed uint64) metrics.Record {
 		Setup:        b.Setup.Name,
 		Seed:         seed,
 		Instructions: b.Instructions,
+		Spans:        metrics.SpansFrom(b.Spans),
+		Hists:        b.Hists,
 	}
 	model := perf.Default()
 	var baseRun perf.Run
@@ -299,6 +345,7 @@ func (b *BenchResult) MetricsRecord(seed uint64) metrics.Record {
 			MemStallCycles: v.Run.MemStallCycles,
 			ModelCycles:    model.Cycles(v.Run),
 		}
+		mv.Hists = v.Hists
 		if i == 0 {
 			baseRun = v.Run
 		} else {
@@ -336,6 +383,9 @@ type simulator struct {
 	caches   *cache.Hierarchy
 	memStall uint64
 	pid      int
+	// tel is this variant's telemetry sink (nil when telemetry is
+	// off): event emission plus per-variant histograms.
+	tel *telemetry.Sink
 }
 
 // Shootdown implements vm.ShootdownHandler: OS events (unmap, migrate,
@@ -386,14 +436,19 @@ const steadyStateSlots = 512
 // scheduler run jobs in any order — or in parallel — and still produce
 // byte-identical tables. The fault plane's hooks are wired before the
 // churn phase, so injection covers system build as well as the run.
-func buildSystem(setup SystemSetup, opts Options, benchName string) (*vm.System, *rng.RNG, *fault.Plane, error) {
+// A non-nil tracer is attached to the OS subsystems (THP, compaction,
+// fault plane) so their structured events land in the job's trace.
+func buildSystem(setup SystemSetup, opts Options, benchName string, tracer *telemetry.Tracer) (*vm.System, *rng.RNG, *fault.Plane, error) {
 	sys := vm.NewSystem(vm.Config{Frames: opts.Frames, THP: setup.THP, Compaction: setup.Compaction})
+	sys.THP.SetTracer(tracer)
+	sys.Compactor.SetTracer(tracer)
 	plane := opts.plane(benchName, setup.Name)
 	if plane != nil {
 		sys.Buddy.SetAllocFaultHook(func(int) error { return plane.Fail(fault.SiteBuddyAlloc) })
 		sys.Compactor.SetMigrateFaultHook(func() error { return plane.Fail(fault.SiteCompactMigrate) })
 		sys.THP.SetHugeFaultHook(func() error { return plane.Fail(fault.SiteTHPAlloc) })
 	}
+	plane.SetTracer(tracer)
 	master := rng.New(seedFor(opts.Seed, benchName, setup.Name))
 	if opts.ChurnOps > 0 {
 		if _, err := vm.BackgroundChurn(sys, opts.ChurnOps, master.Stream("churn")); err != nil {
@@ -440,7 +495,17 @@ func auditSystem(opts Options, where string, sys *vm.System) error {
 // page table (Figures 7-17).
 func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.Result, error) {
 	start := time.Now()
-	sys, master, _, err := buildSystem(setup, opts, spec.Name)
+	label := jobLabel(metrics.KindContig, spec.Name, setup.Name)
+	var spans telemetry.Spans
+	if opts.Progress != nil {
+		spans.OnPhase(func(phase string) { opts.Progress.Phase(label, phase) })
+	}
+	var tracer *telemetry.Tracer
+	if opts.Events != nil {
+		tracer = telemetry.NewTracer(telemetry.DefaultTraceCap)
+	}
+	spans.Begin("build", 0)
+	sys, master, _, err := buildSystem(setup, opts, spec.Name, tracer)
 	if err != nil {
 		return contig.Result{}, err
 	}
@@ -454,16 +519,32 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 	}
 	// Let the system reach steady state before scanning, as the paper's
 	// periodic page-table scans do: under oversubscription this is
-	// where swap thrash reshapes residency.
+	// where swap thrash reshapes residency. Contiguity spans count
+	// idle slots as their simulated-time axis.
+	spans.Begin("settle", 0)
 	sys.Idle(steadyStateSlots)
 	if err := auditSystem(opts, "after idle", sys); err != nil {
 		return contig.Result{}, err
 	}
+	spans.Begin("scan", steadyStateSlots)
 	res := contig.Scan(proc.Table)
+	spans.End(steadyStateSlots)
 	if opts.Metrics != nil {
 		seed := seedFor(opts.Seed, spec.Name, setup.Name)
-		opts.Metrics.Add(contigRecord(spec.Name, setup, seed, res), time.Since(start))
+		rec := contigRecord(spec.Name, setup, seed, res)
+		if opts.Histograms {
+			rec.Spans = metrics.SpansFrom(spans.All())
+			rec.Hists = &metrics.RecordHists{ContigRun: metrics.HistFrom(&res.RunLenHist)}
+		}
+		opts.Metrics.Add(rec, time.Since(start))
+		opts.Metrics.AddSpans(metrics.KindContig, spec.Name, setup.Name, spans.All())
 	}
+	opts.Events.Add(telemetry.JobTrace{
+		Label:   label,
+		Threads: []string{"os"},
+		Spans:   spans.All(),
+		Events:  tracer.Events(),
+	})
 	return res, nil
 }
 
@@ -485,12 +566,30 @@ type benchSim struct {
 	plane *fault.Plane
 
 	instructions uint64
+
+	// tracer is the job's event ring (nil unless Options.Events is
+	// attached); shared by the OS subsystems and every variant's sink.
+	tracer *telemetry.Tracer
+	// refClock counts references monotonically across warmup AND the
+	// measured run — it is never reset, so TLB entry lifetimes
+	// (now - born) can never underflow at the warmup boundary. It is
+	// the simulated-time axis for spans, event timestamps, and entry
+	// lifetimes.
+	refClock uint64
+	// walkDepth accumulates radix-walk depth per page-table walk when
+	// telemetry is on (reset with the other stats after warmup).
+	walkDepth  telemetry.Hist
+	histograms bool
 }
 
 // newBenchSim boots the system, fragments it, builds the workload, and
 // attaches one simulator per variant (all registered for shootdowns).
 func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*benchSim, *rng.RNG, error) {
-	sys, master, plane, err := buildSystem(setup, opts, spec.Name)
+	var tracer *telemetry.Tracer
+	if opts.Events != nil {
+		tracer = telemetry.NewTracer(telemetry.DefaultTraceCap)
+	}
+	sys, master, plane, err := buildSystem(setup, opts, spec.Name, tracer)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -504,14 +603,20 @@ func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants [
 		return nil, nil, fmt.Errorf("building %s: %w", spec.Name, err)
 	}
 	b := &benchSim{
-		spec:   spec,
-		setup:  setup,
-		sys:    sys,
-		proc:   proc,
-		w:      w,
-		sims:   make([]*simulator, len(variants)),
-		contig: contig.Scan(proc.Table),
-		plane:  plane,
+		spec:       spec,
+		setup:      setup,
+		sys:        sys,
+		proc:       proc,
+		w:          w,
+		sims:       make([]*simulator, len(variants)),
+		contig:     contig.Scan(proc.Table),
+		plane:      plane,
+		tracer:     tracer,
+		histograms: opts.Histograms,
+	}
+	telemetryOn := opts.telemetryOn()
+	if telemetryOn {
+		proc.Table.SetWalkDepthHist(&b.walkDepth)
 	}
 	for i, v := range variants {
 		caches := cache.DefaultHierarchy()
@@ -523,6 +628,12 @@ func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants [
 			caches: caches,
 			pid:    proc.PID,
 		}
+		if telemetryOn {
+			// Thread IDs start at 1; tid 0 is the OS row in trace
+			// exports.
+			b.sims[i].tel = telemetry.NewSink(tracer, uint8(i+1))
+			b.sims[i].hier.SetTelemetry(b.sims[i].tel, &b.refClock)
+		}
 		sys.AddShootdownHandler(b.sims[i])
 	}
 	return b, master, nil
@@ -533,6 +644,11 @@ func newBenchSim(spec workload.Spec, setup SystemSetup, opts Options, variants [
 // swap-in, no OS churn event) it performs zero heap allocations per
 // reference — guarded by testing.AllocsPerRun.
 func (b *benchSim) step(ref int) error {
+	// Advance simulated time: refClock is cumulative across warmup and
+	// the measured run (monotonic — see the field comment), and stamps
+	// both the event trace and TLB entry birth times.
+	b.refClock++
+	b.tracer.SetNow(b.refClock)
 	// One trace-corrupt crossing per reference: an injected fault means
 	// this record of the reference stream could not be decoded, which
 	// aborts the job (there is no way to skip a reference and keep the
@@ -602,12 +718,17 @@ func (b *benchSim) audit(opts Options, where string) error {
 	return nil
 }
 
-// resetStats zeroes measurement state after warmup.
+// resetStats zeroes measurement state after warmup. Telemetry
+// histograms reset with the counters so embedded distributions cover
+// the measured run only; refClock deliberately keeps running so entry
+// lifetimes stay monotonic across the boundary.
 func (b *benchSim) resetStats() {
 	b.instructions = 0
+	b.walkDepth = telemetry.Hist{}
 	for _, s := range b.sims {
 		s.hier.ResetStats()
 		s.memStall = 0
+		s.tel.ResetHists()
 	}
 }
 
@@ -619,13 +740,19 @@ func (b *benchSim) result() *BenchResult {
 		Contig:       b.contig,
 		Instructions: b.instructions,
 	}
+	if b.histograms {
+		res.Hists = &metrics.RecordHists{
+			ContigRun: metrics.HistFrom(&b.contig.RunLenHist),
+			WalkDepth: metrics.HistFrom(&b.walkDepth),
+		}
+	}
 	for _, s := range b.sims {
 		st := s.hier.Stats()
 		var rejectedPct float64
 		if _, sb2 := s.hier.Subblock(); sb2 != nil && sb2.Stats().Fills > 0 {
 			rejectedPct = 100 * float64(sb2.Rejected()) / float64(sb2.Stats().Fills)
 		}
-		res.Variants = append(res.Variants, VariantResult{
+		vr := VariantResult{
 			Name:                s.name,
 			Policy:              s.hier.Config().Policy.String(),
 			TLB:                 st,
@@ -637,7 +764,15 @@ func (b *benchSim) result() *BenchResult {
 				MemStallCycles: s.memStall,
 				WalkCycles:     st.WalkCycles,
 			},
-		})
+		}
+		if b.histograms && s.tel != nil {
+			vr.Hists = &metrics.VariantHists{
+				CoalesceLen: metrics.HistFrom(&s.tel.CoalesceLen),
+				WalkCycles:  metrics.HistFrom(&s.tel.WalkCycles),
+				EntryLife:   metrics.HistFrom(&s.tel.EntryLife),
+			}
+		}
+		res.Variants = append(res.Variants, vr)
 	}
 	return res
 }
@@ -651,6 +786,12 @@ func (b *benchSim) result() *BenchResult {
 // parallelism lives one level up, across (benchmark × setup) jobs.
 func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants []Variant) (*BenchResult, error) {
 	start := time.Now()
+	label := jobLabel(metrics.KindBench, spec.Name, setup.Name)
+	var spans telemetry.Spans
+	if opts.Progress != nil {
+		spans.OnPhase(func(phase string) { opts.Progress.Phase(label, phase) })
+	}
+	spans.Begin("build", 0)
 	b, master, err := newBenchSim(spec, setup, opts, variants)
 	if err != nil {
 		return nil, err
@@ -664,6 +805,7 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 		}
 	}
 
+	spans.Begin("warmup", b.refClock)
 	for i := 0; i < opts.Warmup; i++ {
 		if err := b.step(i); err != nil {
 			return nil, err
@@ -673,6 +815,7 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 		return nil, err
 	}
 	b.resetStats()
+	spans.Begin("simulate", b.refClock)
 
 	churnEvery := 0
 	if opts.MidRunChurn && opts.Refs >= 8 {
@@ -700,10 +843,28 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 	if err := b.audit(opts, "at run end"); err != nil {
 		return nil, err
 	}
+	spans.End(b.refClock)
 	res := b.result()
+	if opts.Histograms {
+		res.Spans = spans.All()
+	}
 	if opts.Metrics != nil {
 		seed := seedFor(opts.Seed, spec.Name, setup.Name)
 		opts.Metrics.Add(res.MetricsRecord(seed), time.Since(start))
+		opts.Metrics.AddSpans(metrics.KindBench, spec.Name, setup.Name, spans.All())
+	}
+	if opts.Events != nil {
+		threads := make([]string, 0, len(b.sims)+1)
+		threads = append(threads, "os")
+		for _, s := range b.sims {
+			threads = append(threads, s.name)
+		}
+		opts.Events.Add(telemetry.JobTrace{
+			Label:   label,
+			Threads: threads,
+			Spans:   spans.All(),
+			Events:  b.tracer.Events(),
+		})
 	}
 	return res, nil
 }
@@ -734,7 +895,13 @@ type jobMeta struct {
 // degrades gracefully, erroring only when no job survived.
 func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(item S, opts Options) (T, error)) (results []T, ok []bool, err error) {
 	attempts := make([]int, len(items))
-	results, errs := sched.MapPartial(opts.pool(), len(items), func(i int) (T, error) {
+	label := func(i int) string {
+		m := meta(items[i])
+		return jobLabel(m.kind, m.bench, m.setup)
+	}
+	pool := opts.pool().SetLabeler(label)
+	opts.Progress.AddJobs(len(items))
+	results, errs := sched.MapPartial(pool, len(items), func(i int) (T, error) {
 		var out T
 		err := sched.Retry(1+opts.Retries, 0, fault.IsInjected, func(attempt int) error {
 			attempts[i] = attempt + 1
@@ -744,6 +911,7 @@ func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(i
 			out, runErr = run(items[i], o)
 			return runErr
 		})
+		opts.Progress.Done(label(i), err == nil)
 		return out, err
 	})
 	ok = make([]bool, len(items))

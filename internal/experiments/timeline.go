@@ -39,7 +39,7 @@ func ContiguityTimeline(spec workload.Spec, setup SystemSetup, opts Options, sam
 		return nil, fmt.Errorf("timeline needs at least 2 samples, got %d", samples)
 	}
 	start := time.Now()
-	sys, master, plane, err := buildSystem(setup, opts, spec.Name)
+	sys, master, plane, err := buildSystem(setup, opts, spec.Name, nil)
 	if err != nil {
 		return nil, err
 	}

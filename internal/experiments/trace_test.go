@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"colt/internal/telemetry"
+)
+
+// TestTraceEventsExport is the Perfetto smoke test: a real (small)
+// experiment run with event tracing attached must export valid Chrome
+// trace-event JSON — loadable by chrome://tracing and ui.perfetto.dev —
+// with every event carrying the required keys, and the rendered bytes
+// must be independent of the parallel width the jobs ran at.
+func TestTraceEventsExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full golden reference streams")
+	}
+	render := func(parallel int) []byte {
+		opts := GoldenOptions()
+		opts.Parallel = parallel
+		opts.Events = new(telemetry.TraceSet)
+		if _, err := Table1(opts); err != nil {
+			t.Fatal(err)
+		}
+		if opts.Events.Len() == 0 {
+			t.Fatal("no job traces collected")
+		}
+		var buf bytes.Buffer
+		if err := opts.Events.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	out := render(1)
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "pid", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d lacks required key %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		phases[ph] = true
+		// Every non-metadata event is on the simulated timeline.
+		if ph != "M" {
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("event %d (ph=%q) lacks ts: %v", i, ph, ev)
+			}
+		}
+	}
+	// Metadata rows, phase spans, and instant events must all be
+	// present in a run that executed warmup + simulate with tracing.
+	for _, ph := range []string{"M", "X", "i"} {
+		if !phases[ph] {
+			t.Errorf("trace export has no %q events (got %v)", ph, phases)
+		}
+	}
+
+	// Scheduling must not leak into the artifact: the rendered trace is
+	// byte-identical whether the jobs ran serially or on 8 workers.
+	if wide := render(8); !bytes.Equal(out, wide) {
+		t.Error("trace export differs between parallel=1 and parallel=8")
+	}
+}

@@ -147,7 +147,7 @@ func VirtualizationComparison(opts Options) ([]VirtRow, error) {
 func runVirtualized(spec workload.Spec, opts Options) ([2]VariantResult, error) {
 	start := time.Now()
 	var out [2]VariantResult
-	sys, master, plane, err := buildSystem(SetupTHSOnNormal, opts, spec.Name+"/virt")
+	sys, master, plane, err := buildSystem(SetupTHSOnNormal, opts, spec.Name+"/virt", nil)
 	if err != nil {
 		return out, err
 	}

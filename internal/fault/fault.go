@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"colt/internal/rng"
+	"colt/internal/telemetry"
 )
 
 // Site names one fault-injection point in the simulator.
@@ -180,6 +181,28 @@ type siteState struct {
 // safe for concurrent use: each job builds its own from its own seed.
 type Plane struct {
 	sites map[Site]*siteState
+	// tracer receives EvFaultInject events (nil when disabled); the
+	// event's arg is the firing site's index in Sites() order.
+	tracer *telemetry.Tracer
+}
+
+// SetTracer attaches an event tracer to the plane: every injected
+// fault emits EvFaultInject on the OS thread. Safe on a nil plane.
+func (p *Plane) SetTracer(tr *telemetry.Tracer) {
+	if p != nil {
+		p.tracer = tr
+	}
+}
+
+// siteIndex returns site's position in Sites() order (for compact
+// event payloads), or -1 for unknown sites.
+func siteIndex(site Site) int {
+	for i, s := range Sites() {
+		if s == site {
+			return i
+		}
+	}
+	return -1
 }
 
 // NewPlane builds a plane for spec, deriving one rng stream per
@@ -216,6 +239,7 @@ func (p *Plane) Fire(site Site) bool {
 		return false
 	}
 	st.injected++
+	p.tracer.Emit(telemetry.EvFaultInject, 0, telemetry.LevelNone, uint64(siteIndex(site)), st.injected)
 	return true
 }
 

@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"colt/internal/telemetry"
 )
 
 // Schema identifies the report layout; bump when fields change meaning.
@@ -56,6 +58,82 @@ type LevelStats struct {
 	TranslationsPerFill float64 `json:"translations_per_fill"`
 }
 
+// Hist is the stable serialization of a telemetry log2 histogram:
+// buckets[i] counts values with bit length i (bucket 0 is exactly
+// zero), with trailing zero buckets trimmed so small distributions
+// stay small on disk. All counts are integers, so a Hist is exactly
+// reproducible and golden-safe.
+type Hist struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// HistFrom converts a telemetry histogram for embedding in a record.
+// Returns nil for a nil or empty histogram so untouched distributions
+// serialize as absent, not as zero-noise.
+func HistFrom(h *telemetry.Hist) *Hist {
+	if h == nil || h.Count == 0 {
+		return nil
+	}
+	last := -1
+	for i, b := range h.Buckets {
+		if b != 0 {
+			last = i
+		}
+	}
+	out := &Hist{Count: h.Count, Sum: h.Sum, Max: h.Max}
+	if last >= 0 {
+		out.Buckets = append([]uint64(nil), h.Buckets[:last+1]...)
+	}
+	return out
+}
+
+// Span is the golden-safe serialization of one phase span: simulated
+// time only (reference indices). Wall-clock phase durations live in
+// the timing sidecar (see PhaseTiming), never here.
+type Span struct {
+	Name     string `json:"name"`
+	StartRef uint64 `json:"start_ref"`
+	EndRef   uint64 `json:"end_ref"`
+}
+
+// SpansFrom converts telemetry spans for embedding in a record,
+// dropping the wall-clock component.
+func SpansFrom(spans []telemetry.Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	for i, sp := range spans {
+		out[i] = Span{Name: sp.Name, StartRef: sp.StartRef, EndRef: sp.EndRef}
+	}
+	return out
+}
+
+// VariantHists bundles one TLB variant's distribution histograms.
+type VariantHists struct {
+	// CoalesceLen is the distribution of coalesced-run lengths over
+	// fills (1 = uncoalesced).
+	CoalesceLen *Hist `json:"coalesce_len,omitempty"`
+	// WalkCycles is the distribution of modeled page-walk latencies.
+	WalkCycles *Hist `json:"walk_cycles,omitempty"`
+	// EntryLife is the distribution of TLB entry lifetimes, in
+	// references from fill to eviction.
+	EntryLife *Hist `json:"entry_lifetime,omitempty"`
+}
+
+// RecordHists bundles the per-job (variant-independent) histograms.
+type RecordHists struct {
+	// ContigRun is the distribution of maximal contiguity-run lengths
+	// from the job's page-table scan (each run counts once).
+	ContigRun *Hist `json:"contig_run,omitempty"`
+	// WalkDepth is the distribution of page-walk depths in levels over
+	// the job's shared page table (4 = full walk, 3 = huge leaf).
+	WalkDepth *Hist `json:"walk_depth,omitempty"`
+}
+
 // Variant is one TLB configuration's measurements within a record.
 type Variant struct {
 	Name   string `json:"name"`
@@ -87,6 +165,11 @@ type Variant struct {
 	// SpeedupPct is the modeled speedup over the record's baseline
 	// (first) variant; 0 for the baseline itself.
 	SpeedupPct float64 `json:"speedup_pct"`
+
+	// Hists holds the variant's distribution histograms (absent unless
+	// the run enabled histograms, keeping pre-histogram goldens
+	// byte-identical).
+	Hists *VariantHists `json:"hists,omitempty"`
 }
 
 // Contiguity is one page-table scan's summary.
@@ -128,6 +211,11 @@ type Record struct {
 	Contig       *Contiguity     `json:"contiguity,omitempty"`
 	Variants     []Variant       `json:"variants,omitempty"`
 	Timeline     []TimelinePoint `json:"timeline,omitempty"`
+	// Spans are the job's phase spans in simulated time (absent unless
+	// the run enabled histograms/telemetry).
+	Spans []Span `json:"spans,omitempty"`
+	// Hists holds the job-level histograms (absent unless enabled).
+	Hists *RecordHists `json:"hists,omitempty"`
 }
 
 // Failure is one (benchmark × setup) job that produced no record:
@@ -172,6 +260,10 @@ type Options struct {
 	// are disabled, which keeps faultless reports byte-identical to
 	// pre-fault goldens).
 	FaultSpec string `json:"fault_spec,omitempty"`
+	// Histograms records that the run embedded telemetry histograms
+	// and spans in its records (omitted when off, which keeps
+	// histogram-less reports byte-identical to older goldens).
+	Histograms bool `json:"histograms,omitempty"`
 }
 
 // Report is one experiment's full machine-readable result.
@@ -289,6 +381,11 @@ type Collector struct {
 	fails     []Failure
 	schedJobs int
 	schedWall time.Duration
+	sched     []SchedJobTiming
+	// phases maps "kind/bench/setup" to the job's wall-clock phase
+	// breakdown (timing sidecar only; the golden-safe simulated-time
+	// spans live on the Record itself).
+	phases map[string][]PhaseTiming
 }
 
 // NewCollector returns an empty collector.
@@ -328,12 +425,38 @@ func (c *Collector) Failures() []Failure {
 
 // ObserveJob implements the scheduler's per-job timing hook
 // (sched.Pool.SetObserver): it aggregates dispatch counts and total
-// busy time for the timing report.
-func (c *Collector) ObserveJob(_ int, d time.Duration) {
+// busy time for the timing report, and keeps each dispatch's label so
+// the sidecar names jobs as (kind, bench, setup), not opaque indices.
+func (c *Collector) ObserveJob(job int, label string, d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.schedJobs++
 	c.schedWall += d
+	c.sched = append(c.sched, SchedJobTiming{Job: job, Label: label, WallMS: float64(d) / float64(time.Millisecond)})
+}
+
+// AddSpans records one job's wall-clock phase breakdown for the timing
+// sidecar, keyed by the job's (kind, bench, setup) identity.
+func (c *Collector) AddSpans(kind, bench, setup string, spans []telemetry.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	pts := make([]PhaseTiming, len(spans))
+	for i, sp := range spans {
+		pts[i] = PhaseTiming{
+			Name:     sp.Name,
+			StartRef: sp.StartRef,
+			EndRef:   sp.EndRef,
+			WallMS:   float64(sp.Wall) / float64(time.Millisecond),
+		}
+	}
+	key := kind + "/" + bench + "/" + setup
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phases == nil {
+		c.phases = make(map[string][]PhaseTiming)
+	}
+	c.phases[key] = pts
 }
 
 // Merge copies every record and timing aggregate from another
@@ -345,14 +468,29 @@ func (c *Collector) Merge(from *Collector) {
 	from.mu.Lock()
 	recs := append([]timedRecord(nil), from.recs...)
 	fails := append([]Failure(nil), from.fails...)
+	sched := append([]SchedJobTiming(nil), from.sched...)
 	jobs, wall := from.schedJobs, from.schedWall
+	var phases map[string][]PhaseTiming
+	if len(from.phases) > 0 {
+		phases = make(map[string][]PhaseTiming, len(from.phases))
+		for k, v := range from.phases {
+			phases[k] = v
+		}
+	}
 	from.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.recs = append(c.recs, recs...)
 	c.fails = append(c.fails, fails...)
+	c.sched = append(c.sched, sched...)
 	c.schedJobs += jobs
 	c.schedWall += wall
+	for k, v := range phases {
+		if c.phases == nil {
+			c.phases = make(map[string][]PhaseTiming)
+		}
+		c.phases[k] = v
+	}
 }
 
 // sorted returns the records ordered by (kind, bench, setup) with a
@@ -391,9 +529,12 @@ type TimingReport struct {
 	Schema     string      `json:"schema"`
 	Experiment string      `json:"experiment"`
 	Records    []JobTiming `json:"records"`
-	SchedJobs  int         `json:"sched_jobs"`
-	SchedMS    float64     `json:"sched_total_ms"`
-	TotalMS    float64     `json:"total_ms"`
+	// Sched lists every scheduler dispatch with its label — retries
+	// appear once per attempt, so Sched can be longer than Records.
+	Sched     []SchedJobTiming `json:"sched,omitempty"`
+	SchedJobs int              `json:"sched_jobs"`
+	SchedMS   float64          `json:"sched_total_ms"`
+	TotalMS   float64          `json:"total_ms"`
 }
 
 // JobTiming is one job's wall-clock entry.
@@ -401,6 +542,26 @@ type JobTiming struct {
 	Kind   string  `json:"kind"`
 	Bench  string  `json:"bench"`
 	Setup  string  `json:"setup"`
+	WallMS float64 `json:"wall_ms"`
+	// Phases breaks the job's wall-clock down by telemetry span, with
+	// the simulated-time bounds alongside for cross-reference.
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// PhaseTiming is one phase span's wall-clock entry in the sidecar.
+type PhaseTiming struct {
+	Name     string  `json:"name"`
+	StartRef uint64  `json:"start_ref"`
+	EndRef   uint64  `json:"end_ref"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// SchedJobTiming is one scheduler dispatch: the job index within its
+// fan-out, the job's label (empty when the pool had no labeler), and
+// its wall-clock.
+type SchedJobTiming struct {
+	Job    int     `json:"job"`
+	Label  string  `json:"label,omitempty"`
 	WallMS float64 `json:"wall_ms"`
 }
 
@@ -410,11 +571,20 @@ func (c *Collector) TimingJSON(experiment string) ([]byte, error) {
 	timed := c.sorted()
 	c.mu.Lock()
 	jobs, wall := c.schedJobs, c.schedWall
+	sched := append([]SchedJobTiming(nil), c.sched...)
+	phases := c.phases
 	c.mu.Unlock()
+	sort.SliceStable(sched, func(i, j int) bool {
+		if sched[i].Label != sched[j].Label {
+			return sched[i].Label < sched[j].Label
+		}
+		return sched[i].Job < sched[j].Job
+	})
 	tr := TimingReport{
 		Schema:     Schema,
 		Experiment: experiment,
 		Records:    make([]JobTiming, len(timed)),
+		Sched:      sched,
 		SchedJobs:  jobs,
 		SchedMS:    float64(wall) / float64(time.Millisecond),
 	}
@@ -425,6 +595,7 @@ func (c *Collector) TimingJSON(experiment string) ([]byte, error) {
 			Bench:  t.rec.Bench,
 			Setup:  t.rec.Setup,
 			WallMS: float64(t.wall) / float64(time.Millisecond),
+			Phases: phases[t.rec.Kind+"/"+t.rec.Bench+"/"+t.rec.Setup],
 		}
 		total += t.wall
 	}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"colt/internal/telemetry"
 )
 
 func sampleRecord(bench string) Record {
@@ -145,7 +147,7 @@ func TestDiff(t *testing.T) {
 func TestCollectorMergeAndTiming(t *testing.T) {
 	a := NewCollector()
 	a.Add(sampleRecord("Mcf"), 5*time.Millisecond)
-	a.ObserveJob(0, 5*time.Millisecond)
+	a.ObserveJob(0, "bench/Mcf/ths-on", 5*time.Millisecond)
 
 	b := NewCollector()
 	b.Merge(a)
@@ -168,5 +170,79 @@ func TestCollectorMergeAndTiming(t *testing.T) {
 	}
 	if tr.Records[0].WallMS != 5 {
 		t.Errorf("wall_ms = %v, want 5", tr.Records[0].WallMS)
+	}
+	if len(tr.Sched) != 1 || tr.Sched[0].Label != "bench/Mcf/ths-on" || tr.Sched[0].WallMS != 5 {
+		t.Errorf("sched timings did not carry the job label through Merge: %+v", tr.Sched)
+	}
+}
+
+// TestHistFromTrimsAndConverts: the telemetry→metrics bridge drops
+// empty histograms (so omitempty elides them), trims trailing zero
+// buckets, and preserves the counters.
+func TestHistFrom(t *testing.T) {
+	if HistFrom(nil) != nil {
+		t.Error("HistFrom(nil) != nil")
+	}
+	var empty telemetry.Hist
+	if HistFrom(&empty) != nil {
+		t.Error("HistFrom of an empty histogram != nil")
+	}
+	var h telemetry.Hist
+	h.Observe(0)
+	h.Observe(5) // bucket bits.Len64(5) = 3
+	got := HistFrom(&h)
+	if got == nil || got.Count != 2 || got.Sum != 5 || got.Max != 5 {
+		t.Fatalf("HistFrom counters: %+v", got)
+	}
+	if len(got.Buckets) != 4 || got.Buckets[0] != 1 || got.Buckets[3] != 1 {
+		t.Errorf("HistFrom buckets not trimmed to last non-zero: %v", got.Buckets)
+	}
+}
+
+// TestSpansFrom: the golden-safe span conversion keeps only simulated
+// time (reference indices) — wall-clock never reaches a Record.
+func TestSpansFrom(t *testing.T) {
+	if SpansFrom(nil) != nil {
+		t.Error("SpansFrom(nil) != nil")
+	}
+	spans := []telemetry.Span{
+		{Name: "warmup", StartRef: 0, EndRef: 2000, Wall: 7 * time.Second},
+		{Name: "simulate", StartRef: 2000, EndRef: 22000, Wall: time.Minute},
+	}
+	got := SpansFrom(spans)
+	if len(got) != 2 || got[1].Name != "simulate" || got[1].StartRef != 2000 || got[1].EndRef != 22000 {
+		t.Fatalf("SpansFrom: %+v", got)
+	}
+	b, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "wall") || strings.Contains(string(b), "Wall") {
+		t.Errorf("span JSON leaks wall-clock: %s", b)
+	}
+}
+
+// TestAddSpansFlowsIntoTimingSidecar: spans registered for a record
+// surface as that record's phases in the wall-clock sidecar.
+func TestAddSpansFlowsIntoTimingSidecar(t *testing.T) {
+	c := NewCollector()
+	c.Add(sampleRecord("Mcf"), time.Millisecond)
+	c.AddSpans(KindBench, "Mcf", "THS on, normal compaction", []telemetry.Span{
+		{Name: "simulate", StartRef: 2000, EndRef: 22000, Wall: 3 * time.Millisecond},
+	})
+	out, err := c.TimingJSON("fig18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TimingReport
+	if err := json.Unmarshal(out, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 1 || len(tr.Records[0].Phases) != 1 {
+		t.Fatalf("phases missing from timing sidecar: %+v", tr.Records)
+	}
+	p := tr.Records[0].Phases[0]
+	if p.Name != "simulate" || p.StartRef != 2000 || p.EndRef != 22000 || p.WallMS != 3 {
+		t.Errorf("phase timing %+v", p)
 	}
 }

@@ -1,6 +1,9 @@
 package mm
 
-import "colt/internal/arch"
+import (
+	"colt/internal/arch"
+	"colt/internal/telemetry"
+)
 
 // Migrator is implemented by the virtual-memory layer: when the
 // compaction daemon moves a frame, the owning process's page table must
@@ -98,6 +101,9 @@ type Compactor struct {
 	// failMigrate, when set, may veto individual page migrations
 	// before any state changes (the fault-injection plane's hook).
 	failMigrate func() error
+
+	// tracer receives migration events (nil when disabled).
+	tracer *telemetry.Tracer
 }
 
 // NewCompactor wires a compaction daemon to the allocator. migrator may
@@ -111,6 +117,10 @@ func (c *Compactor) Mode() CompactionMode { return c.mode }
 
 // Stats returns a snapshot of daemon counters.
 func (c *Compactor) Stats() CompactStats { return c.stats }
+
+// SetTracer attaches an event tracer: each successful page migration
+// emits EvCompactMigrate on the OS thread. nil detaches.
+func (c *Compactor) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
 // SetMigrateFaultHook installs fn to run before each individual page
 // migration: a non-nil return fails that migration (counted in
@@ -286,6 +296,7 @@ func (c *Compactor) migratePage(from, to arch.PFN) bool {
 		}
 	}
 	c.buddy.FreeRange(from, 1)
+	c.tracer.Emit(telemetry.EvCompactMigrate, 0, telemetry.LevelNone, uint64(from), uint64(to))
 	return true
 }
 

@@ -1,6 +1,9 @@
 package mm
 
-import "colt/internal/arch"
+import (
+	"colt/internal/arch"
+	"colt/internal/telemetry"
+)
 
 // HugeAlloc records one live transparent hugepage: 512 contiguous,
 // 2 MB-aligned frames backing 512 contiguous virtual pages of a process.
@@ -39,6 +42,9 @@ type THP struct {
 	// changes (the fault-injection plane's hook); vetoed attempts fall
 	// back to base pages like any other huge-allocation failure.
 	failHuge func() error
+
+	// tracer receives THP promote/demote events (nil when disabled).
+	tracer *telemetry.Tracer
 }
 
 // splitWatermark: when free memory drops below this fraction of total,
@@ -56,6 +62,11 @@ func (t *THP) Enabled() bool { return t.enabled }
 
 // Stats returns a snapshot of the counters.
 func (t *THP) Stats() THPStats { return t.stats }
+
+// SetTracer attaches an event tracer: superpage allocations emit
+// EvTHPPromote and pressure splits emit EvTHPDemote on the OS thread.
+// nil detaches.
+func (t *THP) SetTracer(tr *telemetry.Tracer) { t.tracer = tr }
 
 // SetHugeFaultHook installs fn to run at the top of every TryAllocHuge
 // call: a non-nil return fails the attempt (counted in HugeFails) and
@@ -103,6 +114,7 @@ func (t *THP) TryAllocHuge(pid int, baseVPN arch.VPN) (arch.PFN, bool) {
 	}
 	t.huges = append(t.huges, HugeAlloc{PID: pid, BaseVPN: baseVPN, BasePFN: pfn})
 	t.stats.HugeAllocs++
+	t.tracer.Emit(telemetry.EvTHPPromote, 0, telemetry.LevelNone, uint64(baseVPN), uint64(pfn))
 	return pfn, true
 }
 
@@ -142,6 +154,7 @@ func (t *THP) MaybeSplit(splitter func(HugeAlloc) bool) int {
 			t.phys.Frame(h.BasePFN + arch.PFN(i)).Movable = true
 		}
 		t.stats.Splits++
+		t.tracer.Emit(telemetry.EvTHPDemote, 0, telemetry.LevelNone, uint64(h.BaseVPN), uint64(h.BasePFN))
 		split++
 	}
 	return split
@@ -162,6 +175,7 @@ func (t *THP) SplitAll(splitter func(HugeAlloc) bool) int {
 			t.phys.Frame(h.BasePFN + arch.PFN(i)).Movable = true
 		}
 		t.stats.Splits++
+		t.tracer.Emit(telemetry.EvTHPDemote, 0, telemetry.LevelNone, uint64(h.BaseVPN), uint64(h.BasePFN))
 		n++
 	}
 	return n

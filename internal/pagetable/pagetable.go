@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"colt/internal/arch"
+	"colt/internal/telemetry"
 )
 
 // Geometry of the radix tree: 4 levels of 9 bits cover a 48-bit virtual
@@ -56,7 +57,15 @@ type Table struct {
 	// mappedBase counts 4 KB mappings; mappedHuge counts 2 MB mappings.
 	mappedBase int
 	mappedHuge int
+	// walkDepth, when attached, observes the level count of every Walk
+	// (nil-safe, allocation-free — Walk is on the hot path).
+	walkDepth *telemetry.Hist
 }
+
+// SetWalkDepthHist attaches a histogram observing each Walk's depth in
+// levels (4 = full walk to a base PTE, 3 = huge leaf, fewer = hole).
+// Pass nil to detach.
+func (t *Table) SetWalkDepthHist(h *telemetry.Hist) { t.walkDepth = h }
 
 // WalkResult describes one page-table walk: the physical address of the
 // table entry read at each level (top-down) and the leaf PTE found.
@@ -271,6 +280,12 @@ func (t *Table) Resolve(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
 // Walk performs a full walk for vpn, reporting the physical address of
 // every table entry the hardware would read. It allocates nothing.
 func (t *Table) Walk(vpn arch.VPN) WalkResult {
+	res := t.walk(vpn)
+	t.walkDepth.Observe(uint64(res.Depth))
+	return res
+}
+
+func (t *Table) walk(vpn arch.VPN) WalkResult {
 	var res WalkResult
 	n := t.root
 	for level := 0; level < Levels; level++ {

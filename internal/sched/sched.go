@@ -61,7 +61,8 @@ func (e *TimeoutError) Error() string {
 type Pool struct {
 	workers    int
 	jobTimeout time.Duration
-	observe    func(job int, d time.Duration)
+	observe    func(job int, label string, d time.Duration)
+	labeler    func(job int) string
 }
 
 // New returns a pool running up to workers jobs concurrently. Values
@@ -78,12 +79,31 @@ func New(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // SetObserver registers fn to receive each job's wall-clock duration
-// as it completes (the metrics layer's per-job timing hook). fn may be
-// called concurrently from several workers and must be safe for that;
-// it is invoked for failed jobs too. Returns p for chaining.
-func (p *Pool) SetObserver(fn func(job int, d time.Duration)) *Pool {
+// as it completes (the metrics layer's per-job timing hook), together
+// with the job's human-readable label from the pool's labeler (empty
+// when none is set). fn may be called concurrently from several
+// workers and must be safe for that; it is invoked for failed jobs
+// too. Returns p for chaining.
+func (p *Pool) SetObserver(fn func(job int, label string, d time.Duration)) *Pool {
 	p.observe = fn
 	return p
+}
+
+// SetLabeler registers fn mapping a job index to the job's display
+// label (e.g. "bench/mcf/ths-on"), so timing sidecars and progress
+// lines can name jobs instead of showing opaque indices. Returns p
+// for chaining.
+func (p *Pool) SetLabeler(fn func(job int) string) *Pool {
+	p.labeler = fn
+	return p
+}
+
+// Label resolves job's display label ("" without a labeler).
+func (p *Pool) Label(job int) string {
+	if p.labeler == nil {
+		return ""
+	}
+	return p.labeler(job)
 }
 
 // SetJobTimeout bounds each job's wall-clock at d (<= 0 disables, the
@@ -98,14 +118,15 @@ func (p *Pool) SetJobTimeout(d time.Duration) *Pool {
 	return p
 }
 
-// timed runs fn(i) and reports its duration to the observer, if any.
+// timed runs fn(i) and reports its duration and label to the
+// observer, if any.
 func (p *Pool) timed(i int, fn func(i int) error) error {
 	if p.observe == nil {
 		return fn(i)
 	}
 	start := time.Now()
 	err := fn(i)
-	p.observe(i, time.Since(start))
+	p.observe(i, p.Label(i), time.Since(start))
 	return err
 }
 

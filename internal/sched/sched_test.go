@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -328,7 +329,7 @@ func TestObserverSeesEveryJob(t *testing.T) {
 		var calls atomic.Int64
 		var negative atomic.Bool
 		seen := make([]atomic.Int64, 10)
-		p := New(workers).SetObserver(func(job int, d time.Duration) {
+		p := New(workers).SetObserver(func(job int, label string, d time.Duration) {
 			calls.Add(1)
 			if d < 0 {
 				negative.Store(true)
@@ -354,7 +355,7 @@ func TestObserverSeesEveryJob(t *testing.T) {
 	// Failed jobs are observed too (serial path stops at the error, so
 	// the observed count equals the jobs actually dispatched).
 	var calls atomic.Int64
-	p := New(1).SetObserver(func(int, time.Duration) { calls.Add(1) })
+	p := New(1).SetObserver(func(int, string, time.Duration) { calls.Add(1) })
 	_, err := Map(p, 5, func(i int) (int, error) {
 		if i == 2 {
 			return 0, errors.New("boom")
@@ -366,5 +367,44 @@ func TestObserverSeesEveryJob(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Errorf("observer fired %d times before the serial error stop, want 3", calls.Load())
+	}
+}
+
+// TestObserverReceivesLabels: with a labeler installed, the observer
+// sees each job's display label (on both pool paths); without one it
+// sees "".
+func TestObserverReceivesLabels(t *testing.T) {
+	names := []string{"bench/astar/ths-on", "bench/mcf/ths-on", "bench/mcf/ths-off"}
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		got := make(map[int]string)
+		p := New(workers).
+			SetLabeler(func(job int) string { return names[job] }).
+			SetObserver(func(job int, label string, _ time.Duration) {
+				mu.Lock()
+				got[job] = label
+				mu.Unlock()
+			})
+		if _, err := Map(p, len(names), func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, want := range names {
+			if got[i] != want {
+				t.Errorf("workers=%d: job %d labeled %q, want %q", workers, i, got[i], want)
+			}
+		}
+	}
+
+	p := New(1)
+	if p.Label(0) != "" {
+		t.Errorf("Label without labeler = %q, want empty", p.Label(0))
+	}
+	var sawLabel string
+	p.SetObserver(func(_ int, label string, _ time.Duration) { sawLabel = label })
+	if _, err := Map(p, 1, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sawLabel != "" {
+		t.Errorf("observer got label %q from labeler-less pool, want empty", sawLabel)
 	}
 }

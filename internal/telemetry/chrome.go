@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// JobTrace is one job's exportable telemetry: its phase spans and the
+// retained events of its tracer, plus display names for the event
+// thread IDs (index 0 = the OS thread, 1.. = variants).
+type JobTrace struct {
+	Label   string
+	Threads []string
+	Spans   []Span
+	Events  []Event
+}
+
+// TraceSet collects JobTraces from concurrently running jobs and
+// renders them as one Chrome trace-event file. Add is safe for
+// concurrent use; rendering sorts jobs by label so the file is
+// byte-identical at every scheduler width. A nil *TraceSet is a valid
+// disabled set.
+type TraceSet struct {
+	mu   sync.Mutex
+	jobs []JobTrace
+}
+
+// Add records one job's trace. Nil-safe and concurrency-safe.
+func (ts *TraceSet) Add(jt JobTrace) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.jobs = append(ts.jobs, jt)
+	ts.mu.Unlock()
+}
+
+// Len reports how many job traces have been added.
+func (ts *TraceSet) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.jobs)
+}
+
+// chromeEvent is one Chrome trace-event object. The format is the
+// Trace Event JSON accepted by Perfetto and chrome://tracing: "M"
+// metadata rows name processes/threads, "X" complete events carry a
+// duration, "i" instant events mark points. We map simulated time
+// (the reference index) onto the ts microsecond axis one-to-one.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders every added job as Chrome trace-event JSON
+// ({"traceEvents": [...], ...}). Jobs become processes (pid assigned
+// in label order), event threads become tids, spans land on the OS
+// thread, and each simulator event becomes an instant event with its
+// kind-specific payload in args.
+func (ts *TraceSet) WriteChrome(w io.Writer) error {
+	if ts == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	ts.mu.Lock()
+	jobs := append([]JobTrace(nil), ts.jobs...)
+	ts.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Label < jobs[j].Label })
+
+	var events []chromeEvent
+	for i, jt := range jobs {
+		pid := i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": jt.Label},
+		})
+		for tid, name := range jt.Threads {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, sp := range jt.Spans {
+			dur := sp.EndRef - sp.StartRef
+			events = append(events, chromeEvent{
+				Name: sp.Name, Phase: "X", TS: sp.StartRef, Dur: &dur, PID: pid,
+			})
+		}
+		for _, ev := range jt.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Kind.String(), Phase: "i", TS: ev.Ref,
+				PID: pid, TID: int(ev.TID), Scope: "t",
+				Args: eventArgs(ev),
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("encoding trace event %d: %w", i, err)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, `],"displayTimeUnit":"ms"}`)
+	return err
+}
+
+// eventArgs renders an event's kind-specific payload.
+func eventArgs(ev Event) map[string]any {
+	args := map[string]any{}
+	switch ev.Kind {
+	case EvTLBHit, EvTLBMiss:
+		args["level"] = LevelName(ev.Level)
+		args["vpn"] = ev.Arg
+	case EvCoalesce:
+		args["base_vpn"] = ev.Arg
+		args["run_len"] = ev.Arg2
+	case EvMerge:
+		args["level"] = LevelName(ev.Level)
+		args["base_vpn"] = ev.Arg
+		args["new_len"] = ev.Arg2
+	case EvEvict:
+		args["level"] = LevelName(ev.Level)
+		args["base_vpn"] = ev.Arg
+		args["lifetime_refs"] = ev.Arg2
+	case EvPageWalk:
+		args["vpn"] = ev.Arg
+		args["cycles"] = ev.Arg2
+	case EvTHPPromote, EvTHPDemote:
+		args["base_vpn"] = ev.Arg
+		args["base_pfn"] = ev.Arg2
+	case EvCompactMigrate:
+		args["from_pfn"] = ev.Arg
+		args["to_pfn"] = ev.Arg2
+	case EvFaultInject:
+		args["site_index"] = ev.Arg
+	}
+	return args
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Reporter is the opt-in live progress surface: one line to w (stderr
+// in the CLI) per completed job, showing done/total, the job label,
+// its last phase, and the running failure count from the degradation
+// path. It is driven off telemetry spans via Spans.OnPhase and the
+// scheduler's job hooks. A nil *Reporter is a valid disabled
+// reporter; all methods are concurrency-safe.
+type Reporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	total  int
+	done   int
+	failed int
+	phase  map[string]string
+}
+
+// NewReporter returns a progress reporter writing to w.
+func NewReporter(w io.Writer) *Reporter {
+	return &Reporter{w: w, phase: make(map[string]string)}
+}
+
+// AddJobs grows the expected-job total by n.
+func (r *Reporter) AddJobs(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
+}
+
+// Phase records that job label entered the named phase.
+func (r *Reporter) Phase(label, phase string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phase[label] = phase
+	r.mu.Unlock()
+}
+
+// Done marks job label finished (ok=false counts a failure) and
+// prints one progress line.
+func (r *Reporter) Done(label string, ok bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.done++
+	if !ok {
+		r.failed++
+	}
+	phase := r.phase[label]
+	delete(r.phase, label)
+	line := fmt.Sprintf("[%d/%d] %s", r.done, r.total, label)
+	if phase != "" {
+		line += " (" + phase + ")"
+	}
+	if !ok {
+		line += " FAILED"
+	}
+	if r.failed > 0 {
+		line += fmt.Sprintf("  failures=%d", r.failed)
+	}
+	fmt.Fprintln(r.w, line)
+	r.mu.Unlock()
+}
+
+// Counts returns (done, total, failed) so far.
+func (r *Reporter) Counts() (done, total, failed int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.total, r.failed
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+// Sink is the per-variant observer handed to one TLB hierarchy: it
+// forwards events to the job's shared Tracer under the variant's
+// thread ID and accumulates the variant's distribution histograms.
+// All methods are nil-safe and allocation-free, so a hierarchy
+// instruments unconditionally and pays one branch when disabled.
+type Sink struct {
+	tracer *Tracer
+	tid    uint8
+
+	// CoalesceLen is the distribution of coalesced-run lengths over
+	// TLB fills (1 = uncoalesced); WalkCycles the distribution of
+	// modeled page-walk latencies; EntryLife the distribution of TLB
+	// entry lifetimes, in references from fill to eviction.
+	CoalesceLen Hist
+	WalkCycles  Hist
+	EntryLife   Hist
+}
+
+// NewSink returns a sink feeding tracer (which may be nil to collect
+// histograms only) as thread tid.
+func NewSink(tracer *Tracer, tid uint8) *Sink {
+	return &Sink{tracer: tracer, tid: tid}
+}
+
+// Hit records a TLB hit at level.
+func (s *Sink) Hit(level uint8, vpn uint64) {
+	if s == nil {
+		return
+	}
+	s.tracer.Emit(EvTLBHit, s.tid, level, vpn, 0)
+}
+
+// Miss records a miss at level (a probe that fell through).
+func (s *Sink) Miss(level uint8, vpn uint64) {
+	if s == nil {
+		return
+	}
+	s.tracer.Emit(EvTLBMiss, s.tid, level, vpn, 0)
+}
+
+// Walk records a completed page walk and its modeled latency.
+func (s *Sink) Walk(vpn uint64, cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.WalkCycles.Observe(cycles)
+	s.tracer.Emit(EvPageWalk, s.tid, LevelNone, vpn, cycles)
+}
+
+// Fill records a TLB fill of runLen coalesced translations starting
+// at baseVPN; runs longer than one page are coalescing events.
+func (s *Sink) Fill(baseVPN uint64, runLen uint64) {
+	if s == nil {
+		return
+	}
+	s.CoalesceLen.Observe(runLen)
+	if runLen > 1 {
+		s.tracer.Emit(EvCoalesce, s.tid, LevelNone, baseVPN, runLen)
+	}
+}
+
+// Merge records a fill-time merge with a resident entry yielding a
+// combined run of newLen translations.
+func (s *Sink) Merge(level uint8, baseVPN uint64, newLen uint64) {
+	if s == nil {
+		return
+	}
+	s.tracer.Emit(EvMerge, s.tid, level, baseVPN, newLen)
+}
+
+// Evict records the capacity eviction of an entry that lived for life
+// references since its fill.
+func (s *Sink) Evict(level uint8, baseVPN uint64, life uint64) {
+	if s == nil {
+		return
+	}
+	s.EntryLife.Observe(life)
+	s.tracer.Emit(EvEvict, s.tid, level, baseVPN, life)
+}
+
+// ResetHists zeroes the sink's histograms (after warmup), leaving the
+// tracer attached. Nil-safe.
+func (s *Sink) ResetHists() {
+	if s == nil {
+		return
+	}
+	s.CoalesceLen = Hist{}
+	s.WalkCycles = Hist{}
+	s.EntryLife = Hist{}
+}
+
+// Tracer returns the sink's event tracer (nil when event tracing is
+// off but histograms are on).
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}

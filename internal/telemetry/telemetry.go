@@ -1,0 +1,232 @@
+// Package telemetry is the simulator's deterministic observability
+// plane: structured event tracing, fixed-bucket distribution
+// histograms, and simulated-time spans, all designed so that enabling
+// them never perturbs results and disabling them never costs the hot
+// path an allocation.
+//
+// Time discipline. Every artifact that can reach a golden-diffed
+// report is stamped with SIMULATED time — the job's reference index —
+// never the wall clock: two runs of the same seed produce identical
+// events, histograms, and span boundaries at every scheduler width.
+// Wall-clock durations exist only on Span.Wall, which the metrics
+// layer confines to the non-golden .timing.json sidecar.
+//
+// Cost discipline. Every recording method is nil-safe: a nil *Tracer,
+// *Hist, *Sink, *Spans, or *Reporter receiver returns immediately, so
+// instrumented code calls unconditionally and pays one predictable
+// branch when telemetry is off. When tracing is ON the per-event cost
+// is a few counter increments and one fixed-size ring-slot write —
+// still zero heap allocations (guarded by AllocsPerRun tests).
+package telemetry
+
+// EventKind labels one structured simulator event.
+type EventKind uint8
+
+// The event vocabulary: per-level TLB activity, CoLT coalescing, page
+// walks, and the OS events (THP, compaction, fault injection) that
+// reshape the contiguity CoLT feeds on.
+const (
+	EvTLBHit EventKind = iota
+	EvTLBMiss
+	EvCoalesce // a fill whose coalesced run covered > 1 translation
+	EvMerge    // fill-time secondary coalescing with a resident entry
+	EvEvict    // capacity eviction of a valid entry
+	EvPageWalk
+	EvTHPPromote     // a 2 MB superpage was allocated
+	EvTHPDemote      // a superpage was split back to base pages
+	EvCompactMigrate // compaction moved one frame
+	EvFaultInject    // the fault plane fired at a site
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvTLBHit:
+		return "tlb-hit"
+	case EvTLBMiss:
+		return "tlb-miss"
+	case EvCoalesce:
+		return "coalesce"
+	case EvMerge:
+		return "merge"
+	case EvEvict:
+		return "evict"
+	case EvPageWalk:
+		return "page-walk"
+	case EvTHPPromote:
+		return "thp-promote"
+	case EvTHPDemote:
+		return "thp-demote"
+	case EvCompactMigrate:
+		return "compact-migrate"
+	case EvFaultInject:
+		return "fault-inject"
+	}
+	return "event(?)"
+}
+
+// TLB levels for hit/miss/evict events. LevelNone marks OS-side events.
+const (
+	LevelNone uint8 = iota
+	LevelL1
+	LevelL2
+	LevelSup
+)
+
+// LevelName returns the display name of a TLB level code.
+func LevelName(level uint8) string {
+	switch level {
+	case LevelL1:
+		return "l1"
+	case LevelL2:
+		return "l2"
+	case LevelSup:
+		return "sup"
+	}
+	return "os"
+}
+
+// Event is one fixed-size structured simulator event. Ref is the
+// simulated timestamp (the job's reference index at emission); Arg and
+// Arg2 are kind-specific payloads (see EXPERIMENTS.md for the schema).
+type Event struct {
+	Kind  EventKind
+	TID   uint8 // emitting thread: 0 = OS, 1..n = TLB variants
+	Level uint8 // TLB level for hit/miss/evict, else LevelNone
+	Ref   uint64
+	Arg   uint64
+	Arg2  uint64
+}
+
+// Default per-kind sampling strides: high-frequency events keep one in
+// every strideN emissions (deterministically, by per-kind ordinal —
+// never randomly, so traces are identical across runs and widths).
+// Rare events are never sampled out. Totals in Counts() include the
+// sampled-out emissions.
+const (
+	strideHit  = 64
+	strideMiss = 16
+	strideWalk = 4
+)
+
+// Tracer is a bounded, deterministically sampled ring buffer of
+// events. When the ring wraps, the oldest events are overwritten: the
+// exported trace is the tail of the run, which is where steady-state
+// behavior (the paper's object of study) lives. The zero value is not
+// useful; use NewTracer. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	ring    []Event
+	next    int    // next ring slot to write
+	stored  uint64 // events ever written to the ring
+	now     uint64 // current simulated time (reference index)
+	seen    [numEventKinds]uint64
+	strides [numEventKinds]uint64
+}
+
+// DefaultTraceCap bounds one job's event ring: 64K events keep a trace
+// file in the few-MB range even with every kind enabled.
+const DefaultTraceCap = 1 << 16
+
+// NewTracer returns a tracer holding at most capacity events (<= 0
+// selects DefaultTraceCap), with the default sampling strides.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	t := &Tracer{ring: make([]Event, 0, capacity)}
+	for k := range t.strides {
+		t.strides[k] = 1
+	}
+	t.strides[EvTLBHit] = strideHit
+	t.strides[EvTLBMiss] = strideMiss
+	t.strides[EvPageWalk] = strideWalk
+	return t
+}
+
+// SetStride overrides kind's sampling stride (n <= 1 keeps every
+// event). Sampling stays deterministic: the kept events are those with
+// per-kind ordinal ≡ 0 (mod n).
+func (t *Tracer) SetStride(kind EventKind, n uint64) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.strides[kind] = n
+}
+
+// SetNow advances the tracer's simulated clock; subsequent events are
+// stamped with ref. Drivers call this once per reference.
+func (t *Tracer) SetNow(ref uint64) {
+	if t != nil {
+		t.now = ref
+	}
+}
+
+// Now returns the current simulated timestamp.
+func (t *Tracer) Now() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.now
+}
+
+// Emit records one event (subject to the kind's sampling stride) at
+// the current simulated time. Safe to call on a nil tracer; never
+// allocates.
+func (t *Tracer) Emit(kind EventKind, tid, level uint8, arg, arg2 uint64) {
+	if t == nil {
+		return
+	}
+	ord := t.seen[kind]
+	t.seen[kind]++
+	if s := t.strides[kind]; s > 1 && ord%s != 0 {
+		return
+	}
+	ev := Event{Kind: kind, TID: tid, Level: level, Ref: t.now, Arg: arg, Arg2: arg2}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+	}
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+	t.stored++
+}
+
+// Events returns the retained events oldest-first. The slice is a
+// fresh copy; the tracer can keep recording.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.stored == 0 {
+		return nil
+	}
+	if len(t.ring) < cap(t.ring) {
+		return append([]Event(nil), t.ring...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Seen returns how many events of kind were emitted, including those
+// sampled out or overwritten by ring wrap.
+func (t *Tracer) Seen(kind EventKind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seen[kind]
+}
+
+// Dropped returns how many retained-eligible events were overwritten
+// by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.stored - uint64(len(t.ring))
+}
