@@ -1,12 +1,23 @@
-# Repository checks. `make check` is the single pre-merge gate: vet,
-# build, the full test suite, the race-detector pass over the parallel
-# engine, and the golden-run regression diff.
+# Repository checks. `make check` is the single pre-merge gate:
+# formatting, module hygiene, vet, build, the full test suite, the
+# race-detector pass over the parallel engine and the serving daemon,
+# and the golden-run regression diff.
 
 GO ?= go
 
-.PHONY: check vet build test race golden golden-update bench-parallel chaos fuzz-buddy cover
+.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel chaos fuzz-buddy cover serve-smoke
 
-check: vet build test race golden
+check: fmt tidy vet build test race golden
+
+# gofmt as a gate: fail listing the offending files, not rewriting
+# them — CI must never mutate the tree.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "fmt: files need gofmt:"; echo "$$out"; exit 1; fi
+
+# go.mod/go.sum must be tidy as committed.
+tidy:
+	$(GO) mod tidy -diff
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +34,7 @@ test:
 # fed concurrently from all workers.
 race:
 	$(GO) test -race ./internal/sched ./internal/experiments -run 'Parallel|GoldenHistograms|TraceEvents'
+	$(GO) test -race -count=1 ./internal/server
 
 # Golden-run regression diff: re-runs the golden experiment subset and
 # byte-compares its metrics JSON against internal/experiments/testdata/
@@ -51,6 +63,12 @@ chaos:
 # after every operation (CI runs the corpus only, via `make test`).
 fuzz-buddy:
 	$(GO) test ./internal/mm -run '^$$' -fuzz FuzzBuddyAllocFree -fuzztime 30s
+
+# Serve-path smoke: boot coltd on an ephemeral port, submit a quick
+# table1 job, assert the identical resubmission is a byte-identical
+# cache hit with no extra simulation, and drain cleanly on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Statement-coverage gate for the observability stack: each package
 # listed in .coverage-floor must meet its checked-in minimum.

@@ -1,0 +1,116 @@
+// Command coltd is the simulation-serving daemon: it exposes the
+// experiment engine over HTTP/JSON with a bounded job queue, a
+// content-addressed result cache, streaming per-job progress (SSE),
+// and graceful drain on SIGTERM/SIGINT. README's "Serving" section
+// has curl examples; EXPERIMENTS.md documents the job-spec schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"colt/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8077", "listen address (use :0 for an ephemeral port)")
+		cacheDir     = flag.String("cache-dir", "", "content-addressed result cache directory (empty = memory-only)")
+		queueDepth   = flag.Int("queue", 16, "job queue depth; a full queue refuses with 503")
+		workers      = flag.Int("workers", 1, "concurrent simulations")
+		parallel     = flag.Int("parallel", 0, "sched workers per simulation (0 = GOMAXPROCS)")
+		maxRefs      = flag.Int("max-refs", 50_000_000, "per-request measured-reference ceiling (429 above; <0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	if err := validate(*queueDepth, *workers, *parallel, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "coltd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, server.Config{
+		CacheDir:   *cacheDir,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+		Parallel:   *parallel,
+		MaxRefs:    *maxRefs,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "coltd:", err)
+		os.Exit(1)
+	}
+}
+
+// validate rejects nonsensical flag combinations before anything
+// binds or forks, naming the offending flag.
+func validate(queueDepth, workers, parallel int, drainTimeout time.Duration) error {
+	if queueDepth < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", queueDepth)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", workers)
+	}
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", parallel)
+	}
+	if drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
+	}
+	return nil
+}
+
+// run serves until SIGTERM/SIGINT, then drains: admission stops, the
+// in-flight jobs finish and land in the cache, still-queued specs are
+// checkpointed, the cache index is flushed, and only then does the
+// HTTP listener shut down (so status/report endpoints answer
+// throughout the drain).
+func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+	s, err := server.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The one parseable startup line; the smoke script and operators
+	// reading logs rely on it to learn the bound port.
+	fmt.Printf("coltd: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Println("coltd: draining (finishing in-flight jobs, checkpointing queue, flushing cache index)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("coltd: drained cleanly")
+	return nil
+}

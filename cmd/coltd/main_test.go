@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateRejectsBadSizing(t *testing.T) {
+	cases := []struct {
+		name                        string
+		queueDepth, workers, parall int
+		drain                       time.Duration
+		wantFlag                    string
+	}{
+		{"zero queue", 0, 1, 0, time.Minute, "-queue"},
+		{"negative queue", -3, 1, 0, time.Minute, "-queue"},
+		{"zero workers", 8, 0, 0, time.Minute, "-workers"},
+		{"negative parallel", 8, 1, -1, time.Minute, "-parallel"},
+		{"zero drain timeout", 8, 1, 0, 0, "-drain-timeout"},
+		{"negative drain timeout", 8, 1, 0, -time.Second, "-drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validate(tc.queueDepth, tc.workers, tc.parall, tc.drain)
+			if err == nil {
+				t.Fatal("validate succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Fatalf("error %q does not mention %s", err, tc.wantFlag)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validate(16, 1, 0, 10*time.Minute); err != nil {
+		t.Fatalf("validate rejected the default configuration: %v", err)
+	}
+}

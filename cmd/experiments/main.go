@@ -29,14 +29,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 
 	"colt/internal/experiments"
 	"colt/internal/fault"
@@ -104,6 +108,15 @@ func main() {
 	if *progress {
 		opts.Progress = telemetry.NewReporter(os.Stderr)
 	}
+	// SIGINT/SIGTERM cancel the run's context instead of killing the
+	// process: in-flight jobs abort at their next checkpoint,
+	// undispatched jobs become canceled-failure records, and reports
+	// for completed jobs are still flushed below — never a file torn
+	// mid-write. A second signal kills immediately (NotifyContext
+	// restores default handling once the context is canceled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Ctx = ctx
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -129,7 +142,18 @@ func main() {
 			}
 		}
 	}
+	// A signal that arrived late enough for the run to degrade
+	// gracefully (completed jobs rendered, the rest recorded as
+	// canceled failures) produces no error — but an interrupted run
+	// must still exit non-zero.
+	if err == nil && ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; completed jobs were rendered and reports flushed")
+		os.Exit(1)
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; completed jobs were rendered and reports flushed")
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -451,9 +475,14 @@ func runOne(e experiment, opts experiments.Options, outDir, traceDir string) err
 		col = metrics.NewCollector()
 		opts.Metrics = col
 	}
-	if err := e.run(opts); err != nil {
-		return err
+	runErr := e.run(opts)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
 	}
+	// On interruption (runErr wraps context.Canceled) fall through:
+	// the collector still holds every completed record plus the
+	// canceled-failure entries, and flushing them is the whole point
+	// of draining instead of dying.
 	if col != nil {
 		printFailures(e.name, col)
 	}
@@ -478,7 +507,7 @@ func runOne(e experiment, opts experiments.Options, outDir, traceDir string) err
 			return fmt.Errorf("%s: writing trace events: %w", e.name, err)
 		}
 	}
-	return nil
+	return runErr
 }
 
 // writeTrace renders one experiment's collected job traces as a Chrome

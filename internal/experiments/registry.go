@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"colt/internal/workload"
+)
+
+// NamedExperiment is one runnable artifact of the serving registry: a
+// stable name, a one-line description, and a driver that runs the
+// experiment emitting structured records into opts.Metrics. Unlike
+// the CLI registry in cmd/experiments, entries here produce no text —
+// their whole output is the metrics report, which is what the serving
+// daemon caches and returns. Run must be safe to call concurrently
+// with other entries (each call builds private simulation state).
+type NamedExperiment struct {
+	Name string
+	Desc string
+	Run  func(opts Options) error
+}
+
+// Registry returns the experiments the serving daemon exposes, in
+// display order. Every entry is deterministic: for a fixed Options
+// snapshot its metrics report is byte-identical across runs, worker
+// counts, and machines — the property that makes reports
+// content-addressable by their canonical spec.
+func Registry() []NamedExperiment {
+	return []NamedExperiment{
+		{Name: "table1", Desc: "Table 1: real-system TLB MPMI, THS on/off",
+			Run: func(opts Options) error { _, err := Table1(opts); return err }},
+		{Name: "contig", Desc: "Figures 7-15: contiguity CDFs per kernel configuration",
+			Run: func(opts Options) error {
+				for _, setup := range []SystemSetup{SetupTHSOnNormal, SetupTHSOffNormal, SetupTHSOffLow} {
+					if _, err := ContiguityCDFs(setup, opts); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		{Name: "fig16", Desc: "Figure 16: average contiguity vs memhog, THS on",
+			Run: func(opts Options) error { _, err := Figure16(opts); return err }},
+		{Name: "fig17", Desc: "Figure 17: average contiguity vs memhog, THS off",
+			Run: func(opts Options) error { _, err := Figure17(opts); return err }},
+		{Name: "fig18", Desc: "Figure 18: % of baseline TLB misses eliminated",
+			Run: func(opts Options) error { _, err := RunStandardEvaluation(opts); return err }},
+		{Name: "fig19", Desc: "Figure 19: CoLT-SA index left-shift sweep",
+			Run: func(opts Options) error { _, err := Figure19(opts); return err }},
+		{Name: "fig20", Desc: "Figure 20: L2 associativity study",
+			Run: func(opts Options) error { _, err := Figure20(opts); return err }},
+		{Name: "fig21", Desc: "Figure 21: modeled performance improvement",
+			Run: func(opts Options) error { _, err := RunStandardEvaluation(opts); return err }},
+		{Name: "fa-ablation", Desc: "Ablation: CoLT-FA with/without L2 fill (§7.1.3)",
+			Run: func(opts Options) error { _, err := AblationFAL2Fill(opts); return err }},
+		{Name: "all-ablation", Desc: "Ablation: CoLT-All with/without L2 fill (§7.1.3)",
+			Run: func(opts Options) error { _, err := AblationAllL2Fill(opts); return err }},
+		{Name: "prefetch", Desc: "Extension: CoLT vs sequential TLB prefetching",
+			Run: func(opts Options) error { _, err := PrefetchComparison(opts); return err }},
+		{Name: "subblock", Desc: "Extension: CoLT-SA vs partial-subblock TLBs",
+			Run: func(opts Options) error { _, err := SubblockComparison(opts); return err }},
+		{Name: "refinements", Desc: "Extension: future-work refinements ablation",
+			Run: func(opts Options) error { _, err := RefinementsAblation(opts); return err }},
+		{Name: "supsize", Desc: "Extension: CoLT-FA superpage-TLB size sensitivity",
+			Run: func(opts Options) error { _, err := SupSizeSensitivity(opts); return err }},
+		{Name: "l2size", Desc: "Extension: L2 TLB size sensitivity",
+			Run: func(opts Options) error { _, err := L2SizeSensitivity(opts); return err }},
+		{Name: "virt", Desc: "Extension: CoLT under virtualization (2D walks)",
+			Run: func(opts Options) error { _, err := VirtualizationComparison(opts); return err }},
+		{Name: "timeline", Desc: "Contiguity over time under memhog pressure",
+			Run: func(opts Options) error {
+				specs := make([]workload.Spec, 0, 2)
+				for _, name := range []string{"Mcf", "Sjeng"} {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						return err
+					}
+					specs = append(specs, spec)
+				}
+				_, err := Timelines(specs, SetupTHSOnMemhog50, opts, 6)
+				return err
+			}},
+	}
+}
+
+// RegistryNames returns every registry name, sorted.
+func RegistryNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a registry entry; an unknown name's error lists the
+// valid set so API callers can self-correct.
+func ByName(name string) (NamedExperiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return NamedExperiment{}, fmt.Errorf("unknown experiment %q; valid experiments: %s",
+		name, strings.Join(RegistryNames(), ", "))
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -116,6 +117,15 @@ type Options struct {
 	// completion lines (the CLI's opt-in -progress stderr reporter).
 	// Progress output is wall-clock-ordered and never golden-diffed.
 	Progress *telemetry.Reporter
+	// Ctx, when non-nil, cancels the run: jobs not yet dispatched are
+	// skipped with canceled-failure records, and in-flight jobs abort
+	// at their next cancellation checkpoint (every ctxCheckEvery
+	// references and at every phase boundary). Cancellation is a
+	// wall-clock event — like timeouts, it never appears in
+	// deterministic runs — and is what lets SIGINT drain a batch run
+	// cleanly and lets the serving daemon cancel one job without
+	// touching its siblings.
+	Ctx context.Context
 	// attempt is the retry attempt this Options copy drives, folded
 	// into the fault plane's seed by mapJobs so attempt N+1 draws a
 	// fresh (but deterministic) fault sequence.
@@ -147,7 +157,25 @@ func (o Options) pool() *sched.Pool {
 	if o.JobTimeout > 0 {
 		p.SetJobTimeout(o.JobTimeout)
 	}
+	if o.Ctx != nil {
+		p.SetContext(o.Ctx)
+	}
 	return p
+}
+
+// ctxCheckEvery is how many references a simulation loop runs between
+// cancellation checks: frequent enough that DELETE/SIGINT feels
+// immediate, rare enough to stay invisible in the hot path.
+const ctxCheckEvery = 4096
+
+// canceled reports the run context's cancellation error, or nil. It
+// is cheap enough to call at phase boundaries unconditionally; inner
+// loops gate it on the reference counter.
+func (o Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // plane builds the job's fault-injection plane (nil when injection is
@@ -505,6 +533,9 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 		tracer = telemetry.NewTracer(telemetry.DefaultTraceCap)
 	}
 	spans.Begin("build", 0)
+	if err := opts.canceled(); err != nil {
+		return contig.Result{}, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	sys, master, _, err := buildSystem(setup, opts, spec.Name, tracer)
 	if err != nil {
 		return contig.Result{}, err
@@ -522,6 +553,9 @@ func RunContiguity(spec workload.Spec, setup SystemSetup, opts Options) (contig.
 	// where swap thrash reshapes residency. Contiguity spans count
 	// idle slots as their simulated-time axis.
 	spans.Begin("settle", 0)
+	if err := opts.canceled(); err != nil {
+		return contig.Result{}, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	sys.Idle(steadyStateSlots)
 	if err := auditSystem(opts, "after idle", sys); err != nil {
 		return contig.Result{}, err
@@ -792,6 +826,9 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 		spans.OnPhase(func(phase string) { opts.Progress.Phase(label, phase) })
 	}
 	spans.Begin("build", 0)
+	if err := opts.canceled(); err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	b, master, err := newBenchSim(spec, setup, opts, variants)
 	if err != nil {
 		return nil, err
@@ -807,6 +844,11 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 
 	spans.Begin("warmup", b.refClock)
 	for i := 0; i < opts.Warmup; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := opts.canceled(); err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+		}
 		if err := b.step(i); err != nil {
 			return nil, err
 		}
@@ -822,6 +864,11 @@ func RunBenchmark(spec workload.Spec, setup SystemSetup, opts Options, variants 
 		churnEvery = opts.Refs / 8
 	}
 	for i := 0; i < opts.Refs; i++ {
+		if i%ctxCheckEvery == 0 {
+			if err := opts.canceled(); err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+		}
 		if err := b.step(i); err != nil {
 			return nil, err
 		}
@@ -916,13 +963,17 @@ func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(i
 	})
 	ok = make([]bool, len(items))
 	var firstErr error
-	failed := 0
+	failed, canceled := 0, 0
 	for i, jobErr := range errs {
 		if jobErr == nil {
 			ok[i] = true
 			continue
 		}
 		failed++
+		jobCanceled := errors.Is(jobErr, context.Canceled) || errors.Is(jobErr, context.DeadlineExceeded)
+		if jobCanceled {
+			canceled++
+		}
 		if firstErr == nil {
 			firstErr = jobErr
 		}
@@ -937,6 +988,7 @@ func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(i
 				Error:    jobErr.Error(),
 				Injected: fault.IsInjected(jobErr),
 				TimedOut: timedOut,
+				Canceled: jobCanceled,
 			}
 			// A timed-out job's goroutine is still running and still
 			// owns attempts[i]; leave Attempts zero rather than race.
@@ -949,7 +1001,12 @@ func mapJobs[S, T any](opts Options, items []S, meta func(S) jobMeta, run func(i
 	if failed == 0 {
 		return results, ok, nil
 	}
-	if !opts.Faults.Enabled() || failed == len(items) {
+	// Cancellation degrades like injection: an interrupted run renders
+	// its completed jobs and records the rest as canceled failures,
+	// so a SIGINT'd batch still writes a coherent (partial) report
+	// instead of dying mid-write. Real errors with faults disabled
+	// keep the strict first-error contract.
+	if (!opts.Faults.Enabled() && canceled == 0) || failed == len(items) {
 		return nil, nil, firstErr
 	}
 	return results, ok, nil

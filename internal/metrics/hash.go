@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON marshals v as compact JSON with object keys sorted at
+// every nesting level. Two values that are semantically identical —
+// regardless of struct field order, map iteration order, or
+// insignificant whitespace in an intermediate representation — always
+// produce the same bytes, which is what makes the output safe to hash
+// as a content address.
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: canonicalizing: %w", err)
+	}
+	// Round-trip through an untyped tree: encoding/json sorts map keys
+	// on marshal, and json.Number preserves numeric literals exactly
+	// (the same normalization StableJSON uses, minus the indentation).
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("metrics: normalizing canonical JSON: %w", err)
+	}
+	out, err := json.Marshal(tree)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: re-encoding canonical JSON: %w", err)
+	}
+	return out, nil
+}
+
+// HashHex returns the lowercase-hex SHA-256 of CanonicalJSON(v): the
+// content address of a canonicalized job spec. Identical specs hash
+// identically however the submitter spelled them.
+func HashHex(v any) (string, error) {
+	b, err := CanonicalJSON(v)
+	if err != nil {
+		return "", err
+	}
+	return Sum256Hex(b), nil
+}
+
+// Sum256Hex returns the lowercase-hex SHA-256 of b, used to verify
+// that cached report bytes are served back exactly as computed.
+func Sum256Hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

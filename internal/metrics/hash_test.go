@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalJSONSortsKeysAtEveryLevel(t *testing.T) {
+	got, err := CanonicalJSON(map[string]any{
+		"zeta":  1,
+		"alpha": map[string]any{"y": 2, "x": []any{map[string]any{"b": 1, "a": 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":{"x":[{"a":2,"b":1}],"y":2},"zeta":1}`
+	if string(got) != want {
+		t.Fatalf("CanonicalJSON = %s, want %s", got, want)
+	}
+}
+
+func TestCanonicalJSONIsFieldOrderIndependent(t *testing.T) {
+	type ab struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	type ba struct {
+		B string `json:"b"`
+		A int    `json:"a"`
+	}
+	x, err := CanonicalJSON(ab{A: 7, B: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := CanonicalJSON(ba{B: "s", A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Fatalf("identical values canonicalized differently: %s vs %s", x, y)
+	}
+}
+
+func TestCanonicalJSONPreservesNumericLiterals(t *testing.T) {
+	got, err := CanonicalJSON(map[string]any{"seed": uint64(1<<63 + 5), "scale": 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"9223372036854775813", "0.05"} {
+		if !strings.Contains(string(got), want) {
+			t.Errorf("CanonicalJSON = %s, missing literal %s", got, want)
+		}
+	}
+}
+
+func TestHashHexStableAndSpelledLowercase(t *testing.T) {
+	h1, err := HashHex(Options{Refs: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashHex(Options{Seed: 3, Refs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("identical options hashed differently: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 || strings.ToLower(h1) != h1 {
+		t.Fatalf("HashHex = %q, want 64 lowercase hex chars", h1)
+	}
+	h3, err := HashHex(Options{Refs: 101, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different options collided")
+	}
+}
+
+func TestSum256HexMatchesKnownVector(t *testing.T) {
+	// SHA-256("") is the canonical empty-input test vector.
+	const want = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if got := Sum256Hex(nil); got != want {
+		t.Fatalf("Sum256Hex(nil) = %s, want %s", got, want)
+	}
+}
+
+func TestCanonicalJSONRejectsUnmarshalable(t *testing.T) {
+	if _, err := CanonicalJSON(func() {}); err == nil {
+		t.Fatal("CanonicalJSON of a func succeeded")
+	}
+}

@@ -236,6 +236,11 @@ type Failure struct {
 	// events; runs that must stay deterministic use bounds generous
 	// enough that this only fires on hangs.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Canceled marks jobs skipped or aborted because the run's context
+	// was canceled (SIGINT on the CLI, DELETE or drain on the daemon).
+	// Like timeouts, cancellation is a wall-clock event and only
+	// appears in interrupted runs, never in goldens.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // failureKey orders failures like records: by identity, then content.

@@ -23,6 +23,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -56,11 +57,35 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("sched: job %d exceeded %v timeout", e.Job, e.Timeout)
 }
 
+// CanceledError is a job that never ran because the pool's context was
+// canceled before the job was dispatched. It unwraps to the context's
+// error, so errors.Is(err, context.Canceled) works on it.
+type CanceledError struct {
+	Job   int
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sched: job %d canceled: %v", e.Job, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // Pool schedules independent jobs over a fixed number of workers. The
 // zero value is not useful; use New.
+//
+// Configuration (SetObserver, SetLabeler, SetJobTimeout, SetContext)
+// must complete before the first Map/MapPartial call: once a map has
+// started the pool's configuration is frozen, and any further setter
+// call panics. The guard exists because servers construct pools
+// concurrently with request handling, where a silently-ignored or
+// racy late registration would be far harder to debug than a panic.
 type Pool struct {
 	workers    int
+	mu         sync.Mutex
+	started    bool
 	jobTimeout time.Duration
+	ctx        context.Context
 	observe    func(job int, label string, d time.Duration)
 	labeler    func(job int) string
 }
@@ -78,23 +103,51 @@ func New(workers int) *Pool {
 // Workers returns the pool's concurrency limit.
 func (p *Pool) Workers() int { return p.workers }
 
+// configure runs a setter under the pool's configuration guard,
+// panicking if any Map/MapPartial has already started. The panic (not
+// a silent drop) is deliberate: a late registration is a programming
+// error, and under concurrent construction a dropped observer would
+// surface as mysteriously missing timings instead of a stack trace.
+func (p *Pool) configure(what string, set func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		panic("sched: " + what + " called after Map started; configure the pool before scheduling jobs")
+	}
+	set()
+}
+
 // SetObserver registers fn to receive each job's wall-clock duration
 // as it completes (the metrics layer's per-job timing hook), together
 // with the job's human-readable label from the pool's labeler (empty
 // when none is set). fn may be called concurrently from several
 // workers and must be safe for that; it is invoked for failed jobs
-// too. Returns p for chaining.
+// too. Panics if called after the pool has started scheduling.
+// Returns p for chaining.
 func (p *Pool) SetObserver(fn func(job int, label string, d time.Duration)) *Pool {
-	p.observe = fn
+	p.configure("SetObserver", func() { p.observe = fn })
 	return p
 }
 
 // SetLabeler registers fn mapping a job index to the job's display
 // label (e.g. "bench/mcf/ths-on"), so timing sidecars and progress
-// lines can name jobs instead of showing opaque indices. Returns p
-// for chaining.
+// lines can name jobs instead of showing opaque indices. Panics if
+// called after the pool has started scheduling. Returns p for
+// chaining.
 func (p *Pool) SetLabeler(fn func(job int) string) *Pool {
-	p.labeler = fn
+	p.configure("SetLabeler", func() { p.labeler = fn })
+	return p
+}
+
+// SetContext attaches ctx to the pool: once ctx is canceled, jobs that
+// have not yet been dispatched fail with a *CanceledError wrapping
+// ctx's error instead of running. Jobs already in flight are not
+// interrupted — the simulator has no preemption points — so
+// cancellation granularity is the job unless the job's own code also
+// watches ctx. Panics if called after the pool has started
+// scheduling. Returns p for chaining.
+func (p *Pool) SetContext(ctx context.Context) *Pool {
+	p.configure("SetContext", func() { p.ctx = ctx })
 	return p
 }
 
@@ -112,10 +165,20 @@ func (p *Pool) Label(job int) string {
 // simulator has no preemption points), but its result is discarded.
 // Timeouts are inherently wall-clock-dependent, so deterministic runs
 // should set a bound generous enough that it only fires on hangs.
-// Returns p for chaining.
+// Panics if called after the pool has started scheduling. Returns p
+// for chaining.
 func (p *Pool) SetJobTimeout(d time.Duration) *Pool {
-	p.jobTimeout = d
+	p.configure("SetJobTimeout", func() { p.jobTimeout = d })
 	return p
+}
+
+// canceled returns the pool context's error, or nil when no context is
+// attached or it is still live.
+func (p *Pool) canceled() error {
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
 }
 
 // timed runs fn(i) and reports its duration and label to the
@@ -190,6 +253,11 @@ func MapPartial[T any](p *Pool, n int, fn func(i int) (T, error)) (results []T, 
 // cancelOnError is set, a failed job stops dispatch of jobs that have
 // not yet started (Map's contract); otherwise every job runs.
 func mapAll[T any](p *Pool, n int, fn func(i int) (T, error), cancelOnError bool) ([]T, []error) {
+	// Freeze the pool's configuration: setters panic from here on, so
+	// the unguarded field reads below can never race with a writer.
+	p.mu.Lock()
+	p.started = true
+	p.mu.Unlock()
 	if n <= 0 {
 		return nil, nil
 	}
@@ -204,6 +272,13 @@ func mapAll[T any](p *Pool, n int, fn func(i int) (T, error), cancelOnError bool
 		// serial semantics of the pre-scheduler code (stopping at the
 		// first error when cancellation is on).
 		for i := 0; i < n; i++ {
+			if cause := p.canceled(); cause != nil {
+				errs[i] = &CanceledError{Job: i, Cause: cause}
+				if cancelOnError {
+					break
+				}
+				continue
+			}
 			errs[i] = p.runJob(i, func(i int) error {
 				var err error
 				results[i], err = fn(i)
@@ -229,6 +304,14 @@ func mapAll[T any](p *Pool, n int, fn func(i int) (T, error), cancelOnError bool
 				i := int(next.Add(1) - 1)
 				if i >= n || (cancelOnError && failed.Load()) {
 					return
+				}
+				if cause := p.canceled(); cause != nil {
+					// Mark this and keep claiming: every undispatched
+					// job gets a CanceledError record rather than a
+					// silent zero result.
+					errs[i] = &CanceledError{Job: i, Cause: cause}
+					failed.Store(true)
+					continue
 				}
 				if err := p.runJob(i, func(i int) error {
 					var err error

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -406,5 +407,127 @@ func TestObserverReceivesLabels(t *testing.T) {
 	}
 	if sawLabel != "" {
 		t.Errorf("observer got label %q from labeler-less pool, want empty", sawLabel)
+	}
+}
+
+// TestSetterPanicsAfterMapStarted: pool configuration is frozen once
+// scheduling begins — a late SetObserver/SetLabeler/SetJobTimeout/
+// SetContext is a programming error and must panic, not be silently
+// dropped or race with the workers (coltd constructs pools
+// concurrently with request handling).
+func TestSetterPanicsAfterMapStarted(t *testing.T) {
+	setters := map[string]func(p *Pool){
+		"SetObserver":   func(p *Pool) { p.SetObserver(func(int, string, time.Duration) {}) },
+		"SetLabeler":    func(p *Pool) { p.SetLabeler(func(int) string { return "" }) },
+		"SetJobTimeout": func(p *Pool) { p.SetJobTimeout(time.Second) },
+		"SetContext":    func(p *Pool) { p.SetContext(context.Background()) },
+	}
+	for name, set := range setters {
+		p := New(2)
+		if _, err := Map(p, 4, func(i int) (int, error) { return i, nil }); err != nil {
+			t.Fatalf("%s: warmup map: %v", name, err)
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s after Map started did not panic", name)
+					return
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, name) || !strings.Contains(msg, "after Map started") {
+					t.Errorf("%s panic message %q does not name the setter and the rule", name, msg)
+				}
+			}()
+			set(p)
+		}()
+	}
+}
+
+// TestSetterPanicsWhileMapRunning: the guard also fires while a map is
+// in flight, not just after one finished.
+func TestSetterPanicsWhileMapRunning(t *testing.T) {
+	p := New(2)
+	inJob := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = Map(p, 1, func(i int) (int, error) {
+			close(inJob)
+			<-release
+			return i, nil
+		})
+	}()
+	<-inJob
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetObserver during an in-flight Map did not panic")
+			}
+		}()
+		p.SetObserver(func(int, string, time.Duration) {})
+	}()
+	close(release)
+	<-done
+}
+
+// TestContextCancelSkipsUndispatchedJobs: once the pool's context is
+// canceled, jobs that have not started fail with *CanceledError
+// (unwrapping to context.Canceled) instead of running, on both the
+// serial and concurrent paths, and jobs already completed keep their
+// results.
+func TestContextCancelSkipsUndispatchedJobs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 32
+		results, errs := MapPartial(New(workers).SetContext(ctx), n, func(i int) (int, error) {
+			ran.Add(1)
+			if ran.Load() >= int64(workers) {
+				cancel() // cancel once every worker has a job in hand
+			}
+			return i, nil
+		})
+		canceled := 0
+		for i := 0; i < n; i++ {
+			if errs[i] == nil {
+				if results[i] != i {
+					t.Errorf("workers=%d: results[%d] = %d, want %d", workers, i, results[i], i)
+				}
+				continue
+			}
+			canceled++
+			var ce *CanceledError
+			if !errors.As(errs[i], &ce) {
+				t.Fatalf("workers=%d: errs[%d] = %v, want *CanceledError", workers, i, errs[i])
+			}
+			if ce.Job != i {
+				t.Errorf("workers=%d: CanceledError.Job = %d, want %d", workers, ce.Job, i)
+			}
+			if !errors.Is(errs[i], context.Canceled) {
+				t.Errorf("workers=%d: errs[%d] does not unwrap to context.Canceled", workers, i)
+			}
+		}
+		if canceled == 0 {
+			t.Errorf("workers=%d: no job was canceled", workers)
+		}
+		if int(ran.Load())+canceled != n {
+			t.Errorf("workers=%d: ran %d + canceled %d != %d jobs", workers, ran.Load(), canceled, n)
+		}
+	}
+}
+
+// TestContextCancelBeforeMap: a pre-canceled context fails every job
+// without running any.
+func TestContextCancelBeforeMap(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(New(4).SetContext(ctx), 8, func(i int) (int, error) {
+		t.Error("job ran under a pre-canceled context")
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
 	}
 }

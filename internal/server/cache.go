@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"colt/internal/metrics"
+)
+
+// cacheIndexFile is the on-disk index name inside the cache directory.
+const cacheIndexFile = "index.json"
+
+// CacheEntry is one cached report's index record. Key is the content
+// address (SHA-256 of the canonical spec JSON); Sum is the SHA-256 of
+// the report bytes, the integrity check applied on every read so a
+// corrupted or hand-edited entry is recomputed, never served.
+type CacheEntry struct {
+	Key        string `json:"key"`
+	Experiment string `json:"experiment"`
+	Sum        string `json:"sha256"`
+	Size       int    `json:"size"`
+}
+
+// cacheIndex is the serialized index.json layout.
+type cacheIndex struct {
+	Schema  string       `json:"schema"`
+	Entries []CacheEntry `json:"entries"`
+}
+
+// cacheSchema identifies the index layout.
+const cacheSchema = "colt-cache/1"
+
+// Cache is the content-addressed result store. With a directory it
+// persists each report as <dir>/<key>.json plus an index flushed on
+// drain (a restarted daemon reuses prior results); with an empty
+// directory it is memory-only. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu      sync.Mutex
+	dir     string
+	entries map[string]CacheEntry
+	mem     map[string][]byte // memory mode only
+
+	hits, misses, corrupt uint64
+}
+
+// OpenCache opens (or initializes) a cache rooted at dir, loading a
+// prior index if one exists. dir == "" selects memory-only mode.
+func OpenCache(dir string) (*Cache, error) {
+	c := &Cache{dir: dir, entries: make(map[string]CacheEntry)}
+	if dir == "" {
+		c.mem = make(map[string][]byte)
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating %s: %w", dir, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, cacheIndexFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cache: reading index: %w", err)
+	}
+	var idx cacheIndex
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		return nil, fmt.Errorf("cache: parsing index: %w", err)
+	}
+	for _, e := range idx.Entries {
+		c.entries[e.Key] = e
+	}
+	return c, nil
+}
+
+// Dir returns the cache's directory ("" in memory mode).
+func (c *Cache) Dir() string { return c.dir }
+
+// entryPath is the report file for a key.
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached report bytes for key, verifying them against
+// the recorded hash. A missing, unreadable, or corrupted entry counts
+// as a miss (corruption is additionally counted and the entry
+// evicted) so the caller recomputes instead of serving bad bytes.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	var b []byte
+	if c.mem != nil {
+		b = c.mem[key]
+	} else {
+		var err error
+		b, err = os.ReadFile(c.entryPath(key))
+		if err != nil {
+			// The index promised an entry the disk no longer has:
+			// treat as corruption, evict, recompute.
+			c.evictCorruptLocked(key)
+			return nil, false
+		}
+	}
+	if metrics.Sum256Hex(b) != e.Sum {
+		c.evictCorruptLocked(key)
+		return nil, false
+	}
+	c.hits++
+	return b, true
+}
+
+// evictCorruptLocked drops a failed entry and counts it as both a
+// corruption and a miss. Callers must hold c.mu.
+func (c *Cache) evictCorruptLocked(key string) {
+	delete(c.entries, key)
+	if c.mem != nil {
+		delete(c.mem, key)
+	} else {
+		os.Remove(c.entryPath(key))
+	}
+	c.corrupt++
+	c.misses++
+}
+
+// Put stores report bytes under key. In disk mode the entry file is
+// written immediately (write-then-rename for atomicity); the index is
+// flushed separately by SaveIndex.
+func (c *Cache) Put(key, experiment string, b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := CacheEntry{Key: key, Experiment: experiment, Sum: metrics.Sum256Hex(b), Size: len(b)}
+	if c.mem != nil {
+		c.mem[key] = append([]byte(nil), b...)
+		c.entries[key] = e
+		return nil
+	}
+	tmp := c.entryPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("cache: writing entry: %w", err)
+	}
+	if err := os.Rename(tmp, c.entryPath(key)); err != nil {
+		return fmt.Errorf("cache: committing entry: %w", err)
+	}
+	c.entries[key] = e
+	return nil
+}
+
+// Entry returns the index record for key, if present.
+func (c *Cache) Entry(key string) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// SaveIndex flushes the index to disk (no-op in memory mode), written
+// atomically and key-sorted so restarts and hand inspection are
+// deterministic. The drain path calls this; callers may also call it
+// periodically.
+func (c *Cache) SaveIndex() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mem != nil {
+		return nil
+	}
+	idx := cacheIndex{Schema: cacheSchema, Entries: make([]CacheEntry, 0, len(c.entries))}
+	for _, e := range c.entries {
+		idx.Entries = append(idx.Entries, e)
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
+	b, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cache: encoding index: %w", err)
+	}
+	path := filepath.Join(c.dir, cacheIndexFile)
+	if err := os.WriteFile(path+".tmp", append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cache: writing index: %w", err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return fmt.Errorf("cache: committing index: %w", err)
+	}
+	return nil
+}
+
+// CacheStats is the cache's counter snapshot for /v1/stats.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Corrupt: c.corrupt}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colt/internal/metrics"
+)
+
+func TestCachePutGetRoundtrip(t *testing.T) {
+	for _, mode := range []string{"disk", "memory"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := ""
+			if mode == "disk" {
+				dir = t.TempDir()
+			}
+			c, err := OpenCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []byte(`{"report":"bytes"}`)
+			if _, ok := c.Get("k1"); ok {
+				t.Fatal("hit on empty cache")
+			}
+			if err := c.Put("k1", "exp", want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c.Get("k1")
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+			}
+			e, ok := c.Entry("k1")
+			if !ok || e.Sum != metrics.Sum256Hex(want) || e.Size != len(want) {
+				t.Fatalf("entry %+v inconsistent with stored bytes", e)
+			}
+			st := c.Stats()
+			if st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 || st.Entries != 1 {
+				t.Fatalf("stats %+v, want 1 hit / 1 miss / 0 corrupt / 1 entry", st)
+			}
+		})
+	}
+}
+
+// TestCacheCorruptEntryDetectedAndRecomputed is the satellite's core
+// claim: a corrupted on-disk entry is detected via hash mismatch,
+// evicted, and the next Put restores byte-identical service.
+func TestCacheCorruptEntryDetectedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"schema":"colt-metrics/1","records":[]}`)
+	if err := c.Put("k1", "exp", want); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored bytes behind the cache's back.
+	path := filepath.Join(dir, "k1.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"tampered"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := c.Get("k1"); ok {
+		t.Fatalf("corrupted entry served: %q", b)
+	}
+	st := c.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want corrupt=1 entries=0 after eviction", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupted file not removed: %v", err)
+	}
+	// Recompute path: a fresh Put restores identical service.
+	if err := c.Put("k1", "exp", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k1")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("recomputed Get = %q, %v; want original bytes", got, ok)
+	}
+}
+
+func TestCacheMissingFileTreatedAsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k1", "exp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "k1.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("served an entry whose file is gone")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats %+v, want corrupt=1", st)
+	}
+}
+
+// TestCacheIndexSurvivesReopen: SaveIndex + reopen serves prior
+// results — the restart-reuse half of the drain contract.
+func TestCacheIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := []byte(`{"a":1}`), []byte(`{"b":2}`)
+	if err := c.Put("ka", "expA", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("kb", "expB", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string][]byte{"ka": a, "kb": b} {
+		got, ok := c2.Get(key)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("after reopen, Get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	if st := c2.Stats(); st.Entries != 2 || st.Hits != 2 {
+		t.Fatalf("reopened stats %+v, want entries=2 hits=2", st)
+	}
+}
+
+func TestCacheMemoryModeSaveIndexIsNoop(t *testing.T) {
+	c, err := OpenCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", "e", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != "" {
+		t.Fatal("memory cache reports a directory")
+	}
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"colt/internal/telemetry"
+)
+
+// Handler returns the daemon's HTTP API. Routes use Go 1.22 method
+// patterns; every route is wrapped in the per-endpoint
+// latency/inflight middleware surfaced by GET /v1/stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.ep.instrument(pattern, h))
+	}
+	route("POST /v1/jobs", s.handleSubmit)
+	route("GET /v1/jobs/{id}", s.handleStatus)
+	route("GET /v1/jobs/{id}/report", s.handleReport)
+	route("GET /v1/jobs/{id}/trace", s.handleTrace)
+	route("GET /v1/jobs/{id}/events", s.handleEvents)
+	route("DELETE /v1/jobs/{id}", s.handleCancel)
+	route("GET /v1/jobs", s.handleList)
+	route("GET /v1/experiments", s.handleExperiments)
+	route("GET /v1/stats", s.handleStats)
+	route("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON renders a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is every non-2xx JSON body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the POST /v1/jobs body.
+type submitResponse struct {
+	jobStatus
+	// ReportSHA256 is the cached report's integrity hash, present on
+	// cache hits so clients can verify the bytes they fetch.
+	ReportSHA256 string `json:"report_sha256,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	res, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrTooLarge):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := submitResponse{jobStatus: res.Job.snapshot()}
+	if e, ok := s.cache.Entry(res.Job.Can.Hash); ok && res.Cached {
+		resp.ReportSHA256 = e.Sum
+	}
+	w.Header().Set("Location", "/v1/jobs/"+res.Job.ID)
+	status := http.StatusCreated
+	if !res.Created {
+		status = http.StatusOK // coalesced onto an existing job
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if st, errMsg := j.State(); st != JobDone {
+		msg := fmt.Sprintf("job %s is %s; no report", j.ID, st)
+		if errMsg != "" {
+			msg += ": " + errMsg
+		}
+		writeError(w, http.StatusConflict, "%s", msg)
+		return
+	}
+	b, ok := s.Report(j)
+	if !ok {
+		// The cached entry failed its integrity check after the job
+		// completed; the client resubmits and the spec recomputes.
+		writeError(w, http.StatusGone, "cached report for job %s failed verification; resubmit to recompute", j.ID)
+		return
+	}
+	if e, ok := s.cache.Entry(j.Can.Hash); ok {
+		w.Header().Set("X-Report-Sha256", e.Sum)
+		w.Header().Set("ETag", `"`+e.Sum+`"`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	b := j.Trace()
+	if len(b) == 0 {
+		writeError(w, http.StatusNotFound,
+			"job %s has no trace (submit with \"trace\": true; cache hits never have one)", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+// handleEvents streams the job's progress log as Server-Sent Events:
+// first a replay of everything recorded so far, then the live tail,
+// then one terminal "end" event carrying the final job status. Late
+// subscribers therefore see the same story as early ones.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, done, unsub := j.subscribe()
+	defer unsub()
+	write := func(ev telemetry.ProgressEvent) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b)
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	for _, ev := range replay {
+		write(ev)
+	}
+	if !done {
+		for {
+			select {
+			case ev, ok := <-live:
+				if !ok {
+					done = true
+				} else {
+					write(ev)
+				}
+			case <-r.Context().Done():
+				return
+			}
+			if done {
+				break
+			}
+		}
+	}
+	b, _ := json.Marshal(j.snapshot())
+	fmt.Fprintf(w, "event: end\ndata: %s\n\n", b)
+	if canFlush {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if !s.Cancel(j.ID) {
+		writeError(w, http.StatusConflict, "job %s is already %s", j.ID, func() JobState {
+			st, _ := j.State()
+			return st
+		}())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]jobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Job(id); ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []jobStatus `json:"jobs"`
+	}{Jobs: out})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Desc string `json:"desc"`
+	}
+	out := make([]entry, 0, len(s.cfg.Registry))
+	for _, e := range s.cfg.Registry {
+		out = append(out, entry{Name: e.Name, Desc: e.Desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []entry `json:"experiments"`
+	}{Experiments: out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.isDraining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status string `json:"status"`
+	}{Status: state})
+}
+
+// EndpointStats is one route's counter snapshot in GET /v1/stats.
+// Latencies are wall-clock and excluded from any golden comparison.
+type EndpointStats struct {
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"` // responses with status >= 400
+	InFlight  int64  `json:"in_flight"`
+	TotalUsec uint64 `json:"total_usec"`
+	MaxUsec   uint64 `json:"max_usec"`
+}
+
+// endpointMetrics tracks per-route request counters.
+type endpointMetrics struct {
+	mu sync.Mutex
+	m  map[string]*EndpointStats
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{m: make(map[string]*EndpointStats)}
+}
+
+// instrument wraps a handler with request/error/latency/inflight
+// accounting under the route's pattern.
+func (em *endpointMetrics) instrument(pattern string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		em.mu.Lock()
+		st, ok := em.m[pattern]
+		if !ok {
+			st = &EndpointStats{}
+			em.m[pattern] = st
+		}
+		st.Requests++
+		st.InFlight++
+		em.mu.Unlock()
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+
+		usec := uint64(time.Since(start).Microseconds())
+		em.mu.Lock()
+		st.InFlight--
+		st.TotalUsec += usec
+		if usec > st.MaxUsec {
+			st.MaxUsec = usec
+		}
+		if rec.status >= 400 {
+			st.Errors++
+		}
+		em.mu.Unlock()
+	})
+}
+
+func (em *endpointMetrics) snapshot() map[string]EndpointStats {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	out := make(map[string]EndpointStats, len(em.m))
+	for k, v := range em.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// statusRecorder captures the response status for error accounting
+// while passing Flush through so SSE streaming keeps working behind
+// the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"colt/internal/telemetry"
+)
+
+// JobState is a job's lifecycle position. The transitions form a
+// small DAG: queued → running → {done, failed, canceled}, with two
+// shortcuts that never touch the queue — a cache hit jumps straight
+// to done, and a drain checkpoint or pre-dispatch DELETE jumps
+// queued → canceled.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state has no outgoing transitions.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one tracked submission. Its progress events form an
+// append-only log; SSE subscribers replay the log from the start and
+// then follow the live tail, so a client attaching late sees the same
+// sequence as one attaching before the job ran.
+type Job struct {
+	ID  string
+	Can CanonicalJob
+
+	mu         sync.Mutex
+	state      JobState
+	errMsg     string
+	cached     bool // served from cache without simulating
+	coalesced  int  // extra submissions folded into this execution
+	events     []telemetry.ProgressEvent
+	subs       map[chan telemetry.ProgressEvent]struct{}
+	cancel     func() // non-nil while running
+	trace      []byte // Chrome trace artifact, if requested
+	created    time.Time
+	finishedAt time.Time
+}
+
+func newJob(id string, can CanonicalJob, now time.Time) *Job {
+	return &Job{
+		ID:      id,
+		Can:     can,
+		state:   JobQueued,
+		subs:    make(map[chan telemetry.ProgressEvent]struct{}),
+		created: now,
+	}
+}
+
+// State returns the current state and error message.
+func (j *Job) State() (JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// Cached reports whether the job was served from cache.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// appendEvent records a progress event and fans it out to live
+// subscribers. It is the Reporter hook of the job's execution, so it
+// must never block: a subscriber that cannot keep up loses the
+// in-between events but still receives the terminal snapshot.
+func (j *Job) appendEvent(ev telemetry.ProgressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns a replay of all events so far plus a channel for
+// the live tail, and a closed flag telling the subscriber not to wait
+// for more. The unsubscribe func is idempotent.
+func (j *Job) subscribe() (replay []telemetry.ProgressEvent, live chan telemetry.ProgressEvent, done bool, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]telemetry.ProgressEvent(nil), j.events...)
+	if j.state.terminal() {
+		return replay, nil, true, func() {}
+	}
+	ch := make(chan telemetry.ProgressEvent, 64)
+	j.subs[ch] = struct{}{}
+	var once sync.Once
+	return replay, ch, false, func() {
+		once.Do(func() {
+			j.mu.Lock()
+			if _, ok := j.subs[ch]; ok {
+				delete(j.subs, ch)
+				close(ch)
+			}
+			j.mu.Unlock()
+		})
+	}
+}
+
+// finish moves the job to a terminal state and closes every live
+// subscription so SSE streams end.
+func (j *Job) finish(state JobState, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finishedAt = now
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = make(map[chan telemetry.ProgressEvent]struct{})
+}
+
+// start moves a queued job to running, rejecting jobs already
+// canceled (a DELETE that raced the dispatch). The returned cancel
+// hook is invoked by DELETE while the job runs.
+func (j *Job) start(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel cancels the job: queued jobs jump straight to
+// canceled (the dispatcher will skip them); running jobs get their
+// context canceled and finish through the normal execution path.
+// Returns false if the job is already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	if j.state == JobQueued {
+		j.mu.Unlock()
+		j.finish(JobCanceled, "canceled before dispatch", time.Now())
+		return true
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// setTrace stores the job's Chrome trace artifact.
+func (j *Job) setTrace(b []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.trace = b
+}
+
+// Trace returns the job's trace artifact, if recorded.
+func (j *Job) Trace() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// noteCoalesced counts an identical submission folded into this job.
+func (j *Job) noteCoalesced() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.coalesced++
+}
+
+// snapshot captures the fields the status endpoint renders.
+func (j *Job) snapshot() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:         j.ID,
+		Experiment: j.Can.Exp.Name,
+		Hash:       j.Can.Hash,
+		State:      j.state,
+		Error:      j.errMsg,
+		Cached:     j.cached,
+		Coalesced:  j.coalesced,
+		Events:     len(j.events),
+		HasTrace:   len(j.trace) > 0,
+	}
+}
+
+// jobStatus is the GET /v1/jobs/{id} body.
+type jobStatus struct {
+	ID         string   `json:"id"`
+	Experiment string   `json:"experiment"`
+	Hash       string   `json:"hash"`
+	State      JobState `json:"state"`
+	Error      string   `json:"error,omitempty"`
+	Cached     bool     `json:"cached"`
+	Coalesced  int      `json:"coalesced,omitempty"`
+	Events     int      `json:"events"`
+	HasTrace   bool     `json:"has_trace"`
+}

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"colt/internal/experiments"
+	"colt/internal/metrics"
+	"colt/internal/telemetry"
+)
+
+// pendingFile checkpoints queued-but-unstarted job specs at drain so
+// a restarted daemon can resubmit them.
+const pendingFile = "pending.json"
+
+// Config sizes the serving daemon. Zero values take the documented
+// defaults.
+type Config struct {
+	// CacheDir roots the content-addressed result cache ("" =
+	// memory-only; nothing survives a restart).
+	CacheDir string
+	// QueueDepth bounds the job queue (default 16). A full queue
+	// refuses submissions with 503 + Retry-After.
+	QueueDepth int
+	// Workers is how many jobs simulate concurrently (default 1 —
+	// simulations are themselves internally parallel).
+	Workers int
+	// MaxRefs is the per-request measured-reference ceiling (default
+	// 50,000,000; <0 disables). Oversized submissions are refused with
+	// 429 before touching the queue.
+	MaxRefs int
+	// Parallel is the sched worker count handed to each job
+	// (0 = GOMAXPROCS). Never part of the cache key: reports are
+	// byte-identical at every width.
+	Parallel int
+	// Registry is the experiment set to serve (default
+	// experiments.Registry()). Tests stub it with fast fakes.
+	Registry []experiments.NamedExperiment
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.MaxRefs == 0 {
+		c.MaxRefs = 50_000_000
+	}
+	if c.Registry == nil {
+		c.Registry = experiments.Registry()
+	}
+	return c
+}
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrDraining: the daemon is shutting down and accepts no new work
+	// (503 + Retry-After).
+	ErrDraining = errors.New("server is draining")
+	// ErrQueueFull: the bounded job queue is at capacity (503 +
+	// Retry-After).
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrTooLarge: the expanded spec exceeds the per-request reference
+	// ceiling (429).
+	ErrTooLarge = errors.New("spec exceeds the per-request reference ceiling")
+)
+
+// Server is the coltd core: admission, queue, execution, cache, and
+// job registry. It serves HTTP via Handler (http.go) but is fully
+// drivable without HTTP, which is how the unit tests exercise it.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu          sync.Mutex
+	draining    bool
+	jobs        map[string]*Job
+	byHash      map[string]*Job // queued/running jobs, for coalescing
+	order       []string        // job IDs in admission order
+	nextID      int
+	pending     []Spec // checkpointed at drain
+	simulations uint64
+	coalesced   uint64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	drainOnce sync.Once
+	drainErr  error
+
+	ep *endpointMetrics
+}
+
+// NewServer builds a server, opens (or creates) its cache, resubmits
+// any drain-checkpointed jobs from a prior run, and starts its
+// workers.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	c, err := OpenCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   c,
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    make(map[string]*Job),
+		byHash:  make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		ep:      newEndpointMetrics(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if err := s.resubmitPending(); err != nil {
+		s.stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// resubmitPending replays the drain checkpoint of a prior run.
+// Whatever was computed before the drain is now in the cache, so
+// resubmitted specs that overlap it complete instantly.
+func (s *Server) resubmitPending() error {
+	if s.cfg.CacheDir == "" {
+		return nil
+	}
+	path := filepath.Join(s.cfg.CacheDir, pendingFile)
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: reading pending checkpoint: %w", err)
+	}
+	var cp struct {
+		Specs []Spec `json:"specs"`
+	}
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return fmt.Errorf("server: parsing pending checkpoint: %w", err)
+	}
+	for _, spec := range cp.Specs {
+		// Best-effort: a spec the current registry no longer knows, or
+		// a queue already refilled, drops the checkpoint entry.
+		s.Submit(spec)
+	}
+	return os.Remove(path)
+}
+
+// Cache exposes the result cache (read-mostly: stats and report
+// serving).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Job looks up a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// SubmitResult describes the outcome of an admission decision.
+type SubmitResult struct {
+	Job *Job
+	// Created is false when the submission coalesced onto an existing
+	// queued/running job with the same content hash.
+	Created bool
+	// Cached is true when the result was already in the cache and the
+	// job completed without queueing.
+	Cached bool
+}
+
+// Submit canonicalizes, admits, and routes a job spec: cache hits
+// complete immediately, identical in-flight specs coalesce onto one
+// execution, and everything else takes a queue slot or is refused
+// (ErrDraining, ErrQueueFull, ErrTooLarge — the handler maps these to
+// 503/503/429; any other error is a 400 validation failure).
+func (s *Server) Submit(spec Spec) (SubmitResult, error) {
+	can, err := Canonicalize(spec, s.cfg.Registry)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	if s.cfg.MaxRefs > 0 && can.Opts.Refs > s.cfg.MaxRefs {
+		return SubmitResult{}, fmt.Errorf("%w: refs %d > limit %d",
+			ErrTooLarge, can.Opts.Refs, s.cfg.MaxRefs)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SubmitResult{}, ErrDraining
+	}
+	// Coalesce onto an identical in-flight execution.
+	if j, ok := s.byHash[can.Hash]; ok {
+		if st, _ := j.State(); !st.terminal() {
+			j.noteCoalesced()
+			s.coalesced++
+			return SubmitResult{Job: j, Created: false}, nil
+		}
+		delete(s.byHash, can.Hash)
+	}
+	now := time.Now()
+	// Serve from cache: Get verifies the stored bytes against their
+	// recorded hash, so a corrupted entry falls through to recompute.
+	if _, ok := s.cache.Get(can.Hash); ok {
+		j := newJob(s.newIDLocked(), can, now)
+		j.mu.Lock()
+		j.state = JobDone
+		j.cached = true
+		j.mu.Unlock()
+		s.trackLocked(j)
+		return SubmitResult{Job: j, Created: true, Cached: true}, nil
+	}
+	j := newJob(s.newIDLocked(), can, now)
+	select {
+	case s.queue <- j:
+	default:
+		return SubmitResult{}, ErrQueueFull
+	}
+	s.trackLocked(j)
+	s.byHash[can.Hash] = j
+	return SubmitResult{Job: j, Created: true}, nil
+}
+
+func (s *Server) newIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("j%06d", s.nextID)
+}
+
+func (s *Server) trackLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker consumes the queue. Once a drain begins, undispatched jobs
+// are checkpointed instead of executed; the job a worker is already
+// inside when the drain starts runs to completion.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.isDraining() {
+			s.checkpoint(j)
+			continue
+		}
+		s.execute(j)
+	}
+}
+
+// checkpoint records a queued job's spec for the next run and closes
+// the job as canceled.
+func (s *Server) checkpoint(j *Job) {
+	if st, _ := j.State(); st.terminal() {
+		s.dropInflight(j)
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, j.Can.Spec)
+	s.mu.Unlock()
+	j.finish(JobCanceled, "checkpointed at drain; resubmitted on restart", time.Now())
+	s.dropInflight(j)
+}
+
+func (s *Server) dropInflight(j *Job) {
+	s.mu.Lock()
+	if s.byHash[j.Can.Hash] == j {
+		delete(s.byHash, j.Can.Hash)
+	}
+	s.mu.Unlock()
+}
+
+// execute runs one job end to end: wire a private collector and
+// progress reporter, run the experiment, render the byte-stable
+// report, and store it under the job's content address. A canceled
+// run is never cached — its partial report is not the true value of
+// that content address.
+func (s *Server) execute(j *Job) {
+	defer s.dropInflight(j)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel) {
+		return // canceled while queued
+	}
+	s.mu.Lock()
+	s.simulations++
+	s.mu.Unlock()
+
+	opts := j.Can.Opts
+	opts.Ctx = ctx
+	opts.Parallel = s.cfg.Parallel
+	opts.Metrics = metrics.NewCollector()
+	reporter := telemetry.NewReporter(nil)
+	reporter.SetHook(j.appendEvent)
+	opts.Progress = reporter
+	if j.Can.Spec.Trace {
+		opts.Events = new(telemetry.TraceSet)
+	}
+
+	runErr := j.Can.Exp.Run(opts)
+	now := time.Now()
+	if ctx.Err() != nil {
+		j.finish(JobCanceled, "canceled while running; partial results discarded", now)
+		return
+	}
+	if runErr != nil {
+		j.finish(JobFailed, runErr.Error(), now)
+		return
+	}
+	report := opts.Metrics.Report(j.Can.Exp.Name, opts.Snapshot())
+	b, err := report.StableJSON()
+	if err != nil {
+		j.finish(JobFailed, fmt.Sprintf("rendering report: %v", err), now)
+		return
+	}
+	if err := s.cache.Put(j.Can.Hash, j.Can.Exp.Name, b); err != nil {
+		j.finish(JobFailed, fmt.Sprintf("caching report: %v", err), now)
+		return
+	}
+	if opts.Events != nil {
+		var buf bytes.Buffer
+		if err := opts.Events.WriteChrome(&buf); err == nil {
+			j.setTrace(buf.Bytes())
+		}
+	}
+	j.finish(JobDone, "", now)
+}
+
+// Report returns the job's report bytes from the cache. Only done
+// jobs have one.
+func (s *Server) Report(j *Job) ([]byte, bool) {
+	if st, _ := j.State(); st != JobDone {
+		return nil, false
+	}
+	return s.cache.Get(j.Can.Hash)
+}
+
+// Cancel cancels a job by ID (the DELETE /v1/jobs/{id} path). Returns
+// false when the job is unknown or already terminal.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	if !j.requestCancel() {
+		return false
+	}
+	s.dropInflight(j)
+	return true
+}
+
+// Drain gracefully shuts the server down: refuse new submissions,
+// let in-flight jobs finish (their results land in the cache),
+// checkpoint still-queued jobs to pending.json, and flush the cache
+// index so a restart reuses every completed result. Idempotent; ctx
+// bounds the wait for in-flight work.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		close(s.queue)
+		s.mu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.drainErr = fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+			return
+		}
+		if err := s.savePending(); err != nil {
+			s.drainErr = err
+			return
+		}
+		s.drainErr = s.cache.SaveIndex()
+	})
+	return s.drainErr
+}
+
+// savePending writes the drain checkpoint (disk-backed caches only,
+// and only when something was left queued).
+func (s *Server) savePending() error {
+	s.mu.Lock()
+	specs := append([]Spec(nil), s.pending...)
+	s.mu.Unlock()
+	if s.cfg.CacheDir == "" || len(specs) == 0 {
+		return nil
+	}
+	b, err := json.MarshalIndent(struct {
+		Schema string `json:"schema"`
+		Specs  []Spec `json:"specs"`
+	}{Schema: "colt-pending/1", Specs: specs}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding pending checkpoint: %w", err)
+	}
+	path := filepath.Join(s.cfg.CacheDir, pendingFile)
+	if err := os.WriteFile(path+".tmp", append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("server: writing pending checkpoint: %w", err)
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// Close hard-stops the server: cancel every running job, then drain
+// (which still flushes the cache index). Tests use it; production
+// shutdown uses Drain.
+func (s *Server) Close() error {
+	s.stop()
+	return s.Drain(context.Background())
+}
+
+// Stats is the GET /v1/stats body.
+type Stats struct {
+	Draining    bool                     `json:"draining"`
+	QueueLen    int                      `json:"queue_len"`
+	QueueCap    int                      `json:"queue_cap"`
+	Jobs        map[JobState]int         `json:"jobs"`
+	Simulations uint64                   `json:"simulations"`
+	Coalesced   uint64                   `json:"coalesced"`
+	Cache       CacheStats               `json:"cache"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Draining:    s.draining,
+		QueueLen:    len(s.queue),
+		QueueCap:    cap(s.queue),
+		Jobs:        make(map[JobState]int),
+		Simulations: s.simulations,
+		Coalesced:   s.coalesced,
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		state, _ := j.State()
+		st.Jobs[state]++
+	}
+	st.Cache = s.cache.Stats()
+	st.Endpoints = s.ep.snapshot()
+	return st
+}

@@ -6,24 +6,83 @@ import (
 	"sync"
 )
 
+// ProgressEventKind classifies one progress event.
+type ProgressEventKind string
+
+// The three progress event kinds: the expected-job total grew, a job
+// entered a phase, a job finished.
+const (
+	ProgressJobsAdded ProgressEventKind = "jobs"
+	ProgressPhase     ProgressEventKind = "phase"
+	ProgressDone      ProgressEventKind = "done"
+)
+
+// ProgressEvent is one live progress update, delivered to the
+// reporter's hook in emission order. Seq is a per-reporter sequence
+// number (starting at 1), so a subscriber that replays a stored event
+// log can detect gaps. Events carry no wall-clock timestamps: their
+// order is wall-clock-dependent, their content is not.
+type ProgressEvent struct {
+	Seq   int               `json:"seq"`
+	Kind  ProgressEventKind `json:"kind"`
+	Label string            `json:"label,omitempty"`
+	Phase string            `json:"phase,omitempty"`
+	// OK is meaningful for ProgressDone events only.
+	OK     bool `json:"ok,omitempty"`
+	Done   int  `json:"done"`
+	Total  int  `json:"total"`
+	Failed int  `json:"failed"`
+}
+
 // Reporter is the opt-in live progress surface: one line to w (stderr
 // in the CLI) per completed job, showing done/total, the job label,
 // its last phase, and the running failure count from the degradation
 // path. It is driven off telemetry spans via Spans.OnPhase and the
 // scheduler's job hooks. A nil *Reporter is a valid disabled
-// reporter; all methods are concurrency-safe.
+// reporter, and a nil writer is a valid silent reporter (coltd uses
+// one purely as an event source for SSE streams); all methods are
+// concurrency-safe.
 type Reporter struct {
 	mu     sync.Mutex
 	w      io.Writer
 	total  int
 	done   int
 	failed int
+	seq    int
 	phase  map[string]string
+	hook   func(ProgressEvent)
 }
 
-// NewReporter returns a progress reporter writing to w.
+// NewReporter returns a progress reporter writing to w (nil for a
+// hook-only reporter that prints nothing).
 func NewReporter(w io.Writer) *Reporter {
 	return &Reporter{w: w, phase: make(map[string]string)}
+}
+
+// SetHook registers fn to receive every progress event as it is
+// emitted — the subscription point SSE streams hang off. fn is called
+// synchronously under the reporter's lock, in event order, one call
+// at a time; it must not call back into the reporter and should
+// return quickly (hand the event to a channel or buffer, don't block
+// on the network). A nil fn removes the hook.
+func (r *Reporter) SetHook(fn func(ProgressEvent)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hook = fn
+	r.mu.Unlock()
+}
+
+// emit assigns the next sequence number and delivers ev to the hook.
+// Callers must hold r.mu.
+func (r *Reporter) emit(ev ProgressEvent) {
+	r.seq++
+	ev.Seq = r.seq
+	ev.Done, ev.Total, ev.Failed = r.done, r.total, r.failed
+	if r.hook != nil {
+		r.hook(ev)
+	}
 }
 
 // AddJobs grows the expected-job total by n.
@@ -33,6 +92,7 @@ func (r *Reporter) AddJobs(n int) {
 	}
 	r.mu.Lock()
 	r.total += n
+	r.emit(ProgressEvent{Kind: ProgressJobsAdded})
 	r.mu.Unlock()
 }
 
@@ -43,6 +103,7 @@ func (r *Reporter) Phase(label, phase string) {
 	}
 	r.mu.Lock()
 	r.phase[label] = phase
+	r.emit(ProgressEvent{Kind: ProgressPhase, Label: label, Phase: phase})
 	r.mu.Unlock()
 }
 
@@ -59,17 +120,20 @@ func (r *Reporter) Done(label string, ok bool) {
 	}
 	phase := r.phase[label]
 	delete(r.phase, label)
-	line := fmt.Sprintf("[%d/%d] %s", r.done, r.total, label)
-	if phase != "" {
-		line += " (" + phase + ")"
+	r.emit(ProgressEvent{Kind: ProgressDone, Label: label, Phase: phase, OK: ok})
+	if r.w != nil {
+		line := fmt.Sprintf("[%d/%d] %s", r.done, r.total, label)
+		if phase != "" {
+			line += " (" + phase + ")"
+		}
+		if !ok {
+			line += " FAILED"
+		}
+		if r.failed > 0 {
+			line += fmt.Sprintf("  failures=%d", r.failed)
+		}
+		fmt.Fprintln(r.w, line)
 	}
-	if !ok {
-		line += " FAILED"
-	}
-	if r.failed > 0 {
-		line += fmt.Sprintf("  failures=%d", r.failed)
-	}
-	fmt.Fprintln(r.w, line)
 	r.mu.Unlock()
 }
 

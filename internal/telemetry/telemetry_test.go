@@ -337,3 +337,55 @@ func TestEventKindStrings(t *testing.T) {
 		t.Fatal("level names wrong")
 	}
 }
+
+// TestReporterHookReceivesOrderedEvents: the hook sees every progress
+// event with contiguous sequence numbers and running counters — the
+// contract SSE streams replay against.
+func TestReporterHookReceivesOrderedEvents(t *testing.T) {
+	r := NewReporter(nil) // nil writer: hook-only reporter
+	var got []ProgressEvent
+	r.SetHook(func(ev ProgressEvent) { got = append(got, ev) })
+	r.AddJobs(2)
+	r.Phase("bench/mcf/ths-on", "build")
+	r.Phase("bench/mcf/ths-on", "simulate")
+	r.Done("bench/mcf/ths-on", true)
+	r.Done("bench/gups/ths-on", false)
+	if len(got) != 5 {
+		t.Fatalf("hook saw %d events, want 5", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if got[0].Kind != ProgressJobsAdded || got[0].Total != 2 {
+		t.Errorf("event 0 = %+v, want jobs-added with total 2", got[0])
+	}
+	if got[2].Kind != ProgressPhase || got[2].Phase != "simulate" {
+		t.Errorf("event 2 = %+v, want phase simulate", got[2])
+	}
+	if got[3].Kind != ProgressDone || !got[3].OK || got[3].Phase != "simulate" || got[3].Done != 1 {
+		t.Errorf("event 3 = %+v, want ok done in phase simulate with done=1", got[3])
+	}
+	if got[4].Kind != ProgressDone || got[4].OK || got[4].Failed != 1 || got[4].Done != 2 {
+		t.Errorf("event 4 = %+v, want failed done with failed=1 done=2", got[4])
+	}
+	// Nil reporters and removed hooks stay safe.
+	var nilR *Reporter
+	nilR.SetHook(func(ProgressEvent) { t.Error("nil reporter delivered an event") })
+	nilR.Done("x", true)
+	r.SetHook(nil)
+	r.Done("bench/x/y", true)
+}
+
+// TestReporterNilWriterPrintsNothing: a hook-only reporter must never
+// write (it would panic on the nil writer if it tried).
+func TestReporterNilWriterPrintsNothing(t *testing.T) {
+	r := NewReporter(nil)
+	r.AddJobs(1)
+	r.Phase("job", "build")
+	r.Done("job", true)
+	if d, tot, f := r.Counts(); d != 1 || tot != 1 || f != 0 {
+		t.Fatalf("Counts = (%d,%d,%d), want (1,1,0)", d, tot, f)
+	}
+}
