@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel chaos fuzz-buddy cover serve-smoke
+.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath chaos fuzz-buddy cover serve-smoke
 
 check: fmt tidy vet build test race golden
 
@@ -51,6 +51,12 @@ golden-update:
 # output at every width; see EXPERIMENTS.md for recorded numbers).
 bench-parallel:
 	$(GO) test -bench ParallelFig18 -cpu 1,4,8 -benchtime 3x -run '^$$' .
+
+# Hot-path trajectory: run the refs/sec benchmark and rewrite
+# BENCH_hotpath.json at the repo root (see EXPERIMENTS.md for the
+# schema and the cross-PR measurement methodology).
+bench-hotpath:
+	./scripts/bench_hotpath.sh
 
 # Chaos soak: fault injection at every site with the invariant auditors
 # armed — injected failures must surface as structured records, the

@@ -12,39 +12,42 @@ import (
 // pages" (§4.2.2).
 const MaxFACoalesce = 1024
 
-// faEntry is one fully-associative TLB entry (§4.2.2, Figure 5 top):
-// either a superpage mapping or a coalesced range with a base virtual
-// page, base physical page, and coalescing length. Range checking
-// compares the requested VPN against [BaseVPN, BaseVPN+Len).
-type faEntry struct {
-	valid   bool
-	huge    bool
-	baseVPN arch.VPN
-	basePFN arch.PFN
-	length  int
-	attr    arch.Attr
-	lru     uint64
-	// born is the telemetry clock value at fill, so eviction can report
-	// the entry's lifetime in references without any per-entry map.
-	born uint64
-}
-
-func (e *faEntry) contains(vpn arch.VPN) bool {
-	n := e.length
-	if e.huge {
-		n = arch.PagesPerHuge
-	}
-	return vpn >= e.baseVPN && vpn < e.baseVPN+arch.VPN(n)
-}
-
 // FullyAssocTLB is the small fully-associative TLB that conventionally
 // caches superpage entries, extended by CoLT-FA to also hold coalesced
 // base-page ranges (§4.2). Superpage and coalesced entries share the
 // structure; LRU replacement keeps frequently-touched superpages alive.
+//
+// Entry state is laid out structure-of-arrays (§4.2.2, Figure 5 top —
+// each conceptual entry is a superpage mapping or a coalesced range):
+// the probe path scans only the baseVPN/endVPN lanes, with endVPN held
+// at baseVPN+span for resident entries and collapsed to baseVPN for
+// invalid ones, so a lookup is a branch-light contiguous range scan
+// with no separate valid check. For superpage entries the span is
+// arch.PagesPerHuge, which InsertHuge also records in the length lane,
+// so endVPN = baseVPN + length holds for every resident entry.
 type FullyAssocTLB struct {
 	capacity int
-	entries  []faEntry
-	tick     uint64
+
+	valid   []bool
+	huge    []bool
+	baseVPN []arch.VPN
+	endVPN  []arch.VPN // baseVPN+span when resident, baseVPN when not
+	basePFN []arch.PFN
+	length  []int
+	attr    []arch.Attr
+	// rank fuses validity and LRU recency into one replacement-ordering
+	// key (see validRankBit), so victim scans read a single lane.
+	rank []uint64
+	// born is the telemetry clock value at fill, so eviction can report
+	// the entry's lifetime in references without any per-entry map.
+	born []uint64
+
+	tick uint64
+	// occupied counts valid entries, maintained by setEntry/dropEntry,
+	// so a probe of an empty structure (common: workloads without
+	// superpages leave the non-CoLT-FA variants' sup TLB empty forever)
+	// is a single compare instead of a full range scan.
+	occupied int
 	stats    TLBStats
 	merges   uint64
 	// coalesceBias enables coalescing-aware replacement (future work
@@ -78,14 +81,30 @@ func NewFullyAssocTLB(capacity int) *FullyAssocTLB {
 	if capacity <= 0 {
 		panic("core: fully-associative TLB needs positive capacity")
 	}
-	return &FullyAssocTLB{capacity: capacity, entries: make([]faEntry, capacity)}
+	return &FullyAssocTLB{
+		capacity: capacity,
+		valid:    make([]bool, capacity),
+		huge:     make([]bool, capacity),
+		baseVPN:  make([]arch.VPN, capacity),
+		endVPN:   make([]arch.VPN, capacity),
+		basePFN:  make([]arch.PFN, capacity),
+		length:   make([]int, capacity),
+		attr:     make([]arch.Attr, capacity),
+		rank:     make([]uint64, capacity),
+		born:     make([]uint64, capacity),
+	}
 }
 
 // Capacity returns the entry count.
 func (t *FullyAssocTLB) Capacity() int { return t.capacity }
 
-// Stats returns a snapshot of the counters.
-func (t *FullyAssocTLB) Stats() TLBStats { return t.stats }
+// Stats returns a snapshot of the counters; Lookups is derived (every
+// probe either hits or misses), keeping the probe path to one counter.
+func (t *FullyAssocTLB) Stats() TLBStats {
+	s := t.stats
+	s.Lookups = s.Hits + s.Misses
+	return s
+}
 
 // Merges counts fill-time coalescings with resident entries (§4.2.1
 // step 5).
@@ -97,22 +116,71 @@ func (t *FullyAssocTLB) ResetStats() {
 	t.merges = 0
 }
 
+// dropEntry marks entry i invalid, collapsing its probe range so the
+// lookup scan skips it without consulting the valid lane, and clearing
+// the rank word's valid bit so replacement prefers the slot. length,
+// the rank's stale tick, and born are left intact: stale values keep
+// ordering replacement candidates among invalid slots.
+func (t *FullyAssocTLB) dropEntry(i int) {
+	if t.valid[i] {
+		t.occupied--
+	}
+	t.valid[i] = false
+	t.endVPN[i] = t.baseVPN[i]
+	t.rank[i] &^= validRankBit
+}
+
+// span returns the number of pages entry i covers.
+func (t *FullyAssocTLB) span(i int) int {
+	if t.huge[i] {
+		return arch.PagesPerHuge
+	}
+	return t.length[i]
+}
+
 // Lookup translates vpn via range check plus PPN generation: the offset
 // of vpn within the entry's range is added to the base physical page
-// (§4.2.2 steps a-b).
+// (§4.2.2 steps a-b). Invalid entries hold empty ranges, so the scan
+// needs no validity branch; VPNs are unsigned, so the two range bounds
+// fold into one compare — vpn below the base wraps the subtraction to
+// a huge value no entry's span can reach.
 func (t *FullyAssocTLB) Lookup(vpn arch.VPN) (arch.PFN, bool) {
-	t.stats.Lookups++
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.contains(vpn) {
+	if t.occupied == 0 {
+		t.stats.Misses++
+		return 0, false
+	}
+	base := t.baseVPN
+	end := t.endVPN[:len(base)]
+	for i := range base {
+		if off := vpn - base[i]; off < end[i]-base[i] {
 			t.stats.Hits++
 			t.tick++
-			e.lru = t.tick
-			return e.basePFN + arch.PFN(vpn-e.baseVPN), true
+			t.rank[i] = t.tick | validRankBit
+			return t.basePFN[i] + arch.PFN(off), true
 		}
 	}
 	t.stats.Misses++
 	return 0, false
+}
+
+// setEntry overwrites entry i's lanes with a freshly-filled entry.
+func (t *FullyAssocTLB) setEntry(i int, huge bool, baseVPN arch.VPN, basePFN arch.PFN, length int, attr arch.Attr) {
+	if !t.valid[i] {
+		t.occupied++
+	}
+	t.valid[i] = true
+	t.huge[i] = huge
+	t.baseVPN[i] = baseVPN
+	t.endVPN[i] = baseVPN + arch.VPN(length)
+	t.basePFN[i] = basePFN
+	t.length[i] = length
+	t.attr[i] = attr
+	t.rank[i] = t.tick | validRankBit
+	// born is only read when an eviction reports a lifetime, so the
+	// store is skipped entirely when no sink is attached.
+	if t.tel != nil {
+		t.born[i] = t.telNow()
+	}
 }
 
 // InsertHuge fills a 2 MB superpage entry. baseVPN and basePFN must be
@@ -124,15 +192,13 @@ func (t *FullyAssocTLB) InsertHuge(baseVPN arch.VPN, basePFN arch.PFN, attr arch
 	t.tick++
 	t.stats.Fills++
 	// Refresh in place if already resident.
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.huge && e.baseVPN == baseVPN {
-			e.basePFN, e.attr, e.lru = basePFN, attr, t.tick
+	for i := 0; i < t.capacity; i++ {
+		if t.valid[i] && t.huge[i] && t.baseVPN[i] == baseVPN {
+			t.basePFN[i], t.attr[i], t.rank[i] = basePFN, attr, t.tick|validRankBit
 			return
 		}
 	}
-	v := t.victim()
-	*v = faEntry{valid: true, huge: true, baseVPN: baseVPN, basePFN: basePFN, length: arch.PagesPerHuge, attr: attr, lru: t.tick, born: t.telNow()}
+	t.setEntry(t.victim(), true, baseVPN, basePFN, arch.PagesPerHuge, attr)
 }
 
 // Insert fills a coalesced range entry, first attempting to coalesce
@@ -155,19 +221,18 @@ func (t *FullyAssocTLB) Insert(run Run) {
 	// Absorb every mergeable resident entry into run.
 	for {
 		mergedAny := false
-		for i := range t.entries {
-			e := &t.entries[i]
-			if !e.valid || e.huge || e.attr != run.Attr {
+		for i := 0; i < t.capacity; i++ {
+			if !t.valid[i] || t.huge[i] || t.attr[i] != run.Attr {
 				continue
 			}
-			if !rangesMergeable(e, run) {
+			if !t.rangesMergeable(i, run) {
 				continue
 			}
-			lo := e.baseVPN
+			lo := t.baseVPN[i]
 			if run.BaseVPN < lo {
 				lo = run.BaseVPN
 			}
-			hi := e.baseVPN + arch.VPN(e.length)
+			hi := t.baseVPN[i] + arch.VPN(t.length[i])
 			if run.End() > hi {
 				hi = run.End()
 			}
@@ -180,7 +245,7 @@ func (t *FullyAssocTLB) Insert(run Run) {
 				Len:     int(hi - lo),
 				Attr:    run.Attr,
 			}
-			e.valid = false
+			t.dropEntry(i)
 			t.merges++
 			if t.tel != nil {
 				t.tel.Merge(t.telLevel, uint64(run.BaseVPN), uint64(run.Len))
@@ -192,72 +257,73 @@ func (t *FullyAssocTLB) Insert(run Run) {
 		}
 	}
 
-	v := t.victim()
-	*v = faEntry{valid: true, baseVPN: run.BaseVPN, basePFN: run.BasePFN, length: run.Len, attr: run.Attr, lru: t.tick, born: t.telNow()}
+	t.setEntry(t.victim(), false, run.BaseVPN, run.BasePFN, run.Len, run.Attr)
 }
 
-// rangesMergeable reports whether entry e and run cover adjacent or
+// rangesMergeable reports whether entry i and run cover adjacent or
 // overlapping VPN ranges with the same VPN→PFN delta, i.e. whether
 // their union is still a single contiguous translation range.
-func rangesMergeable(e *faEntry, run Run) bool {
-	if arch.VPN(e.basePFN)-arch.VPN(e.baseVPN) != arch.VPN(run.BasePFN)-arch.VPN(run.BaseVPN) {
+func (t *FullyAssocTLB) rangesMergeable(i int, run Run) bool {
+	if arch.VPN(t.basePFN[i])-arch.VPN(t.baseVPN[i]) != arch.VPN(run.BasePFN)-arch.VPN(run.BaseVPN) {
 		return false
 	}
-	eEnd := e.baseVPN + arch.VPN(e.length)
-	return run.BaseVPN <= eEnd && e.baseVPN <= run.End()
+	eEnd := t.baseVPN[i] + arch.VPN(t.length[i])
+	return run.BaseVPN <= eEnd && t.baseVPN[i] <= run.End()
 }
 
-// victim returns the entry to overwrite: an invalid slot if one exists,
+// victim returns the index to overwrite: an invalid slot if one exists,
 // else the LRU entry (or, under coalescing-aware replacement, the
 // shortest-range entry with LRU as the tie-breaker; superpages count as
 // maximal ranges).
-func (t *FullyAssocTLB) victim() *faEntry {
-	victim := &t.entries[0]
-	for i := 1; i < len(t.entries); i++ {
-		e := &t.entries[i]
-		if t.coalesceBias {
-			if lessFACoalesce(e, victim) {
-				victim = e
+func (t *FullyAssocTLB) victim() int {
+	victim := 0
+	if t.coalesceBias {
+		for i := 1; i < t.capacity; i++ {
+			if t.lessFACoalesce(i, victim) {
+				victim = i
 			}
-		} else if lessFALRU(e, victim) {
-			victim = e
+		}
+	} else {
+		vRank := t.rank[0]
+		for i := 1; i < t.capacity; i++ {
+			if r := t.rank[i]; r < vRank {
+				victim, vRank = i, r
+			}
 		}
 	}
-	if victim.valid {
+	if t.valid[victim] {
 		t.stats.Evictions++
 		if t.tel != nil {
-			t.tel.Evict(t.telLevel, uint64(victim.baseVPN), t.telNow()-victim.born)
+			t.tel.Evict(t.telLevel, uint64(t.baseVPN[victim]), t.telNow()-t.born[victim])
 		}
 	}
 	return victim
 }
 
-func lessFACoalesce(a, b *faEntry) bool {
-	if a.valid != b.valid {
-		return !a.valid
+func (t *FullyAssocTLB) lessFACoalesce(a, b int) bool {
+	if t.valid[a] != t.valid[b] {
+		return !t.valid[a]
 	}
-	la, lb := a.length, b.length
+	la, lb := t.length[a], t.length[b]
 	if la != lb {
 		return la < lb
 	}
-	return a.lru < b.lru
+	return t.rank[a] < t.rank[b]
 }
 
-func lessFALRU(a, b *faEntry) bool {
-	if a.valid != b.valid {
-		return !a.valid
-	}
-	return a.lru < b.lru
+// lessFALRU orders replacement candidates: invalid slots first, then
+// least-recently used — exactly the rank lane's unsigned order.
+func (t *FullyAssocTLB) lessFALRU(a, b int) bool {
+	return t.rank[a] < t.rank[b]
 }
 
 // Invalidate drops every entry whose range covers vpn (whole entries,
 // §4.2.3). Returns true if any entry was removed.
 func (t *FullyAssocTLB) Invalidate(vpn arch.VPN) bool {
 	removed := false
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.contains(vpn) {
-			e.valid = false
+	for i := 0; i < t.capacity; i++ {
+		if t.valid[i] && vpn >= t.baseVPN[i] && vpn < t.endVPN[i] {
+			t.dropEntry(i)
 			removed = true
 			t.stats.Invalidates++
 		}
@@ -267,8 +333,8 @@ func (t *FullyAssocTLB) Invalidate(vpn arch.VPN) bool {
 
 // InvalidateAll flushes the TLB.
 func (t *FullyAssocTLB) InvalidateAll() {
-	for i := range t.entries {
-		t.entries[i].valid = false
+	for i := 0; i < t.capacity; i++ {
+		t.dropEntry(i)
 	}
 	t.stats.Invalidates++
 }
@@ -278,26 +344,13 @@ func (t *FullyAssocTLB) InvalidateAll() {
 // use this to check resident ranges against the page table; it does
 // not touch recency or counters.
 func (t *FullyAssocTLB) EachEntry(fn func(run Run, huge bool)) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.valid {
+	for i := 0; i < t.capacity; i++ {
+		if !t.valid[i] {
 			continue
 		}
-		n := e.length
-		if e.huge {
-			n = arch.PagesPerHuge
-		}
-		fn(Run{BaseVPN: e.baseVPN, BasePFN: e.basePFN, Len: n, Attr: e.attr}, e.huge)
+		fn(Run{BaseVPN: t.baseVPN[i], BasePFN: t.basePFN[i], Len: t.span(i), Attr: t.attr[i]}, t.huge[i])
 	}
 }
 
 // Occupied returns the number of valid entries.
-func (t *FullyAssocTLB) Occupied() int {
-	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (t *FullyAssocTLB) Occupied() int { return t.occupied }

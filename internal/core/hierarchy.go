@@ -238,12 +238,26 @@ type Hierarchy struct {
 	pb       *PrefetchBuffer // PolicySeqPrefetch only
 	sb1, sb2 *SubblockTLB    // PolicyPartialSubblock only
 	walker   Walker
+	// mw is the devirtualized walker: when the configured Walker is the
+	// concrete *mmu.Walker (every production setup), the access path
+	// calls it directly instead of through the interface. walker remains
+	// the fallback for test doubles.
+	mw       *mmu.Walker
 	stats    Stats
 	prefetch PrefetchStats
+	// winfo/pfinfo are reused walk-result buffers (WalkInfo embeds the
+	// leaf PTE's cache line; returning it by value costs ~200-byte
+	// copies per walk). pfinfo keeps prefetch probe walks from
+	// clobbering the demand walk's line while Access still reads it.
+	// A Hierarchy is single-goroutine by contract, like its TLB state.
+	winfo  mmu.WalkInfo
+	pfinfo mmu.WalkInfo
 	// tel receives per-access telemetry (hit/miss/walk/fill events and
 	// walk-cycle/coalesce-length histograms). Nil when disabled; every
-	// call is a nil-safe no-op then.
-	tel *telemetry.Sink
+	// call is a nil-safe no-op, but the access path still pays the call,
+	// so telOn caches the decision and the hot path branches on it.
+	tel   *telemetry.Sink
+	telOn bool
 }
 
 // SetTelemetry attaches a telemetry sink to the hierarchy and its
@@ -253,6 +267,7 @@ type Hierarchy struct {
 // detach.
 func (h *Hierarchy) SetTelemetry(s *telemetry.Sink, clock *uint64) {
 	h.tel = s
+	h.telOn = s != nil
 	h.l1.SetTelemetry(s, telemetry.LevelL1, clock)
 	h.l2.SetTelemetry(s, telemetry.LevelL2, clock)
 	h.sup.SetTelemetry(s, telemetry.LevelSup, clock)
@@ -272,6 +287,9 @@ func NewHierarchy(cfg Config, walker Walker) *Hierarchy {
 		l2:     NewSetAssocTLB(cfg.L2Sets, cfg.L2Ways, cfg.L2Shift),
 		sup:    NewFullyAssocTLB(cfg.SupEntries),
 		walker: walker,
+	}
+	if mw, ok := walker.(*mmu.Walker); ok {
+		h.mw = mw
 	}
 	if cfg.Policy == PolicyPartialSubblock {
 		h.sb1 = NewSubblockTLB(cfg.L1Sets, cfg.L1Ways)
@@ -305,7 +323,16 @@ func (h *Hierarchy) L2() *SetAssocTLB { return h.l2 }
 func (h *Hierarchy) Sup() *FullyAssocTLB { return h.sup }
 
 // Stats returns a snapshot of the counters.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	// Derived at snapshot time: every access lands in exactly one of
+	// the three level-one outcomes, and every L1 miss in exactly one of
+	// the two level-two outcomes, so the hot path updates one counter
+	// per level instead of a running total too.
+	s.L1Misses = s.L2Hits + s.L2Misses
+	s.Accesses = s.L1Hits + s.SupHits + s.L1Misses
+	return s
+}
 
 // PrefetchStats returns the prefetch-policy counters (zero for other
 // policies), with Wasted computed from the buffer.
@@ -360,27 +387,40 @@ func (h *Hierarchy) LevelStats() LevelStats {
 	return ls
 }
 
+// walkInto invokes the page walker into the given reused buffer,
+// devirtualized when the concrete *mmu.Walker is wired in.
+func (h *Hierarchy) walkInto(info *mmu.WalkInfo, vpn arch.VPN) {
+	if h.mw != nil {
+		h.mw.WalkInto(vpn, info)
+		return
+	}
+	*info = h.walker.Walk(vpn)
+}
+
 // Access translates vpn, filling TLBs per the policy on misses.
 func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	if h.cfg.Policy == PolicyPartialSubblock {
 		return h.accessSubblock(vpn)
 	}
-	h.stats.Accesses++
-
 	// Step 1: probe the set-associative L1 and the superpage TLB in
 	// parallel; both have the same hit time.
 	if pfn, ok := h.l1.Lookup(vpn); ok {
 		h.stats.L1Hits++
-		h.tel.Hit(telemetry.LevelL1, uint64(vpn))
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelL1, uint64(vpn))
+		}
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	if pfn, ok := h.sup.Lookup(vpn); ok {
 		h.stats.SupHits++
-		h.tel.Hit(telemetry.LevelSup, uint64(vpn))
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelSup, uint64(vpn))
+		}
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
-	h.stats.L1Misses++
-	h.tel.Miss(telemetry.LevelL1, uint64(vpn))
+	if h.telOn {
+		h.tel.Miss(telemetry.LevelL1, uint64(vpn))
+	}
 
 	// PolicySeqPrefetch: the prefetch buffer is probed alongside the
 	// L2; a hit consumes the entry, promotes it into the TLBs, and
@@ -396,22 +436,30 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 		}
 	}
 
-	// Step 2: L2 probe.
-	if pfn, ok := h.l2.Lookup(vpn); ok {
+	// Step 2: L2 probe, fused with the run extraction the L1 copy-down
+	// needs so an L2 hit scans its set once rather than twice.
+	if pfn, run, ok := h.l2.lookupWithRun(vpn); ok {
 		h.stats.L2Hits++
-		h.tel.Hit(telemetry.LevelL2, uint64(vpn))
-		h.fillL1FromL2(vpn)
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelL2, uint64(vpn))
+		}
+		h.insertL1(ClipToBlock(run, vpn, h.l1.Shift()))
 		return AccessResult{PFN: pfn, L2Hit: true}
 	}
 	h.stats.L2Misses++
-	h.tel.Miss(telemetry.LevelL2, uint64(vpn))
+	if h.telOn {
+		h.tel.Miss(telemetry.LevelL2, uint64(vpn))
+	}
 
 	// Step 3: page walk; the LLC fill exposes the PTE's cache line to
 	// the coalescing logic.
-	info := h.walker.Walk(vpn)
+	info := &h.winfo
+	h.walkInto(info, vpn)
 	h.stats.Walks++
 	h.stats.WalkCycles += uint64(info.Latency)
-	h.tel.Walk(uint64(vpn), uint64(info.Latency))
+	if h.telOn {
+		h.tel.Walk(uint64(vpn), uint64(info.Latency))
+	}
 	if !info.Found {
 		h.stats.Faults++
 		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}
@@ -430,7 +478,8 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	// (PrefetchWalks), not critical-path latency.
 	if h.pb != nil {
 		for _, cand := range [2]arch.VPN{vpn + 1, vpn - 1} {
-			pf := h.walker.Walk(cand)
+			pf := &h.pfinfo
+			h.walkInto(pf, cand)
 			h.prefetch.PrefetchWalks++
 			if pf.Found && !pf.PTE.Huge {
 				h.pb.Insert(cand, pf.PTE.PFN, pf.PTE.Attr)
@@ -447,7 +496,9 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 	if run.Len > 1 {
 		h.stats.CoalescedFills++
 	}
-	h.tel.Fill(uint64(run.BaseVPN), uint64(run.Len))
+	if h.telOn {
+		h.tel.Fill(uint64(run.BaseVPN), uint64(run.Len))
+	}
 	h.fill(vpn, run, info.PTE)
 	return res
 }
@@ -456,31 +507,42 @@ func (h *Hierarchy) Access(vpn arch.VPN) AccessResult {
 // same two-level organization with subblocked structures in place of
 // the set-associative TLBs.
 func (h *Hierarchy) accessSubblock(vpn arch.VPN) AccessResult {
-	h.stats.Accesses++
 	if pfn, ok := h.sb1.Lookup(vpn); ok {
 		h.stats.L1Hits++
-		h.tel.Hit(telemetry.LevelL1, uint64(vpn))
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelL1, uint64(vpn))
+		}
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
 	if pfn, ok := h.sup.Lookup(vpn); ok {
 		h.stats.SupHits++
-		h.tel.Hit(telemetry.LevelSup, uint64(vpn))
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelSup, uint64(vpn))
+		}
 		return AccessResult{PFN: pfn, L1Hit: true}
 	}
-	h.stats.L1Misses++
-	h.tel.Miss(telemetry.LevelL1, uint64(vpn))
+	if h.telOn {
+		h.tel.Miss(telemetry.LevelL1, uint64(vpn))
+	}
 	if pfn, ok := h.sb2.Lookup(vpn); ok {
 		h.stats.L2Hits++
-		h.tel.Hit(telemetry.LevelL2, uint64(vpn))
+		if h.telOn {
+			h.tel.Hit(telemetry.LevelL2, uint64(vpn))
+		}
 		h.sb1.Insert(vpn, pfn, 0)
 		return AccessResult{PFN: pfn, L2Hit: true}
 	}
 	h.stats.L2Misses++
-	h.tel.Miss(telemetry.LevelL2, uint64(vpn))
-	info := h.walker.Walk(vpn)
+	if h.telOn {
+		h.tel.Miss(telemetry.LevelL2, uint64(vpn))
+	}
+	info := &h.winfo
+	h.walkInto(info, vpn)
 	h.stats.Walks++
 	h.stats.WalkCycles += uint64(info.Latency)
-	h.tel.Walk(uint64(vpn), uint64(info.Latency))
+	if h.telOn {
+		h.tel.Walk(uint64(vpn), uint64(info.Latency))
+	}
 	if !info.Found {
 		h.stats.Faults++
 		return AccessResult{Fault: true, Walked: true, WalkLatency: info.Latency}
@@ -499,17 +561,6 @@ func (h *Hierarchy) accessSubblock(vpn arch.VPN) AccessResult {
 	}
 	h.sb1.Insert(vpn, info.PTE.PFN, info.PTE.Attr)
 	return res
-}
-
-// fillL1FromL2 copies the (possibly coalesced) L2 entry covering vpn
-// into the L1, clipped to the L1's coalescing block. No new walk is
-// needed: the information already resides in the L2 entry.
-func (h *Hierarchy) fillL1FromL2(vpn arch.VPN) {
-	run, ok := h.l2.LookupRun(vpn)
-	if !ok {
-		return
-	}
-	h.insertL1(ClipToBlock(run, vpn, h.l1.Shift()))
 }
 
 // fill installs the coalesced run after an L2 miss according to the
@@ -559,7 +610,7 @@ func (h *Hierarchy) fill(vpn arch.VPN, run Run, pte arch.PTE) {
 }
 
 func (h *Hierarchy) insertL1(run Run) {
-	h.l1.Insert(run)
+	h.l1.InsertDiscard(run)
 }
 
 // insertL2 fills the L2 and, when the hierarchy is inclusive,
@@ -567,9 +618,7 @@ func (h *Hierarchy) insertL1(run Run) {
 func (h *Hierarchy) insertL2(run Run) {
 	evicted, was := h.l2.Insert(run)
 	if was && h.cfg.InclusiveL2 {
-		for v := evicted.BaseVPN; v < evicted.End(); v++ {
-			h.l1.Invalidate(v)
-		}
+		h.l1.invalidateRange(evicted.BaseVPN, evicted.End())
 	}
 }
 

@@ -44,30 +44,30 @@ func (t *SetAssocTLB) InvalidateOne(vpn arch.VPN) bool {
 	set, tag, off := t.index(vpn)
 	base := set * t.ways
 	removed := false
-	for i := 0; i < t.ways; i++ {
-		e := &t.entries[base+i]
-		if !e.valid || e.tag != tag || e.vbits&(1<<off) == 0 {
+	for i := base; i < base+t.ways; i++ {
+		vb := uint8(t.tagv[i])
+		if !t.valid[i] || t.tagv[i]>>8 != tag || vb&(1<<off) == 0 {
 			continue
 		}
 		removed = true
 		t.stats.Invalidates++
-		lower := e.vbits & (1<<off - 1)
-		upper := e.vbits &^ (1<<off - 1) &^ (1 << off)
+		lower := vb & (1<<off - 1)
+		upper := vb &^ (1<<off - 1) &^ (1 << off)
 		switch {
 		case lower == 0 && upper == 0:
-			e.valid = false
+			t.dropEntry(i)
 		case lower == 0:
 			// Slide the base PPN up past the removed translation.
-			dist := bits.OnesCount8(e.vbits & (1<<off - 1 | 1<<off))
-			e.basePPN += arch.PFN(dist)
-			e.vbits = upper
+			dist := bits.OnesCount8(vb & (1<<off - 1 | 1<<off))
+			t.basePPN[i] += arch.PFN(dist)
+			t.setVbits(i, upper)
 		case upper == 0:
-			e.vbits = lower
+			t.setVbits(i, lower)
 		default:
 			// Split: keep the lower half in place, reinsert the upper
 			// half as a separate run in the same set.
-			upperRun := t.entryRunFromBits(vpn, upper, e.basePPN+arch.PFN(bits.OnesCount8(lower))+1, e.attr)
-			e.vbits = lower
+			upperRun := t.entryRunFromBits(vpn, upper, t.basePPN[i]+arch.PFN(bits.OnesCount8(lower))+1, t.attr[i])
+			t.setVbits(i, lower)
 			t.Insert(upperRun)
 		}
 	}
@@ -96,35 +96,36 @@ func (t *SetAssocTLB) entryRunFromBits(vpn arch.VPN, vbits uint8, basePPN arch.P
 func (t *FullyAssocTLB) InvalidateOne(vpn arch.VPN) bool {
 	removed := false
 	var reinserts []Run
-	for i := range t.entries {
-		e := &t.entries[i]
-		if !e.valid || !e.contains(vpn) {
+	for i := 0; i < t.capacity; i++ {
+		if !t.valid[i] || vpn < t.baseVPN[i] || vpn >= t.endVPN[i] {
 			continue
 		}
 		removed = true
 		t.stats.Invalidates++
-		if e.huge {
-			e.valid = false
+		if t.huge[i] {
+			t.dropEntry(i)
 			continue
 		}
-		leftLen := int(vpn - e.baseVPN)
-		rightLen := e.length - leftLen - 1
+		leftLen := int(vpn - t.baseVPN[i])
+		rightLen := t.length[i] - leftLen - 1
 		switch {
 		case leftLen == 0 && rightLen == 0:
-			e.valid = false
+			t.dropEntry(i)
 		case leftLen == 0:
-			e.baseVPN++
-			e.basePFN++
-			e.length = rightLen
+			t.baseVPN[i]++
+			t.basePFN[i]++
+			t.length[i] = rightLen
 		case rightLen == 0:
-			e.length = leftLen
+			t.length[i] = leftLen
+			t.endVPN[i] = t.baseVPN[i] + arch.VPN(leftLen)
 		default:
-			e.length = leftLen
+			t.length[i] = leftLen
+			t.endVPN[i] = t.baseVPN[i] + arch.VPN(leftLen)
 			reinserts = append(reinserts, Run{
 				BaseVPN: vpn + 1,
-				BasePFN: e.basePFN + arch.PFN(leftLen) + 1,
+				BasePFN: t.basePFN[i] + arch.PFN(leftLen) + 1,
 				Len:     rightLen,
-				Attr:    e.attr,
+				Attr:    t.attr[i],
 			})
 		}
 	}

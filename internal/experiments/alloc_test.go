@@ -68,4 +68,20 @@ func stepAllocFree(t *testing.T, opts Options) {
 	if avg != 0 {
 		t.Errorf("benchSim.step allocates %.3f times per reference in steady state, want 0", avg)
 	}
+
+	// The batched hot loop carries the same guarantee: decoding a whole
+	// batch, every variant's pass, the shared-front recording, and the
+	// LLC replays must all run out of the preallocated buffers. (The
+	// frontEvents spill buffer grows early in the run; after warmup its
+	// capacity has reached steady state.)
+	avg = testing.AllocsPerRun(200, func() {
+		n, err := b.stepBatch(ref, DefaultBatchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref += n
+	})
+	if avg != 0 {
+		t.Errorf("benchSim.stepBatch allocates %.3f times per batch in steady state, want 0", avg)
+	}
 }

@@ -24,10 +24,17 @@ const walkCacheHitLatency = 1
 // WalkCache is a small fully-associative LRU cache over upper-level
 // page-table entries, keyed by the entry's physical address (which is
 // uniquely determined by the virtual-address prefix it translates).
+// At its paper-sized 22 entries a linear scan over a contiguous
+// address lane beats a hash map on every operation, so the entries
+// live in parallel addr/recency slices rather than a map. Replacement
+// is exact LRU: ticks are unique, so the minimum-tick victim is the
+// same entry the map-based implementation evicted.
 type WalkCache struct {
 	capacity int
 	tick     uint64
-	entries  map[arch.PAddr]uint64 // addr -> last-use tick
+	addrs    []arch.PAddr // resident entry addresses, first n valid
+	ticks    []uint64     // last-use tick per entry
+	n        int
 	hits     uint64
 	misses   uint64
 }
@@ -35,16 +42,23 @@ type WalkCache struct {
 // NewWalkCache creates a cache holding up to capacity entries; a
 // capacity of 0 disables caching (every level goes to memory).
 func NewWalkCache(capacity int) *WalkCache {
-	return &WalkCache{capacity: capacity, entries: make(map[arch.PAddr]uint64)}
+	return &WalkCache{
+		capacity: capacity,
+		addrs:    make([]arch.PAddr, capacity),
+		ticks:    make([]uint64, capacity),
+	}
 }
 
 // Lookup reports whether addr is cached, updating recency.
 func (w *WalkCache) Lookup(addr arch.PAddr) bool {
 	w.tick++
-	if _, ok := w.entries[addr]; ok {
-		w.entries[addr] = w.tick
-		w.hits++
-		return true
+	addrs := w.addrs[:w.n]
+	for i := range addrs {
+		if addrs[i] == addr {
+			w.ticks[i] = w.tick
+			w.hits++
+			return true
+		}
 	}
 	w.misses++
 	return false
@@ -56,30 +70,54 @@ func (w *WalkCache) Insert(addr arch.PAddr) {
 		return
 	}
 	w.tick++
-	if len(w.entries) >= w.capacity {
-		if _, ok := w.entries[addr]; !ok {
-			var victim arch.PAddr
-			oldest := ^uint64(0)
-			for a, t := range w.entries {
-				if t < oldest {
-					oldest, victim = t, a
-				}
-			}
-			delete(w.entries, victim)
+	for i := 0; i < w.n; i++ {
+		if w.addrs[i] == addr {
+			w.ticks[i] = w.tick
+			return
 		}
 	}
-	w.entries[addr] = w.tick
+	w.place(addr)
+}
+
+// insertMissed caches addr that the caller has just probed and missed
+// (the walker inserts only after a failed Lookup of the same address),
+// skipping Insert's residency-refresh scan. Tick accounting matches
+// Insert exactly.
+func (w *WalkCache) insertMissed(addr arch.PAddr) {
+	if w.capacity == 0 {
+		return
+	}
+	w.tick++
+	w.place(addr)
+}
+
+// place stores addr in a free slot or over the exact-LRU victim.
+func (w *WalkCache) place(addr arch.PAddr) {
+	if w.n < w.capacity {
+		w.addrs[w.n] = addr
+		w.ticks[w.n] = w.tick
+		w.n++
+		return
+	}
+	victim := 0
+	for i := 1; i < w.n; i++ {
+		if w.ticks[i] < w.ticks[victim] {
+			victim = i
+		}
+	}
+	w.addrs[victim] = addr
+	w.ticks[victim] = w.tick
 }
 
 // Flush empties the cache (TLB shootdown side effect).
-func (w *WalkCache) Flush() { clear(w.entries) }
+func (w *WalkCache) Flush() { w.n = 0 }
 
 // Hits and Misses report lookup counters.
 func (w *WalkCache) Hits() uint64   { return w.hits }
 func (w *WalkCache) Misses() uint64 { return w.misses }
 
 // Len returns the number of resident entries.
-func (w *WalkCache) Len() int { return len(w.entries) }
+func (w *WalkCache) Len() int { return w.n }
 
 // WalkInfo is the result of one page walk.
 type WalkInfo struct {
@@ -142,9 +180,26 @@ func (w *Walker) Flush() { w.pwc.Flush() }
 // leaf fetch always goes to the memory hierarchy, and its cache line of
 // eight PTEs is returned for coalescing.
 func (w *Walker) Walk(vpn arch.VPN) WalkInfo {
+	var info WalkInfo
+	w.WalkInto(vpn, &info)
+	return info
+}
+
+// WalkInto is Walk with a caller-provided result buffer: WalkInfo
+// embeds the leaf PTE's whole cache line, so returning it by value
+// costs two ~200-byte copies per page walk. The simulator's hot path
+// reuses one buffer per hierarchy instead.
+func (w *Walker) WalkInto(vpn arch.VPN, info *WalkInfo) {
 	w.stats.Walks++
-	res := w.table.Walk(vpn)
-	info := WalkInfo{Found: res.Found, PTE: res.PTE}
+	res := w.table.WalkRef(vpn)
+	// Reset the scalar fields individually: a whole-struct assignment
+	// would zero the ~200-byte Line array per walk, which is pure waste
+	// since Line is only read when HasLine reports a fresh fill below.
+	info.Found = res.Found
+	info.PTE = res.PTE
+	info.Latency = 0
+	info.HasLine = false
+	info.LineAddr = 0
 	for i := 0; i < res.Depth; i++ {
 		addr := res.Levels[i]
 		leaf := i == res.Depth-1
@@ -156,18 +211,16 @@ func (w *Walker) Walk(vpn arch.VPN) WalkInfo {
 		info.Latency += w.mem.WalkAccess(addr)
 		w.stats.LevelFetches++
 		if !leaf {
-			w.pwc.Insert(addr)
+			w.pwc.insertMissed(addr)
 		}
 	}
 	if !res.Found {
 		w.stats.Failed++
 	} else if !res.PTE.Huge {
-		if line, lineAddr, ok := w.table.Line(vpn); ok {
-			info.Line = line
+		if lineAddr, ok := w.table.LineFromWalk(res, vpn, &info.Line); ok {
 			info.HasLine = true
 			info.LineAddr = lineAddr
 		}
 	}
 	w.stats.TotalLatency += uint64(info.Latency)
-	return info
 }

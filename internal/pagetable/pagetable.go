@@ -60,7 +60,33 @@ type Table struct {
 	// walkDepth, when attached, observes the level count of every Walk
 	// (nil-safe, allocation-free — Walk is on the hot path).
 	walkDepth *telemetry.Hist
+	// Walk memo: the batched simulator walks the same VPN once per TLB
+	// variant that missed on it while the table is guaranteed unchanged
+	// (mutations happen between references), and variant-major batching
+	// separates those repeats by a whole batch — so the memo is a small
+	// direct-mapped table rather than a single entry. A walk is a pure
+	// read, so replaying a recorded result is exact; every mutator
+	// advances memoGen, which invalidates all entries at once. The
+	// table is allocated on first Walk so tables off the hot path pay
+	// nothing.
+	memo    *walkMemo
+	memoGen uint64
 }
+
+// walkMemoSize is the direct-mapped walk memo's entry count (power of
+// two); it comfortably covers the distinct VPNs of one reference batch.
+const walkMemoSize = 512
+
+type walkMemo struct {
+	vpn [walkMemoSize]arch.VPN
+	gen [walkMemoSize]uint64 // entry valid iff gen matches Table.memoGen
+	res [walkMemoSize]WalkResult
+}
+
+// dirty invalidates the walk memo; every mutating method calls it
+// first (unconditionally, so error paths stay conservative). memoGen
+// starts above zero so a zero-valued memo entry can never match.
+func (t *Table) dirty() { t.memoGen++ }
 
 // SetWalkDepthHist attaches a histogram observing each Walk's depth in
 // levels (4 = full walk to a base PTE, 3 = huge leaf, fewer = hole).
@@ -79,6 +105,12 @@ type WalkResult struct {
 	// walk hit a hole).
 	Levels [Levels]arch.PAddr
 	Depth  int
+	// leaf is the PT-level node a full descent ended at (nil for huge
+	// mappings and holes), letting LineFromWalk read the leaf's cache
+	// line without re-descending the tree the walk just traversed.
+	// Only valid as long as the table is unmutated — the same contract
+	// the walk memo enforces with memoGen.
+	leaf *node
 }
 
 // Touched returns the physical addresses actually visited, top-down.
@@ -90,7 +122,7 @@ func New(fs FrameSource) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagetable: allocating root: %w", err)
 	}
-	return &Table{frames: fs, root: &node{pfn: pfn}}, nil
+	return &Table{frames: fs, root: &node{pfn: pfn}, memoGen: 1}, nil
 }
 
 func levelIndex(vpn arch.VPN, level int) int {
@@ -114,6 +146,7 @@ func (t *Table) MappedPages() int {
 // Map installs a 4 KB translation for vpn. The PTE must be present and
 // not huge.
 func (t *Table) Map(vpn arch.VPN, pte arch.PTE) error {
+	t.dirty()
 	if pte.Huge || !pte.Present() {
 		return fmt.Errorf("pagetable: Map requires a present base-page PTE, got %v", pte)
 	}
@@ -148,6 +181,7 @@ func (t *Table) Map(vpn arch.VPN, pte arch.PTE) error {
 // MapHuge installs a 2 MB translation: baseVPN must be 512-aligned and
 // pte.Huge set with a 512-aligned PFN.
 func (t *Table) MapHuge(baseVPN arch.VPN, pte arch.PTE) error {
+	t.dirty()
 	if !pte.Huge || !pte.Present() {
 		return fmt.Errorf("pagetable: MapHuge requires a present huge PTE, got %v", pte)
 	}
@@ -185,6 +219,7 @@ func (t *Table) MapHuge(baseVPN arch.VPN, pte arch.PTE) error {
 // allocations: table pages first, then the data frame, keeping the
 // buddy allocator's sequential drain intact for consecutive faults.
 func (t *Table) Reserve(vpn arch.VPN) error {
+	t.dirty()
 	n := t.root
 	for level := 0; level < LeafLevel; level++ {
 		idx := levelIndex(vpn, level)
@@ -280,13 +315,34 @@ func (t *Table) Resolve(vpn arch.VPN) (arch.PFN, arch.Attr, bool) {
 // Walk performs a full walk for vpn, reporting the physical address of
 // every table entry the hardware would read. It allocates nothing.
 func (t *Table) Walk(vpn arch.VPN) WalkResult {
-	res := t.walk(vpn)
-	t.walkDepth.Observe(uint64(res.Depth))
+	return *t.WalkRef(vpn)
+}
+
+// WalkRef is Walk returning a pointer into the walk memo instead of a
+// by-value result: WalkResult is ~70 bytes, and the per-reference hot
+// path would otherwise copy it twice per walk (memo store plus
+// return). The pointed-to result is valid until the next walk of a
+// colliding VPN or the next table mutation; the page walker consumes
+// it immediately.
+func (t *Table) WalkRef(vpn arch.VPN) *WalkResult {
+	if t.memo == nil {
+		t.memo = new(walkMemo)
+	}
+	i := int(vpn) & (walkMemoSize - 1)
+	res := &t.memo.res[i]
+	if t.memo.gen[i] != t.memoGen || t.memo.vpn[i] != vpn {
+		t.walkTo(vpn, res)
+		t.memo.vpn[i], t.memo.gen[i] = vpn, t.memoGen
+	}
+	if t.walkDepth != nil {
+		t.walkDepth.Observe(uint64(res.Depth))
+	}
 	return res
 }
 
-func (t *Table) walk(vpn arch.VPN) WalkResult {
-	var res WalkResult
+// walkTo performs the uncached walk, filling res in place.
+func (t *Table) walkTo(vpn arch.VPN, res *WalkResult) {
+	*res = WalkResult{}
 	n := t.root
 	for level := 0; level < Levels; level++ {
 		idx := levelIndex(vpn, level)
@@ -296,21 +352,21 @@ func (t *Table) walk(vpn arch.VPN) WalkResult {
 			pte := n.ptes[idx]
 			res.Found = pte.Present()
 			res.PTE = pte
-			return res
+			res.leaf = n
+			return
 		}
 		if level == HugeLevel {
 			if pte := n.ptes[idx]; pte.Present() && pte.Huge {
 				res.Found = true
 				res.PTE = pte
-				return res
+				return
 			}
 		}
 		if n.children[idx] == nil {
-			return res
+			return
 		}
 		n = n.children[idx]
 	}
-	return res
 }
 
 // Line returns the eight translations sharing the 64-byte cache line of
@@ -319,25 +375,53 @@ func (t *Table) walk(vpn arch.VPN) WalkResult {
 // unmapped or huge-mapped pages (huge PTEs live at the PMD and are not
 // coalescing candidates).
 func (t *Table) Line(vpn arch.VPN) (group [arch.PTEsPerLine]arch.Translation, lineAddr arch.PAddr, ok bool) {
+	lineAddr, ok = t.LineInto(vpn, &group)
+	return group, lineAddr, ok
+}
+
+// LineInto is Line with a caller-provided destination: the translation
+// group is a ~200-byte array, and the walker's hot path fills its
+// reused WalkInfo buffer directly instead of copying the array twice
+// through return values.
+func (t *Table) LineInto(vpn arch.VPN, group *[arch.PTEsPerLine]arch.Translation) (lineAddr arch.PAddr, ok bool) {
 	leaf, level := t.leafNode(vpn)
 	if level != LeafLevel {
-		return group, 0, false
+		return 0, false
 	}
+	return lineFromLeaf(leaf, vpn, group)
+}
+
+// LineFromWalk is LineInto fed by a just-completed Walk's result: the
+// walk already descended to the leaf node, so the line read reuses it
+// instead of walking the interior levels again. res must come from a
+// Walk on this table with no intervening mutation (the walker calls it
+// immediately); a result that never reached the PT level falls back to
+// a fresh descent.
+func (t *Table) LineFromWalk(res *WalkResult, vpn arch.VPN, group *[arch.PTEsPerLine]arch.Translation) (lineAddr arch.PAddr, ok bool) {
+	if res.leaf == nil {
+		return t.LineInto(vpn, group)
+	}
+	return lineFromLeaf(res.leaf, vpn, group)
+}
+
+// lineFromLeaf reads the eight-translation cache line around vpn's PTE
+// out of its PT-level node.
+func lineFromLeaf(leaf *node, vpn arch.VPN, group *[arch.PTEsPerLine]arch.Translation) (lineAddr arch.PAddr, ok bool) {
 	idx := levelIndex(vpn, LeafLevel)
 	if !leaf.ptes[idx].Present() {
-		return group, 0, false
+		return 0, false
 	}
 	groupStart := idx &^ (arch.PTEsPerLine - 1)
 	baseVPN := vpn - arch.VPN(idx-groupStart)
 	for i := 0; i < arch.PTEsPerLine; i++ {
 		group[i] = arch.Translation{VPN: baseVPN + arch.VPN(i), PTE: leaf.ptes[groupStart+i]}
 	}
-	lineAddr = entryAddr(leaf, groupStart)
-	return group, lineAddr, true
+	return entryAddr(leaf, groupStart), true
 }
 
 // Unmap removes the 4 KB mapping for vpn, pruning emptied tables.
 func (t *Table) Unmap(vpn arch.VPN) error {
+	t.dirty()
 	nodes := t.path(vpn)
 	if len(nodes) != Levels {
 		return ErrNotMapped
@@ -356,6 +440,7 @@ func (t *Table) Unmap(vpn arch.VPN) error {
 
 // UnmapHuge removes the 2 MB mapping at baseVPN.
 func (t *Table) UnmapHuge(baseVPN arch.VPN) error {
+	t.dirty()
 	nodes := t.path(baseVPN)
 	last := nodes[len(nodes)-1]
 	if len(nodes) != HugeLevel+1 {
@@ -391,6 +476,7 @@ func (t *Table) prune(nodes []*node, vpn arch.VPN) {
 // the page-migration primitive used by the compaction daemon. The
 // caller is responsible for the corresponding TLB shootdown.
 func (t *Table) Remap(vpn arch.VPN, newPFN arch.PFN) error {
+	t.dirty()
 	nodes := t.path(vpn)
 	if len(nodes) != Levels {
 		return ErrNotMapped
@@ -408,6 +494,7 @@ func (t *Table) Remap(vpn arch.VPN, newPFN arch.PFN) error {
 // PTEs over the same frames (full residual contiguity), the operation
 // THP's pressure daemon performs.
 func (t *Table) SplitHuge(baseVPN arch.VPN) error {
+	t.dirty()
 	nodes := t.path(baseVPN)
 	if len(nodes) != HugeLevel+1 {
 		return ErrNotMapped
@@ -473,6 +560,7 @@ func (t *Table) each(n *node, level int, prefix arch.VPN, fn func(arch.Translati
 // Release frees every table frame (the process exited). The leaf data
 // frames are the VM layer's responsibility.
 func (t *Table) Release() {
+	t.dirty()
 	t.release(t.root, 0)
 	t.root = nil
 }
