@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath chaos fuzz-buddy cover serve-smoke
+.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath bench-serve chaos fuzz-buddy cover serve-smoke
 
 check: fmt tidy vet build test race golden
 
@@ -57,6 +57,14 @@ bench-parallel:
 # schema and the cross-PR measurement methodology).
 bench-hotpath:
 	./scripts/bench_hotpath.sh
+
+# Serving-path trajectory: drive a self-hosted server with coltload's
+# zipf-skewed closed loop and rewrite BENCH_serve.json at the repo
+# root (see EXPERIMENTS.md for the schema and the cross-PR A/B
+# methodology). CI runs a 2s smoke (`make bench-serve DURATION=2s`).
+DURATION ?= 8s
+bench-serve:
+	./scripts/bench_serve.sh $(DURATION)
 
 # Chaos soak: fault injection at every site with the invariant auditors
 # armed — injected failures must surface as structured records, the

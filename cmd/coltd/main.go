@@ -28,11 +28,12 @@ func main() {
 		workers      = flag.Int("workers", 1, "concurrent simulations")
 		parallel     = flag.Int("parallel", 0, "sched workers per simulation (0 = GOMAXPROCS)")
 		maxRefs      = flag.Int("max-refs", 50_000_000, "per-request measured-reference ceiling (429 above; <0 disables)")
+		retain       = flag.Int("retain", 1024, "terminal jobs kept queryable in the registry; oldest evicted first (reports persist in the cache)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
 	)
 	flag.Parse()
 
-	if err := validate(*queueDepth, *workers, *parallel, *drainTimeout); err != nil {
+	if err := validate(*queueDepth, *workers, *parallel, *retain, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -43,6 +44,7 @@ func main() {
 		Workers:    *workers,
 		Parallel:   *parallel,
 		MaxRefs:    *maxRefs,
+		RetainJobs: *retain,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		os.Exit(1)
@@ -51,7 +53,7 @@ func main() {
 
 // validate rejects nonsensical flag combinations before anything
 // binds or forks, naming the offending flag.
-func validate(queueDepth, workers, parallel int, drainTimeout time.Duration) error {
+func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Duration) error {
 	if queueDepth < 1 {
 		return fmt.Errorf("-queue must be >= 1, got %d", queueDepth)
 	}
@@ -60,6 +62,9 @@ func validate(queueDepth, workers, parallel int, drainTimeout time.Duration) err
 	}
 	if parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0, got %d", parallel)
+	}
+	if retain < 1 {
+		return fmt.Errorf("-retain must be >= 1, got %d", retain)
 	}
 	if drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)

@@ -8,21 +8,22 @@ import (
 
 func TestValidateRejectsBadSizing(t *testing.T) {
 	cases := []struct {
-		name                        string
-		queueDepth, workers, parall int
-		drain                       time.Duration
-		wantFlag                    string
+		name                                string
+		queueDepth, workers, parall, retain int
+		drain                               time.Duration
+		wantFlag                            string
 	}{
-		{"zero queue", 0, 1, 0, time.Minute, "-queue"},
-		{"negative queue", -3, 1, 0, time.Minute, "-queue"},
-		{"zero workers", 8, 0, 0, time.Minute, "-workers"},
-		{"negative parallel", 8, 1, -1, time.Minute, "-parallel"},
-		{"zero drain timeout", 8, 1, 0, 0, "-drain-timeout"},
-		{"negative drain timeout", 8, 1, 0, -time.Second, "-drain-timeout"},
+		{"zero queue", 0, 1, 0, 1024, time.Minute, "-queue"},
+		{"negative queue", -3, 1, 0, 1024, time.Minute, "-queue"},
+		{"zero workers", 8, 0, 0, 1024, time.Minute, "-workers"},
+		{"negative parallel", 8, 1, -1, 1024, time.Minute, "-parallel"},
+		{"zero retain", 8, 1, 0, 0, time.Minute, "-retain"},
+		{"zero drain timeout", 8, 1, 0, 1024, 0, "-drain-timeout"},
+		{"negative drain timeout", 8, 1, 0, 1024, -time.Second, "-drain-timeout"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validate(tc.queueDepth, tc.workers, tc.parall, tc.drain)
+			err := validate(tc.queueDepth, tc.workers, tc.parall, tc.retain, tc.drain)
 			if err == nil {
 				t.Fatal("validate succeeded")
 			}
@@ -34,7 +35,7 @@ func TestValidateRejectsBadSizing(t *testing.T) {
 }
 
 func TestValidateAcceptsDefaults(t *testing.T) {
-	if err := validate(16, 1, 0, 10*time.Minute); err != nil {
+	if err := validate(16, 1, 0, 1024, 10*time.Minute); err != nil {
 		t.Fatalf("validate rejected the default configuration: %v", err)
 	}
 }

@@ -1,0 +1,269 @@
+// Command coltload is the serving-path load generator: it drives a
+// coltd daemon with a zipf-skewed stream of job submissions and
+// reports served latency percentiles, goodput, refusal counts, and
+// cache/coalesce hit rates — the BENCH_serve.json trajectory numbers
+// (make bench-serve; EXPERIMENTS.md documents the schema and
+// methodology).
+//
+// Two targets: -addr points it at a running daemon; with no -addr it
+// self-hosts a server in-process on an ephemeral port (the hermetic
+// mode the benchmark script uses, so a bench run measures exactly one
+// build's serving stack). Two loops: closed (default; each of
+// -clients issues its next request when the previous finishes) and
+// open (-rate R dispatches R arrivals/sec regardless of completions).
+// The spec universe is -specs variants of one template spec differing
+// only in seed, with popularity zipf(-zipf-s): item 0 is the hot key.
+// Every sampler is seeded from -seed via internal/rng streams, so a
+// run's request sequences are deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"colt/internal/loadgen"
+	"colt/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target daemon base URL (e.g. http://127.0.0.1:8077); empty self-hosts a server in-process")
+		clients  = flag.Int("clients", 16, "closed-loop concurrency")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		duration = flag.Duration("duration", 5*time.Second, "measured window")
+		requests = flag.Int("requests", 0, "optional total-request cap (0 = duration-bounded only)")
+		specs    = flag.Int("specs", 64, "spec-universe size (distinct content hashes)")
+		zipfS    = flag.Float64("zipf-s", 1.1, "zipf popularity exponent (0 = uniform)")
+		seed     = flag.Uint64("seed", 1, "root seed for the deterministic samplers")
+		expName  = flag.String("experiment", "table1", "experiment submitted by every spec")
+		refs     = flag.Int("refs", 2000, "measured references per spec (small: the bench measures serving, not simulating)")
+		prewarm  = flag.Bool("prewarm", true, "submit every spec once before measuring, so the window exercises the cache/coalesce hot paths")
+		poll     = flag.Duration("poll", time.Millisecond, "job-status poll interval")
+		stats    = flag.Duration("stats-poll", 0, "add a monitoring client that GETs /v1/stats on this period (0 = off)")
+		outPath  = flag.String("out", "", "write the JSON summary to this file (default stdout)")
+		commit   = flag.String("commit", "", "commit hash recorded in the summary")
+
+		// Self-host sizing (ignored with -addr).
+		shWorkers = flag.Int("workers", 2, "self-host: concurrent simulations")
+		shQueue   = flag.Int("queue", 64, "self-host: job queue depth")
+		shCache   = flag.String("cache-dir", "", "self-host: cache directory (empty = fresh temp dir)")
+
+		// Pre-PR comparison, filled in by the bench script when a
+		// baseline measurement exists (see EXPERIMENTS.md).
+		preP99     = flag.Float64("prepr-p99-ms", 0, "baseline p99 ms from the pre-PR build (0 = unrecorded)")
+		preGoodput = flag.Float64("prepr-goodput-rps", 0, "baseline goodput from the pre-PR build (0 = unrecorded)")
+	)
+	flag.Parse()
+
+	if err := validate(*clients, *rate, *duration, *requests, *specs, *zipfS, *refs, *poll); err != nil {
+		fmt.Fprintln(os.Stderr, "coltload:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(config{
+		addr: *addr, clients: *clients, rate: *rate, duration: *duration,
+		requests: *requests, specs: *specs, zipfS: *zipfS, seed: *seed,
+		experiment: *expName, refs: *refs, prewarm: *prewarm, poll: *poll, statsPoll: *stats,
+		out: *outPath, commit: *commit,
+		shWorkers: *shWorkers, shQueue: *shQueue, shCache: *shCache,
+		preP99: *preP99, preGoodput: *preGoodput,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "coltload:", err)
+		os.Exit(1)
+	}
+}
+
+// validate rejects nonsensical flags before anything runs, naming the
+// offending flag.
+func validate(clients int, rate float64, duration time.Duration, requests, specs int, zipfS float64, refs int, poll time.Duration) error {
+	if clients < 1 {
+		return fmt.Errorf("-clients must be >= 1, got %d", clients)
+	}
+	if rate < 0 {
+		return fmt.Errorf("-rate must be >= 0, got %g", rate)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", duration)
+	}
+	if requests < 0 {
+		return fmt.Errorf("-requests must be >= 0, got %d", requests)
+	}
+	if specs < 1 {
+		return fmt.Errorf("-specs must be >= 1, got %d", specs)
+	}
+	if zipfS < 0 {
+		return fmt.Errorf("-zipf-s must be >= 0, got %g", zipfS)
+	}
+	if refs < 1 {
+		return fmt.Errorf("-refs must be >= 1, got %d", refs)
+	}
+	if poll <= 0 {
+		return fmt.Errorf("-poll must be positive, got %v", poll)
+	}
+	return nil
+}
+
+type config struct {
+	addr       string
+	clients    int
+	rate       float64
+	duration   time.Duration
+	requests   int
+	specs      int
+	zipfS      float64
+	seed       uint64
+	experiment string
+	refs       int
+	prewarm    bool
+	poll       time.Duration
+	statsPoll  time.Duration
+	out        string
+	commit     string
+	shWorkers  int
+	shQueue    int
+	shCache    string
+	preP99     float64
+	preGoodput float64
+}
+
+// summary is the BENCH_serve.json schema (EXPERIMENTS.md).
+type summary struct {
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	P999Ms          float64 `json:"p999_ms"`
+	GoodputRPS      float64 `json:"goodput_rps"`
+	Requests        int     `json:"requests"`
+	Accepted        int     `json:"accepted"`
+	Refused         int     `json:"refused"`
+	Errors          int     `json:"errors"`
+	Done            int     `json:"done"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CoalesceRate    float64 `json:"coalesce_rate"`
+	ZipfS           float64 `json:"zipf_s"`
+	Specs           int     `json:"specs"`
+	Clients         int     `json:"clients"`
+	RateRPS         float64 `json:"rate_rps,omitempty"`
+	DurationS       float64 `json:"duration_s"`
+	Mode            string  `json:"mode"`
+	PreprP99Ms      float64 `json:"prepr_p99_ms,omitempty"`
+	PreprGoodputRPS float64 `json:"prepr_goodput_rps,omitempty"`
+	SpeedupGoodput  float64 `json:"speedup_goodput,omitempty"`
+	SpeedupP99      float64 `json:"speedup_p99,omitempty"`
+	Commit          string  `json:"commit"`
+}
+
+func run(cfg config) error {
+	base := cfg.addr
+	if base == "" {
+		cacheDir := cfg.shCache
+		if cacheDir == "" {
+			dir, err := os.MkdirTemp("", "coltload-cache-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cacheDir = dir
+		}
+		s, err := server.NewServer(server.Config{
+			CacheDir:   cacheDir,
+			QueueDepth: cfg.shQueue,
+			Workers:    cfg.shWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "coltload: self-hosting on %s (workers=%d queue=%d)\n",
+			base, cfg.shWorkers, cfg.shQueue)
+	}
+
+	mode := "closed"
+	if cfg.rate > 0 {
+		mode = "open"
+	}
+	fmt.Fprintf(os.Stderr, "coltload: %s loop, %d clients, %d specs, zipf_s=%g, %v window (prewarm=%v)\n",
+		mode, cfg.clients, cfg.specs, cfg.zipfS, cfg.duration, cfg.prewarm)
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:       base,
+		Clients:       cfg.clients,
+		Rate:          cfg.rate,
+		Duration:      cfg.duration,
+		MaxRequests:   cfg.requests,
+		Specs:         cfg.specs,
+		ZipfS:         cfg.zipfS,
+		Seed:          cfg.seed,
+		PollInterval:  cfg.poll,
+		Prewarm:       cfg.prewarm,
+		StatsInterval: cfg.statsPoll,
+		Template: server.Spec{
+			Experiment: cfg.experiment,
+			Quick:      true,
+			Refs:       cfg.refs,
+			Seed:       1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	sum := summary{
+		P50Ms:        ms(res.P50),
+		P99Ms:        ms(res.P99),
+		P999Ms:       ms(res.P999),
+		GoodputRPS:   round2(res.GoodputRPS),
+		Requests:     res.Requests,
+		Accepted:     res.Accepted,
+		Refused:      res.Refused,
+		Errors:       res.Errors,
+		Done:         res.Done,
+		CacheHitRate: round4(res.CacheHitRate),
+		CoalesceRate: round4(res.CoalesceRate),
+		ZipfS:        cfg.zipfS,
+		Specs:        cfg.specs,
+		Clients:      cfg.clients,
+		RateRPS:      cfg.rate,
+		DurationS:    round2(res.Elapsed.Seconds()),
+		Mode:         mode,
+		Commit:       cfg.commit,
+	}
+	if cfg.preP99 > 0 && sum.P99Ms > 0 {
+		sum.PreprP99Ms = cfg.preP99
+		sum.SpeedupP99 = round2(cfg.preP99 / sum.P99Ms)
+	}
+	if cfg.preGoodput > 0 && sum.GoodputRPS > 0 {
+		sum.PreprGoodputRPS = cfg.preGoodput
+		sum.SpeedupGoodput = round2(sum.GoodputRPS / cfg.preGoodput)
+	}
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if cfg.out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(cfg.out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coltload: wrote %s\n%s", cfg.out, b)
+	return nil
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+func round4(x float64) float64 { return float64(int64(x*10000+0.5)) / 10000 }

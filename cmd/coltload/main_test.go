@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	ok := func(clients int, rate float64, dur time.Duration, requests, specs int, zipfS float64, refs int, poll time.Duration) error {
+		return validate(clients, rate, dur, requests, specs, zipfS, refs, poll)
+	}
+	if err := ok(16, 0, 5*time.Second, 0, 64, 1.1, 2000, time.Millisecond); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	cases := []struct {
+		name, wantFlag string
+		err            error
+	}{
+		{"clients", "-clients", ok(0, 0, time.Second, 0, 1, 1, 1, time.Millisecond)},
+		{"rate", "-rate", ok(1, -1, time.Second, 0, 1, 1, 1, time.Millisecond)},
+		{"duration", "-duration", ok(1, 0, 0, 0, 1, 1, 1, time.Millisecond)},
+		{"requests", "-requests", ok(1, 0, time.Second, -1, 1, 1, 1, time.Millisecond)},
+		{"specs", "-specs", ok(1, 0, time.Second, 0, 0, 1, 1, time.Millisecond)},
+		{"zipf-s", "-zipf-s", ok(1, 0, time.Second, 0, 1, -0.5, 1, time.Millisecond)},
+		{"refs", "-refs", ok(1, 0, time.Second, 0, 1, 1, 0, time.Millisecond)},
+		{"poll", "-poll", ok(1, 0, time.Second, 0, 1, 1, 1, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("invalid flag accepted")
+			}
+			if !strings.Contains(tc.err.Error(), tc.wantFlag) {
+				t.Fatalf("error %q does not name %s", tc.err, tc.wantFlag)
+			}
+		})
+	}
+}

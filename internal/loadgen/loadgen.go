@@ -1,0 +1,380 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colt/internal/rng"
+	"colt/internal/server"
+)
+
+// Config shapes one load-generation run against a coltd base URL.
+type Config struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// Clients is the closed-loop concurrency (and the worker pool that
+	// absorbs open-loop arrivals). Default 16.
+	Clients int
+	// Rate selects open-loop mode when > 0: arrivals are dispatched at
+	// Rate req/s regardless of completions. Rate == 0 is closed-loop:
+	// each client issues its next request when the previous one
+	// finishes.
+	Rate float64
+	// Duration bounds the run (default 5s). In-flight requests at the
+	// deadline are allowed to finish and are recorded.
+	Duration time.Duration
+	// MaxRequests, when > 0, additionally caps total submissions —
+	// deterministic test runs use it.
+	MaxRequests int
+	// Specs is the size of the spec universe (default 64).
+	Specs int
+	// ZipfS is the popularity skew exponent (default 1.1; 0 = uniform).
+	ZipfS float64
+	// Seed roots every sampler stream; identical seeds replay
+	// identical per-client request sequences.
+	Seed uint64
+	// Template is the spec sent for item 0; item k overrides Seed with
+	// Template.Seed + k so the universe holds Specs distinct content
+	// hashes of equal cost.
+	Template server.Spec
+	// PollInterval paces the job-status polling loop (default 1ms).
+	PollInterval time.Duration
+	// Prewarm, when set, submits every spec once and waits for the
+	// universe to be fully cached before the measured window starts —
+	// the run then measures pure serving paths, not simulation time.
+	Prewarm bool
+	// StatsInterval, when > 0, adds a monitoring client that GETs
+	// /v1/stats on that period throughout the window — the traffic
+	// shape that exposes a stats path which holds admission locks
+	// while it aggregates.
+	StatsInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 16
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Specs == 0 {
+		c.Specs = 64
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = time.Millisecond
+	}
+	if c.Template.Seed == 0 {
+		c.Template.Seed = 1
+	}
+	return c
+}
+
+// Result is the aggregated outcome of a run.
+type Result struct {
+	Recorder
+	Config  Config
+	Elapsed time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	P999    time.Duration
+	// GoodputRPS is successfully served jobs per second of elapsed
+	// wall clock.
+	GoodputRPS float64
+	// CacheHitRate and CoalesceRate are fractions of accepted
+	// submissions.
+	CacheHitRate float64
+	CoalesceRate float64
+}
+
+// submitResponse mirrors the fields of POST /v1/jobs the generator
+// consumes.
+type submitResponse struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+}
+
+// jobStatus mirrors GET /v1/jobs/{id}.
+type jobStatus struct {
+	State string `json:"state"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// runner is the per-run shared state.
+type runner struct {
+	cfg    Config
+	client *http.Client
+	bodies [][]byte
+	left   atomic.Int64 // remaining request budget; negative = unlimited
+}
+
+// Run executes one load-generation run and aggregates the results.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	bodies := make([][]byte, cfg.Specs)
+	for k := range bodies {
+		spec := cfg.Template
+		spec.Seed = cfg.Template.Seed + uint64(k)
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: encoding spec %d: %w", k, err)
+		}
+		bodies[k] = b
+	}
+	r := &runner{
+		cfg: cfg,
+		client: &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Clients * 2,
+				MaxIdleConnsPerHost: cfg.Clients * 2,
+			},
+		},
+		bodies: bodies,
+	}
+	if cfg.MaxRequests > 0 {
+		r.left.Store(int64(cfg.MaxRequests))
+	} else {
+		r.left.Store(1 << 62)
+	}
+
+	if cfg.Prewarm {
+		if err := r.prewarm(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	// In-flight requests at the deadline get a grace window to finish;
+	// polls abandoned at the hard context deadline count as errors.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
+
+	if cfg.StatsInterval > 0 {
+		pollCtx, stopPoll := context.WithDeadline(context.Background(), deadline)
+		defer stopPoll()
+		go r.statsPoller(pollCtx)
+	}
+
+	recs := make([]*Recorder, cfg.Clients)
+	var wg sync.WaitGroup
+	if cfg.Rate > 0 {
+		r.openLoop(ctx, deadline, recs, &wg)
+	} else {
+		for i := 0; i < cfg.Clients; i++ {
+			recs[i] = &Recorder{}
+			z := NewZipf(rng.New(cfg.Seed).Stream(fmt.Sprintf("client/%d", i)), cfg.Specs, cfg.ZipfS)
+			wg.Add(1)
+			go func(rec *Recorder) {
+				defer wg.Done()
+				for time.Now().Before(deadline) && r.left.Add(-1) >= 0 {
+					r.doRequest(ctx, z.Next(), rec)
+				}
+			}(recs[i])
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Config: cfg, Elapsed: elapsed}
+	for _, rec := range recs {
+		if rec != nil {
+			res.Recorder.Merge(rec)
+		}
+	}
+	ps := res.Percentiles(0.50, 0.99, 0.999)
+	res.P50, res.P99, res.P999 = ps[0], ps[1], ps[2]
+	if elapsed > 0 {
+		res.GoodputRPS = float64(res.Done) / elapsed.Seconds()
+	}
+	if res.Accepted > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(res.Accepted)
+		res.CoalesceRate = float64(res.Coalesced) / float64(res.Accepted)
+	}
+	return res, nil
+}
+
+// openLoop dispatches arrivals at cfg.Rate onto goroutines. The zipf
+// stream is sampled by the dispatcher, so the arrival sequence is the
+// deterministic "arrivals" stream regardless of service times.
+func (r *runner) openLoop(ctx context.Context, deadline time.Time, recs []*Recorder, wg *sync.WaitGroup) {
+	z := NewZipf(rng.New(r.cfg.Seed).Stream("arrivals"), r.cfg.Specs, r.cfg.ZipfS)
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var mu sync.Mutex
+	shared := &Recorder{}
+	recs[0] = shared
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for time.Now().Before(deadline) && r.left.Add(-1) >= 0 {
+		k := z.Next()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rec Recorder
+			r.doRequest(ctx, k, &rec)
+			mu.Lock()
+			shared.Merge(&rec)
+			mu.Unlock()
+		}()
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// statsPoller is the monitoring client: a steady drip of /v1/stats
+// reads for the length of the window.
+func (r *runner) statsPoller(ctx context.Context) {
+	ticker := time.NewTicker(r.cfg.StatsInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/v1/stats", nil)
+		if err != nil {
+			return
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// prewarm seeds the cache: every spec in the universe is submitted
+// once and the run does not start until each has terminated.
+func (r *runner) prewarm() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	for k := range r.bodies {
+		for {
+			var rec Recorder
+			r.doRequest(ctx, k, &rec)
+			if rec.Done > 0 {
+				break
+			}
+			if ctx.Err() != nil {
+				return fmt.Errorf("loadgen: prewarm of spec %d timed out", k)
+			}
+			// Refused (queue full) or failed: back off and retry.
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// doRequest submits spec k and follows the job to a terminal state,
+// recording the outcome into rec.
+func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder) {
+	rec.Requests++
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.bodies[k]))
+	if err != nil {
+		rec.Errors++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		rec.Errors++
+		return
+	}
+	var sr submitResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&sr)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		rec.Refused++
+		return
+	case http.StatusCreated, http.StatusOK:
+		if decErr != nil {
+			rec.Errors++
+			return
+		}
+	default:
+		rec.Errors++
+		return
+	}
+	rec.Accepted++
+	if resp.StatusCode == http.StatusOK {
+		rec.Coalesced++ // folded onto an identical in-flight job
+	}
+	if sr.Cached {
+		rec.CacheHits++
+	}
+	state := sr.State
+	for !terminal(state) {
+		select {
+		case <-ctx.Done():
+			rec.Errors++
+			return
+		case <-time.After(r.cfg.PollInterval):
+		}
+		st, code, err := r.poll(ctx, sr.ID)
+		if err != nil {
+			rec.Errors++
+			return
+		}
+		if code == http.StatusNotFound {
+			// The job finished and was evicted from the bounded
+			// registry between polls; eviction implies terminal, and
+			// only done jobs outlive their tracking via the cache.
+			state = "done"
+			break
+		}
+		state = st
+	}
+	if state == "done" {
+		rec.Done++
+		rec.Latencies = append(rec.Latencies, time.Since(t0))
+	} else {
+		rec.Errors++
+	}
+}
+
+// poll fetches one job-status snapshot.
+func (r *runner) poll(ctx context.Context, id string) (state string, code int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		r.cfg.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return "", http.StatusNotFound, nil
+	}
+	var js jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return "", resp.StatusCode, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return js.State, resp.StatusCode, nil
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"colt/internal/experiments"
+	"colt/internal/metrics"
+	"colt/internal/server"
+)
+
+// fastRegistry is a one-entry experiment registry whose driver
+// completes instantly with a seed-derived record, like the server
+// package's test stub: the generator's accounting is exercised
+// without simulating anything.
+func fastRegistry() []experiments.NamedExperiment {
+	return []experiments.NamedExperiment{{
+		Name: "stub", Desc: "loadgen test stub",
+		Run: func(opts experiments.Options) error {
+			opts.Metrics.Add(metrics.Record{
+				Kind: "bench", Bench: "stub", Setup: "s", Seed: opts.Seed,
+			}, 0)
+			return nil
+		},
+	}}
+}
+
+func newTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.NewServer(server.Config{
+		Registry:   fastRegistry(),
+		Workers:    2,
+		QueueDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(Config{
+		BaseURL:      ts.URL,
+		Clients:      4,
+		Duration:     30 * time.Second, // bounded by MaxRequests below
+		MaxRequests:  300,
+		Specs:        8,
+		ZipfS:        1.1,
+		Seed:         42,
+		PollInterval: 200 * time.Microsecond,
+		Template:     server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 300 {
+		t.Fatalf("requests = %d, want exactly the MaxRequests cap 300", res.Requests)
+	}
+	if got := res.Accepted + res.Refused + res.Errors; got != res.Requests {
+		t.Fatalf("accepted %d + refused %d + errors %d != requests %d",
+			res.Accepted, res.Refused, res.Errors, res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 against a healthy stub server", res.Errors)
+	}
+	if res.Done == 0 || len(res.Latencies) != res.Done {
+		t.Fatalf("done = %d with %d latency samples", res.Done, len(res.Latencies))
+	}
+	// 300 zipf draws over 8 specs repeat heavily: the cache must get
+	// hit, and the rate accounting must reflect it.
+	if res.CacheHits == 0 || res.CacheHitRate == 0 {
+		t.Fatalf("cache hits = %d (rate %g); repeated specs must hit the cache",
+			res.CacheHits, res.CacheHitRate)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v p999=%v", res.P50, res.P99, res.P999)
+	}
+	if res.GoodputRPS <= 0 {
+		t.Fatalf("goodput = %g, want > 0", res.GoodputRPS)
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(Config{
+		BaseURL:      ts.URL,
+		Clients:      4,
+		Rate:         500,
+		Duration:     300 * time.Millisecond,
+		Specs:        4,
+		ZipfS:        1.0,
+		Seed:         7,
+		PollInterval: 200 * time.Microsecond,
+		Template:     server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Done == 0 {
+		t.Fatalf("open loop made %d requests, %d done; want both > 0", res.Requests, res.Done)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+}
+
+func TestPrewarmMakesWindowAllHits(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(Config{
+		BaseURL:      ts.URL,
+		Clients:      2,
+		Duration:     30 * time.Second,
+		MaxRequests:  100,
+		Specs:        4,
+		ZipfS:        1.1,
+		Seed:         5,
+		PollInterval: 200 * time.Microsecond,
+		Prewarm:      true,
+		Template:     server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every spec was computed before the window, so every accepted
+	// submission in the window is a cache hit.
+	if res.CacheHitRate != 1.0 {
+		t.Fatalf("cache hit rate after prewarm = %g, want 1.0 (%d hits / %d accepted)",
+			res.CacheHitRate, res.CacheHits, res.Accepted)
+	}
+}

@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// Recorder accumulates one client's request outcomes. Clients record
+// into private Recorders (no cross-goroutine sharing on the hot path)
+// and the runner merges them when the run ends.
+type Recorder struct {
+	// Latencies holds one submit→terminal latency per successfully
+	// served request (cache hits included — their latency is the POST
+	// round trip, which is the point of measuring them).
+	Latencies []time.Duration
+	// Requests counts every submission attempt.
+	Requests int
+	// Accepted counts submissions the server admitted (2xx).
+	Accepted int
+	// Refused counts admission refusals (503 queue-full/draining, 429).
+	Refused int
+	// Errors counts transport failures, unexpected statuses, and jobs
+	// that finished failed/canceled.
+	Errors int
+	// Done counts jobs observed to reach the done state.
+	Done int
+	// CacheHits counts submissions served straight from the result
+	// cache.
+	CacheHits int
+	// Coalesced counts submissions folded onto an identical in-flight
+	// execution.
+	Coalesced int
+}
+
+// Merge folds o into r.
+func (r *Recorder) Merge(o *Recorder) {
+	r.Latencies = append(r.Latencies, o.Latencies...)
+	r.Requests += o.Requests
+	r.Accepted += o.Accepted
+	r.Refused += o.Refused
+	r.Errors += o.Errors
+	r.Done += o.Done
+	r.CacheHits += o.CacheHits
+	r.Coalesced += o.Coalesced
+}
+
+// Percentiles sorts the recorded latencies in place and returns the
+// requested quantiles (q in (0, 1]) using the nearest-rank method.
+// With no samples every quantile is 0.
+func (r *Recorder) Percentiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(r.Latencies) == 0 {
+		return out
+	}
+	sort.Slice(r.Latencies, func(i, j int) bool { return r.Latencies[i] < r.Latencies[j] })
+	for i, q := range qs {
+		idx := int(float64(len(r.Latencies))*q+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(r.Latencies) {
+			idx = len(r.Latencies) - 1
+		}
+		out[i] = r.Latencies[idx]
+	}
+	return out
+}

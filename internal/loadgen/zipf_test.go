@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"colt/internal/rng"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rng.New(7).Stream("client/0"), 32, 1.1)
+	b := NewZipf(rng.New(7).Stream("client/0"), 32, 1.1)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d != %d; identical seeds must replay identically", i, x, y)
+		}
+	}
+	c := NewZipf(rng.New(8).Stream("client/0"), 32, 1.1)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical draw sequence")
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	const n, draws = 16, 20000
+	z := NewZipf(rng.New(1), n, 1.2)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Item 0 must be the hot key: under zipf(1.2) over 16 items it
+	// carries ~38% of the mass, far above the 1/16 uniform share.
+	if counts[0] <= draws/n {
+		t.Fatalf("hot item drew %d of %d, no more than the uniform share", counts[0], draws)
+	}
+	if counts[0] <= counts[n-1]*4 {
+		t.Fatalf("skew too weak: head=%d tail=%d", counts[0], counts[n-1])
+	}
+	// The head of the distribution must be ordered hot-to-cold.
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Fatalf("head not monotonically popular: %v", counts[:3])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	const n, draws = 8, 40000
+	z := NewZipf(rng.New(3), n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("s=0 item %d drew %d of %d; want near-uniform %d", k, c, draws, draws/n)
+		}
+	}
+}
+
+func TestZipfPanicsOnMisuse(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil rng": func() { NewZipf(nil, 4, 1) },
+		"n=0":     func() { NewZipf(rng.New(1), 0, 1) },
+		"s<0":     func() { NewZipf(rng.New(1), 4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecorderPercentilesNearestRank(t *testing.T) {
+	r := &Recorder{}
+	for i := 100; i >= 1; i-- { // reversed: Percentiles must sort
+		r.Latencies = append(r.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	ps := r.Percentiles(0.50, 0.99, 0.999, 1.0)
+	want := []time.Duration{50 * time.Millisecond, 99 * time.Millisecond, 100 * time.Millisecond, 100 * time.Millisecond}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("quantile %d = %v, want %v", i, ps[i], want[i])
+		}
+	}
+	empty := &Recorder{}
+	if ps := empty.Percentiles(0.5); ps[0] != 0 {
+		t.Fatalf("empty recorder p50 = %v, want 0", ps[0])
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	a := &Recorder{Requests: 3, Accepted: 2, Refused: 1, Done: 2, CacheHits: 1,
+		Latencies: []time.Duration{time.Millisecond}}
+	b := &Recorder{Requests: 2, Accepted: 2, Errors: 1, Done: 1, Coalesced: 1,
+		Latencies: []time.Duration{2 * time.Millisecond}}
+	a.Merge(b)
+	if a.Requests != 5 || a.Accepted != 4 || a.Refused != 1 || a.Errors != 1 ||
+		a.Done != 3 || a.CacheHits != 1 || a.Coalesced != 1 || len(a.Latencies) != 2 {
+		t.Fatalf("merge result %+v", a)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"colt/internal/metrics"
 )
@@ -40,14 +41,17 @@ const cacheSchema = "colt-cache/1"
 // persists each report as <dir>/<key>.json plus an index flushed on
 // drain (a restarted daemon reuses prior results); with an empty
 // directory it is memory-only. All methods are safe for concurrent
-// use.
+// use: reads share an RWMutex read lock and do their file I/O and
+// hash verification outside any lock, so a zipf-hot key served to
+// many clients at once never serializes on the mutex for the
+// expensive part.
 type Cache struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	dir     string
 	entries map[string]CacheEntry
-	mem     map[string][]byte // memory mode only
+	mem     map[string][]byte // memory mode only; values are immutable once stored
 
-	hits, misses, corrupt uint64
+	hits, misses, corrupt atomic.Uint64
 }
 
 // OpenCache opens (or initializes) a cache rooted at dir, loading a
@@ -90,58 +94,69 @@ func (c *Cache) entryPath(key string) string {
 // the recorded hash. A missing, unreadable, or corrupted entry counts
 // as a miss (corruption is additionally counted and the entry
 // evicted) so the caller recomputes instead of serving bad bytes.
+//
+// Only the index lookup holds the (read) lock; the file read and the
+// SHA-256 verification run lock-free.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	e, ok := c.entries[key]
+	var b []byte
+	if ok && c.mem != nil {
+		b = c.mem[key] // immutable once stored; safe to use after unlock
+	}
+	c.mu.RUnlock()
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	var b []byte
-	if c.mem != nil {
-		b = c.mem[key]
-	} else {
+	if c.mem == nil {
 		var err error
 		b, err = os.ReadFile(c.entryPath(key))
 		if err != nil {
 			// The index promised an entry the disk no longer has:
 			// treat as corruption, evict, recompute.
-			c.evictCorruptLocked(key)
+			c.evictCorrupt(key, e.Sum)
 			return nil, false
 		}
 	}
 	if metrics.Sum256Hex(b) != e.Sum {
-		c.evictCorruptLocked(key)
+		c.evictCorrupt(key, e.Sum)
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	return b, true
 }
 
-// evictCorruptLocked drops a failed entry and counts it as both a
-// corruption and a miss. Callers must hold c.mu.
-func (c *Cache) evictCorruptLocked(key string) {
-	delete(c.entries, key)
-	if c.mem != nil {
-		delete(c.mem, key)
-	} else {
-		os.Remove(c.entryPath(key))
+// evictCorrupt drops a failed entry and counts it as both a
+// corruption and a miss. The verification happened outside the lock,
+// so it re-checks that the entry is still the one that failed — a
+// concurrent Put of fresh bytes must not be evicted.
+func (c *Cache) evictCorrupt(key, failedSum string) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.Sum == failedSum {
+		delete(c.entries, key)
+		if c.mem != nil {
+			delete(c.mem, key)
+		} else {
+			os.Remove(c.entryPath(key))
+		}
 	}
-	c.corrupt++
-	c.misses++
+	c.mu.Unlock()
+	c.corrupt.Add(1)
+	c.misses.Add(1)
 }
 
 // Put stores report bytes under key. In disk mode the entry file is
 // written immediately (write-then-rename for atomicity); the index is
 // flushed separately by SaveIndex.
 func (c *Cache) Put(key, experiment string, b []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	e := CacheEntry{Key: key, Experiment: experiment, Sum: metrics.Sum256Hex(b), Size: len(b)}
 	if c.mem != nil {
-		c.mem[key] = append([]byte(nil), b...)
+		stored := append([]byte(nil), b...)
+		c.mu.Lock()
+		c.mem[key] = stored
 		c.entries[key] = e
+		c.mu.Unlock()
 		return nil
 	}
 	tmp := c.entryPath(key) + ".tmp"
@@ -151,14 +166,16 @@ func (c *Cache) Put(key, experiment string, b []byte) error {
 	if err := os.Rename(tmp, c.entryPath(key)); err != nil {
 		return fmt.Errorf("cache: committing entry: %w", err)
 	}
+	c.mu.Lock()
 	c.entries[key] = e
+	c.mu.Unlock()
 	return nil
 }
 
 // Entry returns the index record for key, if present.
 func (c *Cache) Entry(key string) (CacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	e, ok := c.entries[key]
 	return e, ok
 }
@@ -168,15 +185,16 @@ func (c *Cache) Entry(key string) (CacheEntry, bool) {
 // deterministic. The drain path calls this; callers may also call it
 // periodically.
 func (c *Cache) SaveIndex() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
 	if c.mem != nil {
+		c.mu.RUnlock()
 		return nil
 	}
 	idx := cacheIndex{Schema: cacheSchema, Entries: make([]CacheEntry, 0, len(c.entries))}
 	for _, e := range c.entries {
 		idx.Entries = append(idx.Entries, e)
 	}
+	c.mu.RUnlock()
 	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
 	b, err := json.MarshalIndent(idx, "", "  ")
 	if err != nil {
@@ -202,7 +220,8 @@ type CacheStats struct {
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Corrupt: c.corrupt}
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load(), Corrupt: c.corrupt.Load()}
 }

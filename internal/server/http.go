@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colt/internal/telemetry"
@@ -33,13 +34,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// writeJSON renders a JSON response body.
+// writeJSON renders a JSON response body. It marshals before touching
+// the ResponseWriter, so an unencodable value becomes a clean 500
+// instead of a half-written 200 with a silently truncated body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(b, '\n'))
 }
 
 // apiError is every non-2xx JSON body.
@@ -157,6 +165,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // first a replay of everything recorded so far, then the live tail,
 // then one terminal "end" event carrying the final job status. Late
 // subscribers therefore see the same story as early ones.
+//
+// Fan-out is batched: each stream holds a cursor into the job's
+// append-only event log and drains the new tail once per flush tick
+// (Config.SSEFlushInterval) with a single Flush per batch. The
+// execution hot path only appends to the log — a slow or stalled
+// subscriber delays nobody but itself, and a thousand subscribers
+// cost the running job nothing per event.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -167,39 +182,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 
-	replay, live, done, unsub := j.subscribe()
-	defer unsub()
-	write := func(ev telemetry.ProgressEvent) {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return
+	writeBatch := func(evs []telemetry.ProgressEvent) {
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b)
 		}
-		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, b)
-		if canFlush {
+		if len(evs) > 0 && canFlush {
 			flusher.Flush()
 		}
 	}
-	for _, ev := range replay {
-		write(ev)
-	}
-	if !done {
-		for {
-			select {
-			case ev, ok := <-live:
-				if !ok {
-					done = true
-				} else {
-					write(ev)
-				}
-			case <-r.Context().Done():
-				return
-			}
-			if done {
-				break
-			}
+
+	cursor := 0
+	ticker := time.NewTicker(s.cfg.SSEFlushInterval)
+	defer ticker.Stop()
+	for {
+		tail, terminal := j.eventsSince(cursor)
+		cursor += len(tail)
+		writeBatch(tail)
+		if terminal {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done(): // drain the final tail, then end
+		case <-ticker.C:
 		}
 	}
-	b, _ := json.Marshal(j.snapshot())
+	b, err := json.Marshal(j.snapshot())
+	if err != nil {
+		return
+	}
 	fmt.Fprintf(w, "event: end\ndata: %s\n\n", b)
 	if canFlush {
 		flusher.Flush()
@@ -222,14 +238,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	s.mu.Unlock()
-	out := make([]jobStatus, 0, len(ids))
-	for _, id := range ids {
-		if j, ok := s.Job(id); ok {
-			out = append(out, j.snapshot())
-		}
+	jobs := s.listJobs()
+	out := make([]jobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Jobs []jobStatus `json:"jobs"`
@@ -277,45 +289,60 @@ type EndpointStats struct {
 	MaxUsec   uint64 `json:"max_usec"`
 }
 
-// endpointMetrics tracks per-route request counters.
+// epCounters is one route's live counters. All atomics: the request
+// path never takes a lock, so the middleware costs the same whether
+// one route or every route is hot.
+type epCounters struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	inFlight  atomic.Int64
+	totalUsec atomic.Uint64
+	maxUsec   atomic.Uint64
+}
+
+// endpointMetrics tracks per-route request counters. The map is
+// populated at route-registration time and read-only afterwards; mu
+// only guards registration.
 type endpointMetrics struct {
 	mu sync.Mutex
-	m  map[string]*EndpointStats
+	m  map[string]*epCounters
 }
 
 func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{m: make(map[string]*EndpointStats)}
+	return &endpointMetrics{m: make(map[string]*epCounters)}
 }
 
 // instrument wraps a handler with request/error/latency/inflight
-// accounting under the route's pattern.
+// accounting under the route's pattern. The route's counter struct is
+// resolved once, here, so the per-request path is pure atomics.
 func (em *endpointMetrics) instrument(pattern string, h http.Handler) http.Handler {
+	em.mu.Lock()
+	st, ok := em.m[pattern]
+	if !ok {
+		st = &epCounters{}
+		em.m[pattern] = st
+	}
+	em.mu.Unlock()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		em.mu.Lock()
-		st, ok := em.m[pattern]
-		if !ok {
-			st = &EndpointStats{}
-			em.m[pattern] = st
-		}
-		st.Requests++
-		st.InFlight++
-		em.mu.Unlock()
+		st.requests.Add(1)
+		st.inFlight.Add(1)
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 
 		usec := uint64(time.Since(start).Microseconds())
-		em.mu.Lock()
-		st.InFlight--
-		st.TotalUsec += usec
-		if usec > st.MaxUsec {
-			st.MaxUsec = usec
+		st.inFlight.Add(-1)
+		st.totalUsec.Add(usec)
+		for {
+			cur := st.maxUsec.Load()
+			if usec <= cur || st.maxUsec.CompareAndSwap(cur, usec) {
+				break
+			}
 		}
 		if rec.status >= 400 {
-			st.Errors++
+			st.errors.Add(1)
 		}
-		em.mu.Unlock()
 	})
 }
 
@@ -324,7 +351,13 @@ func (em *endpointMetrics) snapshot() map[string]EndpointStats {
 	defer em.mu.Unlock()
 	out := make(map[string]EndpointStats, len(em.m))
 	for k, v := range em.m {
-		out[k] = *v
+		out[k] = EndpointStats{
+			Requests:  v.requests.Load(),
+			Errors:    v.errors.Load(),
+			InFlight:  v.inFlight.Load(),
+			TotalUsec: v.totalUsec.Load(),
+			MaxUsec:   v.maxUsec.Load(),
+		}
 	}
 	return out
 }

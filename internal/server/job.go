@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colt/internal/telemetry"
@@ -27,42 +28,118 @@ func (s JobState) terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
+// stateIndex maps JobState to the dense index used by the atomic
+// mirror and the per-shard counters.
+func stateIndex(s JobState) int {
+	switch s {
+	case JobQueued:
+		return 0
+	case JobRunning:
+		return 1
+	case JobDone:
+		return 2
+	case JobFailed:
+		return 3
+	default: // JobCanceled
+		return 4
+	}
+}
+
+// jobStates lists every state at its index.
+var jobStates = [5]JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled}
+
+// stateCounters is one registry shard's per-state job tally. All
+// fields are atomics: transitions bump them from under the job's own
+// lock and Stats() sums them with plain loads, so a stats read never
+// touches a shard mutex, let alone every job.
+type stateCounters struct {
+	n [len(jobStates)]atomic.Int64
+}
+
+// move records a state transition.
+func (c *stateCounters) move(from, to JobState) {
+	if c == nil {
+		return
+	}
+	c.n[stateIndex(from)].Add(-1)
+	c.n[stateIndex(to)].Add(1)
+}
+
+// add records a job entering tracking at state s; sub records it
+// leaving (eviction).
+func (c *stateCounters) add(s JobState) { c.n[stateIndex(s)].Add(1) }
+func (c *stateCounters) sub(s JobState) { c.n[stateIndex(s)].Add(-1) }
+
+// terminalTotal is the count of tracked terminal jobs in this shard.
+func (c *stateCounters) terminalTotal() int64 {
+	return c.n[stateIndex(JobDone)].Load() +
+		c.n[stateIndex(JobFailed)].Load() +
+		c.n[stateIndex(JobCanceled)].Load()
+}
+
 // Job is one tracked submission. Its progress events form an
-// append-only log; SSE subscribers replay the log from the start and
-// then follow the live tail, so a client attaching late sees the same
-// sequence as one attaching before the job ran.
+// append-only log; SSE subscribers hold a cursor into the log and
+// drain it in batches on a flush tick, so a client attaching late
+// sees the same sequence as one attaching before the job ran, and
+// the execution hot path never does per-subscriber work.
 type Job struct {
 	ID  string
 	Can CanonicalJob
 
+	// seq is the admission sequence number (the ID renders it); it
+	// picks the registry shard and orders job listings.
+	seq uint64
+	// stateV mirrors the current state (stateIndex-encoded) for
+	// lock-free readers: eviction scans, coalesce checks, and the
+	// per-shard stats counters all read it without touching mu.
+	stateV atomic.Int32
+	// counts points at the owning registry shard's per-state tally.
+	// Set before the job becomes reachable by any other goroutine.
+	counts *stateCounters
+
 	mu         sync.Mutex
-	state      JobState
 	errMsg     string
 	cached     bool // served from cache without simulating
 	coalesced  int  // extra submissions folded into this execution
 	events     []telemetry.ProgressEvent
-	subs       map[chan telemetry.ProgressEvent]struct{}
-	cancel     func() // non-nil while running
-	trace      []byte // Chrome trace artifact, if requested
+	cancel     func()        // non-nil while running
+	done       chan struct{} // closed on reaching a terminal state
+	trace      []byte        // Chrome trace artifact, if requested
 	created    time.Time
 	finishedAt time.Time
 }
 
 func newJob(id string, can CanonicalJob, now time.Time) *Job {
-	return &Job{
+	j := &Job{
 		ID:      id,
 		Can:     can,
-		state:   JobQueued,
-		subs:    make(map[chan telemetry.ProgressEvent]struct{}),
+		done:    make(chan struct{}),
 		created: now,
 	}
+	j.stateV.Store(int32(stateIndex(JobQueued)))
+	return j
+}
+
+// stateFast returns the current state without locking. It may trail a
+// concurrent transition by an instant, but terminal states are final:
+// once stateFast reports terminal, the job can never run.
+func (j *Job) stateFast() JobState {
+	return jobStates[j.stateV.Load()]
+}
+
+// setStateLocked performs a state transition under j.mu, keeping the
+// atomic mirror and shard counters in step.
+func (j *Job) setStateLocked(to JobState) {
+	from := j.stateFast()
+	j.stateV.Store(int32(stateIndex(to)))
+	j.counts.move(from, to)
 }
 
 // State returns the current state and error message.
 func (j *Job) State() (JobState, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state, j.errMsg
+	return j.stateFast(), j.errMsg
 }
 
 // Cached reports whether the job was served from cache.
@@ -72,62 +149,62 @@ func (j *Job) Cached() bool {
 	return j.cached
 }
 
-// appendEvent records a progress event and fans it out to live
-// subscribers. It is the Reporter hook of the job's execution, so it
-// must never block: a subscriber that cannot keep up loses the
-// in-between events but still receives the terminal snapshot.
+// Done returns a channel closed when the job reaches a terminal
+// state; SSE streams select on it to learn the log is complete.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// appendEvent records a progress event. It is the Reporter hook of
+// the job's execution hot path, so it does the minimum possible under
+// the lock: append to the log. Fan-out happens on the subscribers'
+// flush ticks (eventsSince), not here — no per-subscriber channel
+// sends, no flushes, no blocking.
 func (j *Job) appendEvent(ev telemetry.ProgressEvent) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.events = append(j.events, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-		}
-	}
+	j.mu.Unlock()
 }
 
-// subscribe returns a replay of all events so far plus a channel for
-// the live tail, and a closed flag telling the subscriber not to wait
-// for more. The unsubscribe func is idempotent.
-func (j *Job) subscribe() (replay []telemetry.ProgressEvent, live chan telemetry.ProgressEvent, done bool, unsub func()) {
+// eventsSince copies the log tail starting at cursor and reports
+// whether the job is terminal (i.e. the log is complete). Subscribers
+// call it once per flush tick and advance their cursor by the number
+// of events returned.
+func (j *Job) eventsSince(cursor int) (tail []telemetry.ProgressEvent, terminal bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	replay = append([]telemetry.ProgressEvent(nil), j.events...)
-	if j.state.terminal() {
-		return replay, nil, true, func() {}
+	if cursor < len(j.events) {
+		tail = append(tail, j.events[cursor:]...)
 	}
-	ch := make(chan telemetry.ProgressEvent, 64)
-	j.subs[ch] = struct{}{}
-	var once sync.Once
-	return replay, ch, false, func() {
-		once.Do(func() {
-			j.mu.Lock()
-			if _, ok := j.subs[ch]; ok {
-				delete(j.subs, ch)
-				close(ch)
-			}
-			j.mu.Unlock()
-		})
-	}
+	return tail, j.stateFast().terminal()
 }
 
-// finish moves the job to a terminal state and closes every live
-// subscription so SSE streams end.
+// finish moves the job to a terminal state and closes the done
+// channel so SSE streams drain and end.
 func (j *Job) finish(state JobState, errMsg string, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.terminal() {
+	j.finishLocked(state, errMsg, now)
+}
+
+// finishLocked is finish for callers already holding j.mu; the
+// cancel path uses it to make its observe-and-finish atomic.
+func (j *Job) finishLocked(state JobState, errMsg string, now time.Time) {
+	if j.stateFast().terminal() {
 		return
 	}
-	j.state = state
+	j.setStateLocked(state)
 	j.errMsg = errMsg
 	j.finishedAt = now
-	for ch := range j.subs {
-		close(ch)
-	}
-	j.subs = make(map[chan telemetry.ProgressEvent]struct{})
+	close(j.done)
+}
+
+// markCachedDone moves a freshly minted job straight to done-from-
+// cache. Called before the job is tracked or otherwise published.
+func (j *Job) markCachedDone() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stateV.Store(int32(stateIndex(JobDone)))
+	j.cached = true
+	close(j.done)
 }
 
 // start moves a queued job to running, rejecting jobs already
@@ -136,27 +213,31 @@ func (j *Job) finish(state JobState, errMsg string, now time.Time) {
 func (j *Job) start(cancel func()) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != JobQueued {
+	if j.stateFast() != JobQueued {
 		return false
 	}
-	j.state = JobRunning
+	j.setStateLocked(JobRunning)
 	j.cancel = cancel
 	return true
 }
 
 // requestCancel cancels the job: queued jobs jump straight to
-// canceled (the dispatcher will skip them); running jobs get their
-// context canceled and finish through the normal execution path.
-// Returns false if the job is already terminal.
+// canceled under a single lock acquisition — the decision and the
+// transition are atomic, so a racing dispatch either sees canceled
+// and skips the job, or wins the lock first and the job is canceled
+// through its running context instead. Running jobs get their context
+// canceled and finish through the normal execution path. Returns
+// false if the job is already terminal.
 func (j *Job) requestCancel() bool {
 	j.mu.Lock()
-	if j.state.terminal() {
+	state := j.stateFast()
+	if state.terminal() {
 		j.mu.Unlock()
 		return false
 	}
-	if j.state == JobQueued {
+	if state == JobQueued {
+		j.finishLocked(JobCanceled, "canceled before dispatch", time.Now())
 		j.mu.Unlock()
-		j.finish(JobCanceled, "canceled before dispatch", time.Now())
 		return true
 	}
 	cancel := j.cancel
@@ -196,7 +277,7 @@ func (j *Job) snapshot() jobStatus {
 		ID:         j.ID,
 		Experiment: j.Can.Exp.Name,
 		Hash:       j.Can.Hash,
-		State:      j.state,
+		State:      j.stateFast(),
 		Error:      j.errMsg,
 		Cached:     j.cached,
 		Coalesced:  j.coalesced,

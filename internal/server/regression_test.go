@@ -1,0 +1,438 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colt/internal/experiments"
+	"colt/internal/metrics"
+)
+
+// TestBoundedRetentionEvictsOldestTerminal: the registry must not grow
+// without bound under sustained traffic. Ten thousand cache-hit jobs
+// against a RetainJobs=64 server leave at most 64 tracked jobs; the
+// earliest IDs are evicted (404 over HTTP) while the newest survives,
+// and a job that is still running is never evicted no matter how much
+// terminal traffic churns past it.
+func TestBoundedRetentionEvictsOldestTerminal(t *testing.T) {
+	dir := t.TempDir()
+	warm := Spec{Experiment: "stub", Seed: 1}
+
+	// Phase 1: populate the cache with the hot spec's report.
+	s1 := newStubServer(t, Config{CacheDir: dir, RetainJobs: 64}, nil)
+	first := mustSubmit(t, s1, warm)
+	waitState(t, first.Job, JobDone)
+	if err := s1.Close(); err != nil { // flushes the cache index
+		t.Fatal(err)
+	}
+
+	// Phase 2: a gated server over the same cache. One fresh job runs
+	// (held open by the gate) while 10k cache hits churn the registry.
+	gate := make(chan struct{})
+	s := newStubServer(t, Config{CacheDir: dir, RetainJobs: 64}, gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	running := mustSubmit(t, s, Spec{Experiment: "stub", Seed: 777})
+	waitState(t, running.Job, JobRunning)
+
+	var firstHitID, lastHitID string
+	for i := 0; i < 10_000; i++ {
+		res := mustSubmit(t, s, warm)
+		if !res.Cached {
+			t.Fatalf("submission %d missed the cache: %+v", i, res)
+		}
+		if firstHitID == "" {
+			firstHitID = res.Job.ID
+		}
+		lastHitID = res.Job.ID
+	}
+
+	// The bound covers terminal jobs; the one running job sits outside
+	// it.
+	var terminalCount int
+	for _, j := range s.listJobs() {
+		if j.stateFast().terminal() {
+			terminalCount++
+		}
+	}
+	if terminalCount > 64 {
+		t.Fatalf("registry holds %d terminal jobs after 10k submissions, want <= 64", terminalCount)
+	}
+	if _, ok := s.Job(firstHitID); ok {
+		t.Fatalf("oldest terminal job %s survived eviction", firstHitID)
+	}
+	if _, ok := s.Job(lastHitID); !ok {
+		t.Fatalf("newest job %s was evicted", lastHitID)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+firstHitID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job status = %d, want 404", resp.StatusCode)
+	}
+
+	// The running job rode out the entire churn.
+	j, ok := s.Job(running.Job.ID)
+	if !ok {
+		t.Fatalf("running job %s was evicted", running.Job.ID)
+	}
+	if st, _ := j.State(); st != JobRunning {
+		t.Fatalf("running job state = %s, want running", st)
+	}
+	close(gate)
+	waitState(t, j, JobDone)
+}
+
+// rangedRegistry is a stub whose driver records every seed it actually
+// executes — the instrument for proving a canceled-before-dispatch job
+// never runs.
+func rangedRegistry(ran *sync.Map) []experiments.NamedExperiment {
+	return []experiments.NamedExperiment{{
+		Name: "stub", Desc: "test stub",
+		Run: func(opts experiments.Options) error {
+			ran.Store(opts.Seed, true)
+			opts.Metrics.Add(metrics.Record{
+				Kind: "bench", Bench: "stub", Setup: "s", Seed: opts.Seed,
+			}, 0)
+			return nil
+		},
+	}}
+}
+
+// TestCancelDispatchRace hammers DELETE against worker dispatch: for
+// every job whose cancel won while it was still queued, the experiment
+// must never execute. Before the fix, requestCancel read the state
+// under one lock acquisition and transitioned under a second, so a
+// dispatch could slip between the two and run a job that had already
+// been reported canceled.
+func TestCancelDispatchRace(t *testing.T) {
+	var ran sync.Map
+	s, err := NewServer(Config{
+		Workers:    2,
+		QueueDepth: 64,
+		Registry:   rangedRegistry(&ran),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	const rounds, perRound = 40, 8
+	seed := uint64(0)
+	for r := 0; r < rounds; r++ {
+		jobs := make([]*Job, 0, perRound)
+		for i := 0; i < perRound; i++ {
+			seed++
+			res := mustSubmit(t, s, Spec{Experiment: "stub", Seed: seed})
+			jobs = append(jobs, res.Job)
+		}
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				s.Cancel(j.ID)
+			}(j)
+		}
+		wg.Wait()
+		for _, j := range jobs {
+			select {
+			case <-j.Done():
+			case <-time.After(10 * time.Second):
+				st, _ := j.State()
+				t.Fatalf("job %s stuck in %s after cancel/dispatch race", j.ID, st)
+			}
+			st, errMsg := j.State()
+			switch st {
+			case JobDone:
+				// Dispatch won; the run must have happened.
+				if _, ok := ran.Load(j.Can.Spec.Seed); !ok {
+					t.Fatalf("job %s is done but its seed never ran", j.ID)
+				}
+			case JobCanceled:
+				if strings.Contains(errMsg, "before dispatch") {
+					if _, ok := ran.Load(j.Can.Spec.Seed); ok {
+						t.Fatalf("job %s canceled before dispatch but its experiment ran anyway", j.ID)
+					}
+				}
+			default:
+				t.Fatalf("job %s ended %s (%s), want done or canceled", j.ID, st, errMsg)
+			}
+		}
+	}
+}
+
+// TestQueueFullDoesNotBurnIDs: a refused submission must leave no
+// trace — in particular it must not consume a job ID. Before the fix,
+// Submit minted the ID before attempting the queue send, so a burst of
+// refusals left holes in the ID sequence.
+func TestQueueFullDoesNotBurnIDs(t *testing.T) {
+	gate := make(chan struct{})
+	s := newStubServer(t, Config{Workers: 1, QueueDepth: 1}, gate)
+
+	r1 := mustSubmit(t, s, Spec{Experiment: "stub", Seed: 1})
+	waitState(t, r1.Job, JobRunning) // its queue slot is free again
+	r2 := mustSubmit(t, s, Spec{Experiment: "stub", Seed: 2})
+	if r2.Job.ID != "j000002" {
+		t.Fatalf("second job ID = %s, want j000002", r2.Job.ID)
+	}
+
+	for i := 0; i < 10; i++ {
+		_, err := s.Submit(Spec{Experiment: "stub", Seed: uint64(100 + i)})
+		if err != ErrQueueFull {
+			t.Fatalf("over-capacity submit %d: err = %v, want ErrQueueFull", i, err)
+		}
+	}
+	if got := s.nextID.Load(); got != 2 {
+		t.Fatalf("nextID = %d after 10 refusals, want 2 (refusals must not mint IDs)", got)
+	}
+
+	close(gate)
+	waitState(t, r1.Job, JobDone)
+	waitState(t, r2.Job, JobDone)
+	r3 := mustSubmit(t, s, Spec{Experiment: "stub", Seed: 3})
+	if r3.Job.ID != "j000003" {
+		t.Fatalf("post-refusal job ID = %s, want j000003 (IDs must stay dense)", r3.Job.ID)
+	}
+}
+
+// TestResubmitPendingCountsDrops: a restarted daemon that cannot
+// readmit every checkpointed job must say so. An unknown experiment
+// (registry changed between runs) and a queue too small for the
+// checkpoint both surface in Stats.PendingDropped instead of
+// vanishing.
+func TestResubmitPendingCountsDrops(t *testing.T) {
+	t.Run("unknown experiment", func(t *testing.T) {
+		dir := t.TempDir()
+		writePendingFile(t, dir, []Spec{
+			{Experiment: "stub", Seed: 1},
+			{Experiment: "vanished", Seed: 2}, // not in the restarted registry
+			{Experiment: "stub", Seed: 3},
+		})
+		s := newStubServer(t, Config{CacheDir: dir, QueueDepth: 8}, nil)
+		if got := s.Stats().PendingDropped; got != 1 {
+			t.Fatalf("PendingDropped = %d, want 1", got)
+		}
+		if _, err := os.Stat(filepath.Join(dir, pendingFile)); !os.IsNotExist(err) {
+			t.Fatalf("pending checkpoint not consumed (stat err %v)", err)
+		}
+	})
+	t.Run("queue refilled", func(t *testing.T) {
+		dir := t.TempDir()
+		specs := make([]Spec, 6)
+		for i := range specs {
+			specs[i] = Spec{Experiment: "stub", Seed: uint64(i + 1)}
+		}
+		writePendingFile(t, dir, specs)
+		gate := make(chan struct{})
+		// One worker slot plus one queue slot: at most two of the six
+		// checkpointed jobs fit; the rest must be counted as dropped.
+		s := newStubServer(t, Config{CacheDir: dir, QueueDepth: 1, Workers: 1}, gate)
+		st := s.Stats()
+		if st.PendingDropped < 4 {
+			t.Fatalf("PendingDropped = %d, want >= 4 (only 2 of 6 can fit)", st.PendingDropped)
+		}
+		admitted := len(s.listJobs())
+		if admitted+int(st.PendingDropped) != len(specs) {
+			t.Fatalf("admitted %d + dropped %d != checkpointed %d",
+				admitted, st.PendingDropped, len(specs))
+		}
+		close(gate)
+	})
+}
+
+func writePendingFile(t *testing.T, dir string, specs []Spec) {
+	t.Helper()
+	b, err := json.MarshalIndent(struct {
+		Schema string `json:"schema"`
+		Specs  []Spec `json:"specs"`
+	}{Schema: "colt-pending/1", Specs: specs}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, pendingFile), append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSESlowSubscriberDoesNotBlockExecution: a subscriber that opens
+// an event stream and never reads a byte must not stall the job (or
+// anything else). Fan-out is cursor-based — the execution hot path
+// only appends to the job's log — so the stalled stream's cost lands
+// entirely on its own goroutine.
+func TestSSESlowSubscriberDoesNotBlockExecution(t *testing.T) {
+	gate := make(chan struct{})
+	s := newStubServer(t, Config{}, gate)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res := mustSubmit(t, s, Spec{Experiment: "stub", Seed: 1})
+	waitState(t, res.Job, JobRunning)
+
+	// A raw connection that sends the request and then goes silent:
+	// never reads, never closes, just sits on the stream.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /v1/jobs/%s/events HTTP/1.1\r\nHost: sse\r\n\r\n", res.Job.ID)
+	time.Sleep(50 * time.Millisecond) // let the handler attach
+
+	close(gate)
+	select {
+	case <-res.Job.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not finish while a slow SSE subscriber was attached")
+	}
+	if st, _ := res.Job.State(); st != JobDone {
+		t.Fatalf("job state = %s, want done", st)
+	}
+}
+
+// TestWriteJSONEncodeError: an unencodable response value becomes a
+// clean 500 with a JSON error body, not a half-written 200.
+func TestWriteJSONEncodeError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN()) // NaN has no JSON encoding
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("500 body %q is not JSON: %v", rec.Body.String(), err)
+	}
+	if !strings.Contains(body.Error, "encoding response") {
+		t.Fatalf("error body %q does not explain the encode failure", body.Error)
+	}
+
+	// The happy path still renders normally.
+	rec2 := httptest.NewRecorder()
+	writeJSON(rec2, http.StatusTeapot, apiError{Error: "x"})
+	if rec2.Code != http.StatusTeapot || !strings.Contains(rec2.Body.String(), `"x"`) {
+		t.Fatalf("happy path: status=%d body=%q", rec2.Code, rec2.Body.String())
+	}
+}
+
+// TestStatsUnderLoad runs Submit, Stats, Cancel, and job lookups
+// concurrently under the race detector. Stats must be a pure
+// atomic-counter read — it shares no lock with admission — so this
+// is primarily a data-race canary, plus a sanity check that the
+// reconciled counters stay coherent.
+func TestStatsUnderLoad(t *testing.T) {
+	s := newStubServer(t, Config{Workers: 2, QueueDepth: 32, RetainJobs: 64}, nil)
+
+	var wg sync.WaitGroup
+	var submitted, refused atomic.Int64
+	stop := make(chan struct{})
+
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// A small seed range: some submissions coalesce, some
+				// hit the cache, some simulate — all three paths race
+				// against Stats and Cancel.
+				_, err := s.Submit(Spec{Experiment: "stub", Seed: uint64(i % 7)})
+				if err == ErrQueueFull {
+					refused.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				submitted.Add(1)
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Cancel(fmt.Sprintf("j%06d", i%100))
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				for state, n := range st.Jobs {
+					if n < 0 {
+						t.Errorf("Stats reports %d jobs in state %s", n, state)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Wait for the submitters, then release the pollers.
+	done := make(chan struct{})
+	go func() {
+		for submitted.Load()+refused.Load() < 800 {
+			time.Sleep(time.Millisecond)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("submitters did not finish")
+	}
+	close(stop)
+	wg.Wait()
+
+	// Let everything settle terminal, then reconcile the counters
+	// against ground truth.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jobs := s.listJobs()
+		settled := true
+		for _, j := range jobs {
+			if !j.stateFast().terminal() {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			byState := make(map[JobState]int)
+			for _, j := range jobs {
+				byState[j.stateFast()]++
+			}
+			st := s.Stats()
+			for state, n := range byState {
+				if st.Jobs[state] != n {
+					t.Fatalf("Stats.Jobs[%s] = %d, registry holds %d", state, st.Jobs[state], n)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never settled terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

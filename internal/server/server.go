@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colt/internal/experiments"
@@ -41,6 +43,17 @@ type Config struct {
 	// (0 = GOMAXPROCS). Never part of the cache key: reports are
 	// byte-identical at every width.
 	Parallel int
+	// RetainJobs bounds how many terminal jobs stay queryable in the
+	// registry (default 1024; floored at numShards). Oldest terminal
+	// jobs are evicted first; queued and running jobs are never
+	// evicted, and a done job's report outlives its registry entry in
+	// the result cache. Without a bound the registry is an OOM under
+	// sustained traffic.
+	RetainJobs int
+	// SSEFlushInterval paces batched SSE fan-out (default 25ms): each
+	// subscriber drains the new slice of the event log once per tick
+	// with a single flush, instead of one send+flush per event.
+	SSEFlushInterval time.Duration
 	// Registry is the experiment set to serve (default
 	// experiments.Registry()). Tests stub it with fast fakes.
 	Registry []experiments.NamedExperiment
@@ -55,6 +68,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRefs == 0 {
 		c.MaxRefs = 50_000_000
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 1024
+	}
+	if c.RetainJobs < numShards {
+		c.RetainJobs = numShards
+	}
+	if c.SSEFlushInterval == 0 {
+		c.SSEFlushInterval = 25 * time.Millisecond
 	}
 	if c.Registry == nil {
 		c.Registry = experiments.Registry()
@@ -78,6 +100,15 @@ var (
 // Server is the coltd core: admission, queue, execution, cache, and
 // job registry. It serves HTTP via Handler (http.go) but is fully
 // drivable without HTTP, which is how the unit tests exercise it.
+//
+// Concurrency layout: there is no global server lock. Admission state
+// (the coalescing map) and the job registry are sharded by spec hash
+// and job sequence respectively (shard.go); counters are atomics
+// reconciled when Stats() reads them; the only whole-server lock is
+// admitMu, a read/write gate that submissions hold shared for the
+// instant of the queue send and Drain holds exclusive to close the
+// queue — it orders admission against shutdown without serializing
+// admissions against each other.
 type Server struct {
 	cfg   Config
 	cache *Cache
@@ -85,15 +116,24 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
-	mu          sync.Mutex
-	draining    bool
-	jobs        map[string]*Job
-	byHash      map[string]*Job // queued/running jobs, for coalescing
-	order       []string        // job IDs in admission order
-	nextID      int
-	pending     []Spec // checkpointed at drain
-	simulations uint64
-	coalesced   uint64
+	// admitMu orders queue sends against Drain's close(queue):
+	// submissions hold it shared, drain holds it exclusive.
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+
+	admit [numShards]admitShard
+	reg   [numShards]regShard
+
+	nextID         atomic.Uint64
+	queueSlots     atomic.Int64 // remaining queue capacity; admission wins a slot before minting an ID
+	simulations    atomic.Uint64
+	coalesced      atomic.Uint64
+	pendingDropped atomic.Uint64 // checkpointed jobs lost on restart resubmission
+
+	retainPerShard int
+
+	pendingMu sync.Mutex
+	pending   []Spec // checkpointed at drain
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -115,14 +155,20 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   c,
-		baseCtx: ctx,
-		stop:    stop,
-		jobs:    make(map[string]*Job),
-		byHash:  make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
-		ep:      newEndpointMetrics(),
+		cfg:            cfg,
+		cache:          c,
+		baseCtx:        ctx,
+		stop:           stop,
+		retainPerShard: cfg.RetainJobs / numShards,
+		queue:          make(chan *Job, cfg.QueueDepth),
+		ep:             newEndpointMetrics(),
+	}
+	s.queueSlots.Store(int64(cfg.QueueDepth))
+	for i := range s.admit {
+		s.admit[i].byHash = make(map[string]*Job)
+	}
+	for i := range s.reg {
+		s.reg[i].jobs = make(map[string]*Job)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -137,7 +183,10 @@ func NewServer(cfg Config) (*Server, error) {
 
 // resubmitPending replays the drain checkpoint of a prior run.
 // Whatever was computed before the drain is now in the cache, so
-// resubmitted specs that overlap it complete instantly.
+// resubmitted specs that overlap it complete instantly. Entries the
+// restarted daemon cannot admit — a spec the current registry no
+// longer knows, a queue already refilled — are counted, logged, and
+// surfaced as Stats.PendingDropped rather than silently vanishing.
 func (s *Server) resubmitPending() error {
 	if s.cfg.CacheDir == "" {
 		return nil
@@ -156,10 +205,16 @@ func (s *Server) resubmitPending() error {
 	if err := json.Unmarshal(raw, &cp); err != nil {
 		return fmt.Errorf("server: parsing pending checkpoint: %w", err)
 	}
+	dropped := 0
 	for _, spec := range cp.Specs {
-		// Best-effort: a spec the current registry no longer knows, or
-		// a queue already refilled, drops the checkpoint entry.
-		s.Submit(spec)
+		if _, err := s.Submit(spec); err != nil {
+			dropped++
+			log.Printf("server: dropping checkpointed job (experiment %q): %v", spec.Experiment, err)
+		}
+	}
+	if dropped > 0 {
+		s.pendingDropped.Add(uint64(dropped))
+		log.Printf("server: dropped %d of %d checkpointed jobs on restart", dropped, len(cp.Specs))
 	}
 	return os.Remove(path)
 }
@@ -170,10 +225,7 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Job looks up a tracked job by ID.
 func (s *Server) Job(id string) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	return s.lookupJob(id)
 }
 
 // SubmitResult describes the outcome of an admission decision.
@@ -192,6 +244,12 @@ type SubmitResult struct {
 // execution, and everything else takes a queue slot or is refused
 // (ErrDraining, ErrQueueFull, ErrTooLarge — the handler maps these to
 // 503/503/429; any other error is a 400 validation failure).
+//
+// The whole decision runs under the spec's admission shard lock only:
+// submissions of distinct specs are admitted concurrently, while
+// identical specs serialize just enough to guarantee one execution.
+// A queue slot is won (reserveSlot) before a job ID is minted, so a
+// refused submission consumes neither an ID nor a registry entry.
 func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 	can, err := Canonicalize(spec, s.cfg.Registry)
 	if err != nil {
@@ -202,58 +260,59 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 			ErrTooLarge, can.Opts.Refs, s.cfg.MaxRefs)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
 		return SubmitResult{}, ErrDraining
 	}
+	sh := s.admitShardFor(can.Hash)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// Coalesce onto an identical in-flight execution.
-	if j, ok := s.byHash[can.Hash]; ok {
-		if st, _ := j.State(); !st.terminal() {
+	if j, ok := sh.byHash[can.Hash]; ok {
+		if !j.stateFast().terminal() {
 			j.noteCoalesced()
-			s.coalesced++
+			s.coalesced.Add(1)
 			return SubmitResult{Job: j, Created: false}, nil
 		}
-		delete(s.byHash, can.Hash)
+		delete(sh.byHash, can.Hash)
 	}
 	now := time.Now()
 	// Serve from cache: Get verifies the stored bytes against their
 	// recorded hash, so a corrupted entry falls through to recompute.
 	if _, ok := s.cache.Get(can.Hash); ok {
-		j := newJob(s.newIDLocked(), can, now)
-		j.mu.Lock()
-		j.state = JobDone
-		j.cached = true
-		j.mu.Unlock()
-		s.trackLocked(j)
+		j := s.newTrackedJob(can, now, true)
 		return SubmitResult{Job: j, Created: true, Cached: true}, nil
 	}
-	j := newJob(s.newIDLocked(), can, now)
-	select {
-	case s.queue <- j:
-	default:
+	// Win a queue slot before minting an ID or constructing the job:
+	// refusals must leave no trace.
+	if !s.reserveSlot() {
 		return SubmitResult{}, ErrQueueFull
 	}
-	s.trackLocked(j)
-	s.byHash[can.Hash] = j
+	j := s.newTrackedJob(can, now, false)
+	sh.byHash[can.Hash] = j
+	// Cannot block (a slot is held) and cannot hit a closed channel
+	// (admitMu is read-held; Drain closes under the write lock).
+	s.queue <- j
 	return SubmitResult{Job: j, Created: true}, nil
 }
 
-func (s *Server) newIDLocked() string {
-	s.nextID++
-	return fmt.Sprintf("j%06d", s.nextID)
+// reserveSlot claims one unit of queue capacity, failing when the
+// queue is full. The matching release happens when a worker dequeues
+// the job.
+func (s *Server) reserveSlot() bool {
+	for {
+		v := s.queueSlots.Load()
+		if v <= 0 {
+			return false
+		}
+		if s.queueSlots.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
 }
 
-func (s *Server) trackLocked(j *Job) {
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j.ID)
-}
-
-func (s *Server) isDraining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) isDraining() bool { return s.draining.Load() }
 
 // worker consumes the queue. Once a drain begins, undispatched jobs
 // are checkpointed instead of executed; the job a worker is already
@@ -261,6 +320,7 @@ func (s *Server) isDraining() bool {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		s.queueSlots.Add(1) // the job left the queue; its slot frees
 		if s.isDraining() {
 			s.checkpoint(j)
 			continue
@@ -272,23 +332,24 @@ func (s *Server) worker() {
 // checkpoint records a queued job's spec for the next run and closes
 // the job as canceled.
 func (s *Server) checkpoint(j *Job) {
-	if st, _ := j.State(); st.terminal() {
+	if j.stateFast().terminal() {
 		s.dropInflight(j)
 		return
 	}
-	s.mu.Lock()
+	s.pendingMu.Lock()
 	s.pending = append(s.pending, j.Can.Spec)
-	s.mu.Unlock()
+	s.pendingMu.Unlock()
 	j.finish(JobCanceled, "checkpointed at drain; resubmitted on restart", time.Now())
 	s.dropInflight(j)
 }
 
 func (s *Server) dropInflight(j *Job) {
-	s.mu.Lock()
-	if s.byHash[j.Can.Hash] == j {
-		delete(s.byHash, j.Can.Hash)
+	sh := s.admitShardFor(j.Can.Hash)
+	sh.mu.Lock()
+	if sh.byHash[j.Can.Hash] == j {
+		delete(sh.byHash, j.Can.Hash)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // execute runs one job end to end: wire a private collector and
@@ -303,9 +364,7 @@ func (s *Server) execute(j *Job) {
 	if !j.start(cancel) {
 		return // canceled while queued
 	}
-	s.mu.Lock()
-	s.simulations++
-	s.mu.Unlock()
+	s.simulations.Add(1)
 
 	opts := j.Can.Opts
 	opts.Ctx = ctx
@@ -377,10 +436,10 @@ func (s *Server) Cancel(id string) bool {
 // bounds the wait for in-flight work.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
-		s.mu.Lock()
-		s.draining = true
+		s.admitMu.Lock()
+		s.draining.Store(true)
 		close(s.queue)
-		s.mu.Unlock()
+		s.admitMu.Unlock()
 
 		done := make(chan struct{})
 		go func() {
@@ -405,9 +464,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // savePending writes the drain checkpoint (disk-backed caches only,
 // and only when something was left queued).
 func (s *Server) savePending() error {
-	s.mu.Lock()
+	s.pendingMu.Lock()
 	specs := append([]Spec(nil), s.pending...)
-	s.mu.Unlock()
+	s.pendingMu.Unlock()
 	if s.cfg.CacheDir == "" || len(specs) == 0 {
 		return nil
 	}
@@ -435,37 +494,34 @@ func (s *Server) Close() error {
 
 // Stats is the GET /v1/stats body.
 type Stats struct {
-	Draining    bool                     `json:"draining"`
-	QueueLen    int                      `json:"queue_len"`
-	QueueCap    int                      `json:"queue_cap"`
-	Jobs        map[JobState]int         `json:"jobs"`
-	Simulations uint64                   `json:"simulations"`
-	Coalesced   uint64                   `json:"coalesced"`
-	Cache       CacheStats               `json:"cache"`
-	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	Draining bool             `json:"draining"`
+	QueueLen int              `json:"queue_len"`
+	QueueCap int              `json:"queue_cap"`
+	Jobs     map[JobState]int `json:"jobs"`
+	// Simulations counts actual experiment executions (cache hits and
+	// coalesced submissions never add one).
+	Simulations uint64 `json:"simulations"`
+	Coalesced   uint64 `json:"coalesced"`
+	// PendingDropped counts drain-checkpointed jobs a restarted daemon
+	// could not resubmit (unknown experiment, refilled queue).
+	PendingDropped uint64                   `json:"pending_dropped"`
+	Cache          CacheStats               `json:"cache"`
+	Endpoints      map[string]EndpointStats `json:"endpoints"`
 }
 
-// Stats snapshots the server's counters.
+// Stats snapshots the server's counters. Every number is an atomic
+// load reconciled across shards — no global lock is held, no per-job
+// state is read, so a monitoring scrape never stalls admission.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	st := Stats{
-		Draining:    s.draining,
-		QueueLen:    len(s.queue),
-		QueueCap:    cap(s.queue),
-		Jobs:        make(map[JobState]int),
-		Simulations: s.simulations,
-		Coalesced:   s.coalesced,
+	return Stats{
+		Draining:       s.draining.Load(),
+		QueueLen:       len(s.queue),
+		QueueCap:       cap(s.queue),
+		Jobs:           s.trackedJobs(),
+		Simulations:    s.simulations.Load(),
+		Coalesced:      s.coalesced.Load(),
+		PendingDropped: s.pendingDropped.Load(),
+		Cache:          s.cache.Stats(),
+		Endpoints:      s.ep.snapshot(),
 	}
-	jobs := make([]*Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
-	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		state, _ := j.State()
-		st.Jobs[state]++
-	}
-	st.Cache = s.cache.Stats()
-	st.Endpoints = s.ep.snapshot()
-	return st
 }

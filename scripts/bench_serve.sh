@@ -1,0 +1,39 @@
+#!/bin/sh
+# Serving-path trajectory recorder (make bench-serve): run coltload
+# against a self-hosted server and write BENCH_serve.json at the repo
+# root, so every PR records where the serving stack stands. The
+# workload is the official one from EXPERIMENTS.md: a closed loop of
+# zipf-skewed submissions over a prewarmed spec universe, with a
+# monitoring client polling /v1/stats — the traffic shape that
+# punishes a stats path which holds admission locks while it
+# aggregates.
+#
+# Usage: scripts/bench_serve.sh [duration]
+#   duration           measured window (default 8s; CI smoke uses 2s)
+#   PREPR_P99_MS       optional env: p99 ms from the pre-PR build,
+#                      measured by running the parent commit's
+#                      coltload on the same seed (interleave the two
+#                      binaries and take medians — see EXPERIMENTS.md).
+#   PREPR_GOODPUT_RPS  optional env: goodput from the pre-PR build.
+# When the PREPR_* vars are set, the JSON also records the cross-PR
+# speedups.
+set -eu
+
+GO=${GO:-go}
+DURATION=${1:-8s}
+cd "$(dirname "$0")/.."
+
+echo "bench-serve: building coltload"
+bin=$(mktemp)
+trap 'rm -f "$bin"' EXIT INT TERM
+$GO build -o "$bin" ./cmd/coltload
+
+echo "bench-serve: closed loop, 16 clients, 64 specs, zipf_s=1.1, $DURATION window"
+"$bin" \
+    -clients 16 -specs 64 -zipf-s 1.1 -seed 1 \
+    -duration "$DURATION" -refs 2000 -workers 2 -queue 64 \
+    -stats-poll 5ms \
+    -commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    ${PREPR_P99_MS:+-prepr-p99-ms "$PREPR_P99_MS"} \
+    ${PREPR_GOODPUT_RPS:+-prepr-goodput-rps "$PREPR_GOODPUT_RPS"} \
+    -out BENCH_serve.json
