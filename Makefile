@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath bench-serve chaos fuzz-buddy cover serve-smoke
+.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath bench-serve chaos chaos-serve fuzz-buddy cover serve-smoke
 
 check: fmt tidy vet build test race golden
 
@@ -34,7 +34,7 @@ test:
 # fed concurrently from all workers.
 race:
 	$(GO) test -race ./internal/sched ./internal/experiments -run 'Parallel|GoldenHistograms|TraceEvents'
-	$(GO) test -race -count=1 ./internal/server
+	$(GO) test -race -count=1 ./internal/server ./internal/server/faultfs
 
 # Golden-run regression diff: re-runs the golden experiment subset and
 # byte-compares its metrics JSON against internal/experiments/testdata/
@@ -72,6 +72,13 @@ bench-serve:
 # byte-identical at every scheduler width (see DESIGN.md).
 chaos:
 	$(GO) test ./internal/experiments -run TestChaos -count=1 -v
+
+# Serving-path chaos: SIGKILL coltd mid-load and assert the journal
+# replays every accepted job with byte-identical reports on restart,
+# then boot under a total-fsync-failure storm and assert the daemon
+# degrades to memory-only serving instead of dying (see DESIGN.md §12).
+chaos-serve:
+	./scripts/chaos_serve.sh
 
 # A short buddy-allocator fuzz run with the free-list auditor asserted
 # after every operation (CI runs the corpus only, via `make test`).

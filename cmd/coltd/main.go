@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"colt/internal/server"
+	"colt/internal/server/faultfs"
 )
 
 func main() {
@@ -30,21 +31,35 @@ func main() {
 		maxRefs      = flag.Int("max-refs", 50_000_000, "per-request measured-reference ceiling (429 above; <0 disables)")
 		retain       = flag.Int("retain", 1024, "terminal jobs kept queryable in the registry; oldest evicted first (reports persist in the cache)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long a signal-triggered drain waits for in-flight jobs")
+		diskFaults   = flag.String("disk-faults", "", "inject deterministic disk faults, e.g. 'fsync-fail=0.1,rename-fail=0.05' (chaos testing; empty = off)")
+		faultSeed    = flag.Uint64("disk-fault-seed", 1, "seed for the fault plane and Retry-After jitter streams")
+		breaker      = flag.Int("breaker", 3, "consecutive disk-write failures that trip the memory-only circuit breaker (-1 never trips)")
+		probe        = flag.Duration("probe-interval", 2*time.Second, "how often degraded mode re-probes the disk to close the breaker")
 	)
 	flag.Parse()
 
-	if err := validate(*queueDepth, *workers, *parallel, *retain, *drainTimeout); err != nil {
+	if err := validate(*queueDepth, *workers, *parallel, *retain, *drainTimeout, *breaker, *probe); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
+	faultSpec, err := faultfs.ParseSpec(*diskFaults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coltd: -disk-faults:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*addr, server.Config{
-		CacheDir:   *cacheDir,
-		QueueDepth: *queueDepth,
-		Workers:    *workers,
-		Parallel:   *parallel,
-		MaxRefs:    *maxRefs,
-		RetainJobs: *retain,
+		CacheDir:         *cacheDir,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		Parallel:         *parallel,
+		MaxRefs:          *maxRefs,
+		RetainJobs:       *retain,
+		DiskFaults:       faultSpec,
+		DiskFaultSeed:    *faultSeed,
+		BreakerThreshold: *breaker,
+		ProbeInterval:    *probe,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		os.Exit(1)
@@ -53,7 +68,7 @@ func main() {
 
 // validate rejects nonsensical flag combinations before anything
 // binds or forks, naming the offending flag.
-func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Duration) error {
+func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Duration, breaker int, probe time.Duration) error {
 	if queueDepth < 1 {
 		return fmt.Errorf("-queue must be >= 1, got %d", queueDepth)
 	}
@@ -68,6 +83,12 @@ func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Durat
 	}
 	if drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
+	}
+	if breaker == 0 || breaker < -1 {
+		return fmt.Errorf("-breaker must be >= 1 (or -1 to never trip), got %d", breaker)
+	}
+	if probe <= 0 {
+		return fmt.Errorf("-probe-interval must be positive, got %v", probe)
 	}
 	return nil
 }

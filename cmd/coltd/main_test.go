@@ -11,19 +11,24 @@ func TestValidateRejectsBadSizing(t *testing.T) {
 		name                                string
 		queueDepth, workers, parall, retain int
 		drain                               time.Duration
+		breaker                             int
+		probe                               time.Duration
 		wantFlag                            string
 	}{
-		{"zero queue", 0, 1, 0, 1024, time.Minute, "-queue"},
-		{"negative queue", -3, 1, 0, 1024, time.Minute, "-queue"},
-		{"zero workers", 8, 0, 0, 1024, time.Minute, "-workers"},
-		{"negative parallel", 8, 1, -1, 1024, time.Minute, "-parallel"},
-		{"zero retain", 8, 1, 0, 0, time.Minute, "-retain"},
-		{"zero drain timeout", 8, 1, 0, 1024, 0, "-drain-timeout"},
-		{"negative drain timeout", 8, 1, 0, 1024, -time.Second, "-drain-timeout"},
+		{"zero queue", 0, 1, 0, 1024, time.Minute, 3, time.Second, "-queue"},
+		{"negative queue", -3, 1, 0, 1024, time.Minute, 3, time.Second, "-queue"},
+		{"zero workers", 8, 0, 0, 1024, time.Minute, 3, time.Second, "-workers"},
+		{"negative parallel", 8, 1, -1, 1024, time.Minute, 3, time.Second, "-parallel"},
+		{"zero retain", 8, 1, 0, 0, time.Minute, 3, time.Second, "-retain"},
+		{"zero drain timeout", 8, 1, 0, 1024, 0, 3, time.Second, "-drain-timeout"},
+		{"negative drain timeout", 8, 1, 0, 1024, -time.Second, 3, time.Second, "-drain-timeout"},
+		{"zero breaker", 8, 1, 0, 1024, time.Minute, 0, time.Second, "-breaker"},
+		{"breaker below -1", 8, 1, 0, 1024, time.Minute, -2, time.Second, "-breaker"},
+		{"zero probe interval", 8, 1, 0, 1024, time.Minute, 3, 0, "-probe-interval"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validate(tc.queueDepth, tc.workers, tc.parall, tc.retain, tc.drain)
+			err := validate(tc.queueDepth, tc.workers, tc.parall, tc.retain, tc.drain, tc.breaker, tc.probe)
 			if err == nil {
 				t.Fatal("validate succeeded")
 			}
@@ -35,7 +40,11 @@ func TestValidateRejectsBadSizing(t *testing.T) {
 }
 
 func TestValidateAcceptsDefaults(t *testing.T) {
-	if err := validate(16, 1, 0, 1024, 10*time.Minute); err != nil {
+	if err := validate(16, 1, 0, 1024, 10*time.Minute, 3, 2*time.Second); err != nil {
 		t.Fatalf("validate rejected the default configuration: %v", err)
+	}
+	// -breaker -1 is the documented "never trip" escape hatch.
+	if err := validate(16, 1, 0, 1024, 10*time.Minute, -1, 2*time.Second); err != nil {
+		t.Fatalf("validate rejected -breaker -1: %v", err)
 	}
 }

@@ -44,6 +44,9 @@ func main() {
 		refs     = flag.Int("refs", 2000, "measured references per spec (small: the bench measures serving, not simulating)")
 		prewarm  = flag.Bool("prewarm", true, "submit every spec once before measuring, so the window exercises the cache/coalesce hot paths")
 		poll     = flag.Duration("poll", time.Millisecond, "job-status poll interval")
+		retryMax = flag.Int("retry-max", 4, "503 retries per request before counting it refused (-1 disables)")
+		retryBas = flag.Duration("retry-base", 25*time.Millisecond, "first-retry backoff; doubles per attempt with deterministic jitter")
+		retryCap = flag.Duration("retry-cap", time.Second, "backoff ceiling (also clamps the server's Retry-After hint)")
 		stats    = flag.Duration("stats-poll", 0, "add a monitoring client that GETs /v1/stats on this period (0 = off)")
 		outPath  = flag.String("out", "", "write the JSON summary to this file (default stdout)")
 		commit   = flag.String("commit", "", "commit hash recorded in the summary")
@@ -60,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validate(*clients, *rate, *duration, *requests, *specs, *zipfS, *refs, *poll); err != nil {
+	if err := validate(*clients, *rate, *duration, *requests, *specs, *zipfS, *refs, *poll, *retryBas, *retryCap); err != nil {
 		fmt.Fprintln(os.Stderr, "coltload:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -69,6 +72,7 @@ func main() {
 		addr: *addr, clients: *clients, rate: *rate, duration: *duration,
 		requests: *requests, specs: *specs, zipfS: *zipfS, seed: *seed,
 		experiment: *expName, refs: *refs, prewarm: *prewarm, poll: *poll, statsPoll: *stats,
+		retryMax: *retryMax, retryBase: *retryBas, retryCap: *retryCap,
 		out: *outPath, commit: *commit,
 		shWorkers: *shWorkers, shQueue: *shQueue, shCache: *shCache,
 		preP99: *preP99, preGoodput: *preGoodput,
@@ -80,7 +84,7 @@ func main() {
 
 // validate rejects nonsensical flags before anything runs, naming the
 // offending flag.
-func validate(clients int, rate float64, duration time.Duration, requests, specs int, zipfS float64, refs int, poll time.Duration) error {
+func validate(clients int, rate float64, duration time.Duration, requests, specs int, zipfS float64, refs int, poll, retryBase, retryCap time.Duration) error {
 	if clients < 1 {
 		return fmt.Errorf("-clients must be >= 1, got %d", clients)
 	}
@@ -105,6 +109,12 @@ func validate(clients int, rate float64, duration time.Duration, requests, specs
 	if poll <= 0 {
 		return fmt.Errorf("-poll must be positive, got %v", poll)
 	}
+	if retryBase <= 0 {
+		return fmt.Errorf("-retry-base must be positive, got %v", retryBase)
+	}
+	if retryCap < retryBase {
+		return fmt.Errorf("-retry-cap (%v) must be >= -retry-base (%v)", retryCap, retryBase)
+	}
 	return nil
 }
 
@@ -122,6 +132,9 @@ type config struct {
 	prewarm    bool
 	poll       time.Duration
 	statsPoll  time.Duration
+	retryMax   int
+	retryBase  time.Duration
+	retryCap   time.Duration
 	out        string
 	commit     string
 	shWorkers  int
@@ -142,6 +155,8 @@ type summary struct {
 	Refused         int     `json:"refused"`
 	Errors          int     `json:"errors"`
 	Done            int     `json:"done"`
+	Retries         int     `json:"retries"`
+	BackoffMs       float64 `json:"backoff_ms"`
 	CacheHitRate    float64 `json:"cache_hit_rate"`
 	CoalesceRate    float64 `json:"coalesce_rate"`
 	ZipfS           float64 `json:"zipf_s"`
@@ -209,6 +224,9 @@ func run(cfg config) error {
 		PollInterval:  cfg.poll,
 		Prewarm:       cfg.prewarm,
 		StatsInterval: cfg.statsPoll,
+		RetryMax:      cfg.retryMax,
+		RetryBase:     cfg.retryBase,
+		RetryCap:      cfg.retryCap,
 		Template: server.Spec{
 			Experiment: cfg.experiment,
 			Quick:      true,
@@ -231,6 +249,8 @@ func run(cfg config) error {
 		Refused:      res.Refused,
 		Errors:       res.Errors,
 		Done:         res.Done,
+		Retries:      res.Retries,
+		BackoffMs:    ms(res.Backoff),
 		CacheHitRate: round4(res.CacheHitRate),
 		CoalesceRate: round4(res.CoalesceRate),
 		ZipfS:        cfg.zipfS,

@@ -8,7 +8,7 @@ import (
 
 func TestValidate(t *testing.T) {
 	ok := func(clients int, rate float64, dur time.Duration, requests, specs int, zipfS float64, refs int, poll time.Duration) error {
-		return validate(clients, rate, dur, requests, specs, zipfS, refs, poll)
+		return validate(clients, rate, dur, requests, specs, zipfS, refs, poll, 25*time.Millisecond, time.Second)
 	}
 	if err := ok(16, 0, 5*time.Second, 0, 64, 1.1, 2000, time.Millisecond); err != nil {
 		t.Fatalf("default flags rejected: %v", err)
@@ -25,6 +25,8 @@ func TestValidate(t *testing.T) {
 		{"zipf-s", "-zipf-s", ok(1, 0, time.Second, 0, 1, -0.5, 1, time.Millisecond)},
 		{"refs", "-refs", ok(1, 0, time.Second, 0, 1, 1, 0, time.Millisecond)},
 		{"poll", "-poll", ok(1, 0, time.Second, 0, 1, 1, 1, 0)},
+		{"retry-base", "-retry-base", validate(1, 0, time.Second, 0, 1, 1, 1, time.Millisecond, 0, time.Second)},
+		{"retry-cap", "-retry-cap", validate(1, 0, time.Second, 0, 1, 1, 1, time.Millisecond, time.Second, time.Millisecond)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,17 @@ type Config struct {
 	// shape that exposes a stats path which holds admission locks
 	// while it aggregates.
 	StatsInterval time.Duration
+	// RetryMax bounds how many times one request retries a 503 before
+	// counting it refused (default 4; negative disables retries). 429
+	// is never retried — the spec itself is over the server's ceiling
+	// and will be over it next time too.
+	RetryMax int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// retries (defaults 25ms and 1s): attempt n waits
+	// jitter × min(cap, max(base·2ⁿ, server Retry-After)), with
+	// deterministic jitter in [0.5, 1.0) from a per-client rng stream.
+	RetryBase time.Duration
+	RetryCap  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,7 +85,56 @@ func (c Config) withDefaults() Config {
 	if c.Template.Seed == 0 {
 		c.Template.Seed = 1
 	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 4
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryCap == 0 {
+		c.RetryCap = time.Second
+	}
 	return c
+}
+
+// backoff derives deterministic retry waits for one client: the jitter
+// stream is a pure function of (seed, stream name), so a rerun with
+// the same seed backs off identically. Safe for concurrent use (the
+// open loop shares one across its arrival goroutines).
+type backoff struct {
+	mu        sync.Mutex
+	rng       *rng.RNG
+	base, cap time.Duration
+}
+
+func (r *runner) newBackoff(name string) *backoff {
+	return &backoff{
+		rng:  rng.New(r.cfg.Seed).Stream(name),
+		base: r.cfg.RetryBase,
+		cap:  r.cfg.RetryCap,
+	}
+}
+
+// next returns the wait before retry number attempt (0-based), folding
+// in the server's Retry-After hint: the wait doubles per attempt,
+// never undercuts what the server asked for, never exceeds the cap,
+// and carries jitter in [0.5, 1.0) so a refused crowd spreads out
+// instead of returning as the same thundering herd that was refused.
+func (b *backoff) next(attempt int, retryAfter time.Duration) time.Duration {
+	d := b.base << uint(attempt)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	}
+	b.mu.Lock()
+	f := b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration((0.5 + 0.5*f) * float64(d))
 }
 
 // Result is the aggregated outcome of a run.
@@ -175,11 +236,12 @@ func Run(cfg Config) (Result, error) {
 		for i := 0; i < cfg.Clients; i++ {
 			recs[i] = &Recorder{}
 			z := NewZipf(rng.New(cfg.Seed).Stream(fmt.Sprintf("client/%d", i)), cfg.Specs, cfg.ZipfS)
+			bo := r.newBackoff(fmt.Sprintf("backoff/client/%d", i))
 			wg.Add(1)
 			go func(rec *Recorder) {
 				defer wg.Done()
 				for time.Now().Before(deadline) && r.left.Add(-1) >= 0 {
-					r.doRequest(ctx, z.Next(), rec)
+					r.doRequest(ctx, z.Next(), rec, bo)
 				}
 			}(recs[i])
 		}
@@ -217,6 +279,7 @@ func (r *runner) openLoop(ctx context.Context, deadline time.Time, recs []*Recor
 	var mu sync.Mutex
 	shared := &Recorder{}
 	recs[0] = shared
+	bo := r.newBackoff("backoff/arrivals")
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for time.Now().Before(deadline) && r.left.Add(-1) >= 0 {
@@ -225,7 +288,7 @@ func (r *runner) openLoop(ctx context.Context, deadline time.Time, recs []*Recor
 		go func() {
 			defer wg.Done()
 			var rec Recorder
-			r.doRequest(ctx, k, &rec)
+			r.doRequest(ctx, k, &rec, bo)
 			mu.Lock()
 			shared.Merge(&rec)
 			mu.Unlock()
@@ -270,7 +333,9 @@ func (r *runner) prewarm() error {
 	for k := range r.bodies {
 		for {
 			var rec Recorder
-			r.doRequest(ctx, k, &rec)
+			// Prewarm runs its own unbounded retry loop below, so it
+			// submits without the bounded backoff helper.
+			r.doRequest(ctx, k, &rec, nil)
 			if rec.Done > 0 {
 				break
 			}
@@ -284,42 +349,57 @@ func (r *runner) prewarm() error {
 	return nil
 }
 
-// doRequest submits spec k and follows the job to a terminal state,
-// recording the outcome into rec.
-func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder) {
+// doRequest submits spec k — retrying 503 refusals with jittered
+// exponential backoff when bo is non-nil — and follows the accepted
+// job to a terminal state, recording the outcome into rec. A retried
+// request stays one Request; its waits accumulate in rec.Backoff and
+// its eventual latency (client-perceived) includes them.
+func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backoff) {
 	rec.Requests++
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.bodies[k]))
-	if err != nil {
-		rec.Errors++
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.client.Do(req)
-	if err != nil {
-		rec.Errors++
-		return
-	}
 	var sr submitResponse
-	decErr := json.NewDecoder(resp.Body).Decode(&sr)
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
-		rec.Refused++
-		return
-	case http.StatusCreated, http.StatusOK:
-		if decErr != nil {
+	var code int
+	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
+		var err error
+		code, retryAfter, err = r.submit(ctx, k, &sr)
+		if err != nil {
 			rec.Errors++
 			return
 		}
-	default:
-		rec.Errors++
-		return
+		switch code {
+		case http.StatusCreated, http.StatusOK:
+			// Admitted.
+		case http.StatusServiceUnavailable:
+			// Transient pressure (queue full, draining): the server's
+			// Retry-After says when it expects room again.
+			if bo != nil && attempt < r.cfg.RetryMax {
+				d := bo.next(attempt, retryAfter)
+				rec.Retries++
+				rec.Backoff += d
+				select {
+				case <-ctx.Done():
+					rec.Refused++
+					return
+				case <-time.After(d):
+				}
+				continue
+			}
+			rec.Refused++
+			return
+		case http.StatusTooManyRequests:
+			// Hard admission ceiling: the same spec meets the same
+			// ceiling on every resubmission, so never retry.
+			rec.Refused++
+			return
+		default:
+			rec.Errors++
+			return
+		}
+		break
 	}
 	rec.Accepted++
-	if resp.StatusCode == http.StatusOK {
+	if code == http.StatusOK {
 		rec.Coalesced++ // folded onto an identical in-flight job
 	}
 	if sr.Cached {
@@ -353,6 +433,34 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder) {
 	} else {
 		rec.Errors++
 	}
+}
+
+// submit performs one POST /v1/jobs attempt for spec k, decoding the
+// body into sr on 2xx and the Retry-After header (whole seconds, as
+// coltd sends it) into retryAfter on refusals.
+func (r *runner) submit(ctx context.Context, k int, sr *submitResponse) (code int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.bodies[k]))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(sr); derr != nil {
+			io.Copy(io.Discard, resp.Body)
+			return resp.StatusCode, 0, derr
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, nil
 }
 
 // poll fetches one job-status snapshot.

@@ -1,7 +1,10 @@
 package loadgen
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -131,5 +134,108 @@ func TestPrewarmMakesWindowAllHits(t *testing.T) {
 	if res.CacheHitRate != 1.0 {
 		t.Fatalf("cache hit rate after prewarm = %g, want 1.0 (%d hits / %d accepted)",
 			res.CacheHitRate, res.CacheHits, res.Accepted)
+	}
+}
+
+// refusingTarget serves /v1/jobs by 503-refusing the first refusals
+// POSTs (with a Retry-After hint) and then accepting straight to done.
+func refusingTarget(t *testing.T, refusals int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var posts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) <= refusals {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"j000001","state":"done","cached":true}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &posts
+}
+
+func TestRetriesRecoverFromTransient503(t *testing.T) {
+	ts, posts := refusingTarget(t, 2)
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Clients:     1,
+		Duration:    30 * time.Second,
+		MaxRequests: 1,
+		Seed:        11,
+		RetryMax:    4,
+		RetryBase:   time.Millisecond,
+		RetryCap:    5 * time.Millisecond, // clamp the server's 1s hint; keep the test fast
+		Template:    server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 1 || res.Accepted != 1 || res.Refused != 0 {
+		t.Fatalf("requests=%d accepted=%d refused=%d; a retried request is still one request",
+			res.Requests, res.Accepted, res.Refused)
+	}
+	if res.Retries != 2 || res.Backoff <= 0 {
+		t.Fatalf("retries=%d backoff=%v, want the two 503s retried with nonzero waits",
+			res.Retries, res.Backoff)
+	}
+	if got := posts.Load(); got != 3 {
+		t.Fatalf("server saw %d POSTs, want 3 (2 refused + 1 accepted)", got)
+	}
+}
+
+func TestRetryBudgetExhaustionCountsRefused(t *testing.T) {
+	ts, _ := refusingTarget(t, 1<<30) // never stops refusing
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Clients:     1,
+		Duration:    30 * time.Second,
+		MaxRequests: 1,
+		Seed:        11,
+		RetryMax:    2,
+		RetryBase:   time.Millisecond,
+		RetryCap:    2 * time.Millisecond,
+		Template:    server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refused != 1 || res.Retries != 2 || res.Accepted != 0 {
+		t.Fatalf("refused=%d retries=%d accepted=%d; want the budget spent then one refusal",
+			res.Refused, res.Retries, res.Accepted)
+	}
+	if got := res.Accepted + res.Refused + res.Errors; got != res.Requests {
+		t.Fatalf("outcome identity broken: %d+%d+%d != %d",
+			res.Accepted, res.Refused, res.Errors, res.Requests)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	r := &runner{cfg: Config{Seed: 9, RetryBase: 10 * time.Millisecond, RetryCap: 80 * time.Millisecond}}
+	a := r.newBackoff("backoff/client/0")
+	b := r.newBackoff("backoff/client/0")
+	for attempt := 0; attempt < 6; attempt++ {
+		da, db := a.next(attempt, 0), b.next(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed and stream gave %v vs %v", attempt, da, db)
+		}
+		// Raw wait doubles from base and clamps at cap; jitter scales it
+		// into [0.5, 1.0).
+		raw := 10 * time.Millisecond << uint(attempt)
+		if raw > 80*time.Millisecond {
+			raw = 80 * time.Millisecond
+		}
+		if da < raw/2 || da >= raw {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v)", attempt, da, raw/2, raw)
+		}
+	}
+	// The server's Retry-After is a floor on the raw wait, still capped.
+	if d := a.next(0, 40*time.Millisecond); d < 20*time.Millisecond || d >= 40*time.Millisecond {
+		t.Fatalf("Retry-After floor ignored: wait %v", d)
+	}
+	if d := a.next(0, time.Second); d < 40*time.Millisecond || d >= 80*time.Millisecond {
+		t.Fatalf("cap not applied over Retry-After: wait %v", d)
 	}
 }

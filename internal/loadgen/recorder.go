@@ -30,6 +30,12 @@ type Recorder struct {
 	// Coalesced counts submissions folded onto an identical in-flight
 	// execution.
 	Coalesced int
+	// Retries counts 503 refusals answered with a backoff-and-retry
+	// instead of giving up; Backoff is the total time spent in those
+	// waits. Refused counts only requests that exhausted their retry
+	// budget (or drew a non-retryable 429).
+	Retries int
+	Backoff time.Duration
 }
 
 // Merge folds o into r.
@@ -42,6 +48,8 @@ func (r *Recorder) Merge(o *Recorder) {
 	r.Done += o.Done
 	r.CacheHits += o.CacheHits
 	r.Coalesced += o.Coalesced
+	r.Retries += o.Retries
+	r.Backoff += o.Backoff
 }
 
 // Percentiles sorts the recorded latencies in place and returns the

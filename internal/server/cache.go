@@ -8,14 +8,24 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"colt/internal/metrics"
+	"colt/internal/server/faultfs"
 )
 
 // cacheIndexFile is the on-disk index name inside the cache directory.
 const cacheIndexFile = "index.json"
+
+// metaSuffix is the per-entry sidecar suffix: <key>.meta.json holds
+// the entry's index record, written durably next to the entry file
+// itself. The sidecars — not index.json — are the source of truth:
+// index.json is a fast-load snapshot flushed at drain, and a torn or
+// missing index is rebuilt from the hash-verified sidecars instead of
+// losing the cache.
+const metaSuffix = ".meta.json"
 
 // CacheEntry is one cached report's index record. Key is the content
 // address (SHA-256 of the canonical spec JSON); Sum is the SHA-256 of
@@ -38,56 +48,154 @@ type cacheIndex struct {
 const cacheSchema = "colt-cache/1"
 
 // Cache is the content-addressed result store. With a directory it
-// persists each report as <dir>/<key>.json plus an index flushed on
-// drain (a restarted daemon reuses prior results); with an empty
+// persists each report as <dir>/<key>.json plus a durable per-entry
+// meta sidecar and an index snapshot flushed on drain; with an empty
 // directory it is memory-only. All methods are safe for concurrent
 // use: reads share an RWMutex read lock and do their file I/O and
 // hash verification outside any lock, so a zipf-hot key served to
 // many clients at once never serializes on the mutex for the
 // expensive part.
+//
+// Crash tolerance: every durable write goes through the injectable
+// filesystem seam (internal/server/faultfs) and is fsynced —
+// temp-write, fsync file, rename, fsync parent directory — so a
+// SIGKILL or power cut leaves either the old state or the new, never
+// a torn file the next boot trusts. When the disk turns hostile the
+// cache degrades to a memory overlay (setDegraded) instead of
+// failing jobs: entries written while degraded are served from
+// memory and flushed back to disk when the circuit breaker closes.
 type Cache struct {
 	mu      sync.RWMutex
 	dir     string
+	fs      faultfs.FS
 	entries map[string]CacheEntry
-	mem     map[string][]byte // memory mode only; values are immutable once stored
+	// mem is the byte store for memory mode, and the degraded-mode
+	// overlay for disk mode. Values are immutable once stored.
+	mem map[string][]byte
+
+	degraded atomic.Bool // disk mode only: writes go to the overlay
 
 	hits, misses, corrupt atomic.Uint64
+	degradedPuts          atomic.Uint64
+
+	// Rebuild outcome, set once at open.
+	rebuilt        int
+	rebuildEvicted int
+	indexTorn      bool
 }
 
 // OpenCache opens (or initializes) a cache rooted at dir, loading a
 // prior index if one exists. dir == "" selects memory-only mode.
 func OpenCache(dir string) (*Cache, error) {
-	c := &Cache{dir: dir, entries: make(map[string]CacheEntry)}
+	return OpenCacheFS(dir, faultfs.OS())
+}
+
+// OpenCacheFS is OpenCache with an explicit filesystem seam (the
+// fault plane's entry point). If index.json is torn or missing but
+// entry files exist, the index is rebuilt from the per-entry meta
+// sidecars: each candidate's bytes are re-hashed against its recorded
+// sum, verified entries are re-indexed, and corrupt ones are evicted
+// and counted — a crashed daemon recovers its cache instead of
+// recomputing it.
+func OpenCacheFS(dir string, fsys faultfs.FS) (*Cache, error) {
+	c := &Cache{dir: dir, fs: fsys, entries: make(map[string]CacheEntry), mem: make(map[string][]byte)}
 	if dir == "" {
-		c.mem = make(map[string][]byte)
 		return c, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: creating %s: %w", dir, err)
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, cacheIndexFile))
-	if errors.Is(err, fs.ErrNotExist) {
-		return c, nil
-	}
-	if err != nil {
+	raw, err := fsys.ReadFile(filepath.Join(dir, cacheIndexFile))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// No index: rebuild below finds whatever the sidecars prove.
+	case err != nil:
 		return nil, fmt.Errorf("cache: reading index: %w", err)
+	default:
+		var idx cacheIndex
+		if jerr := json.Unmarshal(raw, &idx); jerr != nil {
+			// A torn index is a crash artifact, not a fatal condition:
+			// fall through to the sidecar rebuild.
+			c.indexTorn = true
+		} else {
+			for _, e := range idx.Entries {
+				c.entries[e.Key] = e
+			}
+		}
 	}
-	var idx cacheIndex
-	if err := json.Unmarshal(raw, &idx); err != nil {
-		return nil, fmt.Errorf("cache: parsing index: %w", err)
-	}
-	for _, e := range idx.Entries {
-		c.entries[e.Key] = e
+	if err := c.rebuildFromSidecars(); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// rebuildFromSidecars reconciles the in-memory index against the
+// per-entry meta sidecars on disk. Entries the loaded index already
+// covers are trusted here (every Get re-verifies them anyway);
+// sidecar-only entries — Puts that landed after the last index flush,
+// or the whole cache when the index was torn — are admitted only if
+// their bytes hash to the recorded sum, and evicted otherwise.
+func (c *Cache) rebuildFromSidecars() error {
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("cache: scanning %s: %w", c.dir, err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if !strings.HasSuffix(name, metaSuffix) {
+			continue
+		}
+		key := strings.TrimSuffix(name, metaSuffix)
+		if _, ok := c.entries[key]; ok {
+			continue
+		}
+		metaPath := filepath.Join(c.dir, name)
+		evict := func() {
+			c.fs.Remove(metaPath)
+			c.fs.Remove(c.entryPath(key))
+			c.rebuildEvicted++
+		}
+		raw, err := c.fs.ReadFile(metaPath)
+		if err != nil {
+			evict()
+			continue
+		}
+		var e CacheEntry
+		if json.Unmarshal(raw, &e) != nil || e.Key != key || e.Sum == "" {
+			evict()
+			continue
+		}
+		b, err := c.fs.ReadFile(c.entryPath(key))
+		if err != nil || metrics.Sum256Hex(b) != e.Sum {
+			evict()
+			continue
+		}
+		c.entries[key] = e
+		c.rebuilt++
+	}
+	return nil
 }
 
 // Dir returns the cache's directory ("" in memory mode).
 func (c *Cache) Dir() string { return c.dir }
 
-// entryPath is the report file for a key.
+// setDegraded flips disk-mode writes between the real filesystem and
+// the memory overlay. No-op in memory mode.
+func (c *Cache) setDegraded(on bool) {
+	if c.dir != "" {
+		c.degraded.Store(on)
+	}
+}
+
+func (c *Cache) isDegraded() bool { return c.degraded.Load() }
+
+// entryPath is the report file for a key; metaPath its sidecar.
 func (c *Cache) entryPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *Cache) metaPath(key string) string {
+	return filepath.Join(c.dir, key+metaSuffix)
 }
 
 // Get returns the cached report bytes for key, verifying them against
@@ -96,12 +204,13 @@ func (c *Cache) entryPath(key string) string {
 // evicted) so the caller recomputes instead of serving bad bytes.
 //
 // Only the index lookup holds the (read) lock; the file read and the
-// SHA-256 verification run lock-free.
+// SHA-256 verification run lock-free. The memory overlay (memory
+// mode, or entries written while degraded) is checked first.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.RLock()
 	e, ok := c.entries[key]
 	var b []byte
-	if ok && c.mem != nil {
+	if ok {
 		b = c.mem[key] // immutable once stored; safe to use after unlock
 	}
 	c.mu.RUnlock()
@@ -109,9 +218,14 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	if c.mem == nil {
+	if b == nil {
+		if c.dir == "" {
+			// Memory mode promised an entry it no longer holds.
+			c.evictCorrupt(key, e.Sum)
+			return nil, false
+		}
 		var err error
-		b, err = os.ReadFile(c.entryPath(key))
+		b, err = c.fs.ReadFile(c.entryPath(key))
 		if err != nil {
 			// The index promised an entry the disk no longer has:
 			// treat as corruption, evict, recompute.
@@ -135,10 +249,10 @@ func (c *Cache) evictCorrupt(key, failedSum string) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && e.Sum == failedSum {
 		delete(c.entries, key)
-		if c.mem != nil {
-			delete(c.mem, key)
-		} else {
-			os.Remove(c.entryPath(key))
+		delete(c.mem, key)
+		if c.dir != "" {
+			c.fs.Remove(c.entryPath(key))
+			c.fs.Remove(c.metaPath(key))
 		}
 	}
 	c.mu.Unlock()
@@ -146,30 +260,93 @@ func (c *Cache) evictCorrupt(key, failedSum string) {
 	c.misses.Add(1)
 }
 
-// Put stores report bytes under key. In disk mode the entry file is
-// written immediately (write-then-rename for atomicity); the index is
-// flushed separately by SaveIndex.
+// Put stores report bytes under key. In disk mode the entry file and
+// its meta sidecar are written durably (temp + fsync + rename + dir
+// fsync) before the entry becomes visible; if the disk write fails
+// the bytes are kept in the memory overlay — the result is still
+// served — and the error is returned so the caller can feed its
+// circuit breaker. While degraded, Puts skip the disk entirely.
 func (c *Cache) Put(key, experiment string, b []byte) error {
 	e := CacheEntry{Key: key, Experiment: experiment, Sum: metrics.Sum256Hex(b), Size: len(b)}
-	if c.mem != nil {
-		stored := append([]byte(nil), b...)
-		c.mu.Lock()
-		c.mem[key] = stored
-		c.entries[key] = e
-		c.mu.Unlock()
+	if c.dir == "" {
+		c.putOverlay(key, e, b)
 		return nil
 	}
-	tmp := c.entryPath(key) + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return fmt.Errorf("cache: writing entry: %w", err)
+	if c.isDegraded() {
+		c.putOverlay(key, e, b)
+		c.degradedPuts.Add(1)
+		return nil
 	}
-	if err := os.Rename(tmp, c.entryPath(key)); err != nil {
-		return fmt.Errorf("cache: committing entry: %w", err)
+	if err := c.writeEntryFiles(e, b); err != nil {
+		c.putOverlay(key, e, b)
+		c.degradedPuts.Add(1)
+		return err
 	}
 	c.mu.Lock()
 	c.entries[key] = e
+	delete(c.mem, key) // the durable copy supersedes any overlay copy
 	c.mu.Unlock()
 	return nil
+}
+
+// putOverlay publishes an entry backed by memory only.
+func (c *Cache) putOverlay(key string, e CacheEntry, b []byte) {
+	stored := append([]byte(nil), b...)
+	c.mu.Lock()
+	c.mem[key] = stored
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// writeEntryFiles writes the entry file and its meta sidecar, each
+// crash-atomically and fsynced.
+func (c *Cache) writeEntryFiles(e CacheEntry, b []byte) error {
+	if err := faultfs.WriteFileSync(c.fs, c.entryPath(e.Key), b); err != nil {
+		return fmt.Errorf("cache: writing entry: %w", err)
+	}
+	meta, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cache: encoding entry meta: %w", err)
+	}
+	if err := faultfs.WriteFileSync(c.fs, c.metaPath(e.Key), append(meta, '\n')); err != nil {
+		return fmt.Errorf("cache: writing entry meta: %w", err)
+	}
+	return nil
+}
+
+// FlushOverlay writes entries that only live in the memory overlay
+// back to disk — the recovery step after the circuit breaker closes.
+// Returns how many entries were flushed; stops at the first disk
+// error (the caller re-opens the breaker).
+func (c *Cache) FlushOverlay() (int, error) {
+	if c.dir == "" {
+		return 0, nil
+	}
+	c.mu.RLock()
+	keys := make([]string, 0, len(c.mem))
+	for k := range c.mem {
+		keys = append(keys, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(keys)
+	flushed := 0
+	for _, k := range keys {
+		c.mu.RLock()
+		e, ok := c.entries[k]
+		b := c.mem[k]
+		c.mu.RUnlock()
+		if !ok || b == nil {
+			continue
+		}
+		if err := c.writeEntryFiles(e, b); err != nil {
+			return flushed, err
+		}
+		c.mu.Lock()
+		delete(c.mem, k)
+		c.mu.Unlock()
+		flushed++
+	}
+	return flushed, nil
 }
 
 // Entry returns the index record for key, if present.
@@ -180,18 +357,23 @@ func (c *Cache) Entry(key string) (CacheEntry, bool) {
 	return e, ok
 }
 
-// SaveIndex flushes the index to disk (no-op in memory mode), written
-// atomically and key-sorted so restarts and hand inspection are
-// deterministic. The drain path calls this; callers may also call it
-// periodically.
+// SaveIndex flushes the index snapshot to disk (no-op in memory mode
+// and while degraded — a hostile disk gets no writes), written
+// crash-atomically, fsynced, and key-sorted so restarts and hand
+// inspection are deterministic. The drain path calls this; callers
+// may also call it periodically. Losing an index flush is never fatal
+// thanks to the sidecar rebuild, but a fresh index makes the next
+// boot cheap.
 func (c *Cache) SaveIndex() error {
-	c.mu.RLock()
-	if c.mem != nil {
-		c.mu.RUnlock()
+	if c.dir == "" || c.isDegraded() {
 		return nil
 	}
+	c.mu.RLock()
 	idx := cacheIndex{Schema: cacheSchema, Entries: make([]CacheEntry, 0, len(c.entries))}
-	for _, e := range c.entries {
+	for k, e := range c.entries {
+		if c.mem[k] != nil {
+			continue // overlay-only entries have no durable file to index
+		}
 		idx.Entries = append(idx.Entries, e)
 	}
 	c.mu.RUnlock()
@@ -201,10 +383,7 @@ func (c *Cache) SaveIndex() error {
 		return fmt.Errorf("cache: encoding index: %w", err)
 	}
 	path := filepath.Join(c.dir, cacheIndexFile)
-	if err := os.WriteFile(path+".tmp", append(b, '\n'), 0o644); err != nil {
-		return fmt.Errorf("cache: writing index: %w", err)
-	}
-	if err := os.Rename(path+".tmp", path); err != nil {
+	if err := faultfs.WriteFileSync(c.fs, path, append(b, '\n')); err != nil {
 		return fmt.Errorf("cache: committing index: %w", err)
 	}
 	return nil
@@ -216,12 +395,41 @@ type CacheStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Corrupt uint64 `json:"corrupt"`
+	// Rebuilt counts entries re-indexed from hash-verified meta
+	// sidecars at open (index.json torn, missing, or stale);
+	// RebuildEvicted counts sidecar candidates whose bytes failed
+	// verification and were removed.
+	Rebuilt        int `json:"rebuilt,omitempty"`
+	RebuildEvicted int `json:"rebuild_evicted,omitempty"`
+	// IndexTorn records that index.json existed but did not parse.
+	IndexTorn bool `json:"index_torn,omitempty"`
+	// DegradedPuts counts entries that went to the memory overlay
+	// because the disk was failing (or the breaker already open).
+	DegradedPuts uint64 `json:"degraded_puts,omitempty"`
+	// OverlayEntries is the current overlay population in disk mode —
+	// results that survive only until the process exits unless
+	// FlushOverlay lands them.
+	OverlayEntries int `json:"overlay_entries,omitempty"`
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.entries)
+	overlay := 0
+	if c.dir != "" {
+		overlay = len(c.mem)
+	}
 	c.mu.RUnlock()
-	return CacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load(), Corrupt: c.corrupt.Load()}
+	return CacheStats{
+		Entries:        n,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Corrupt:        c.corrupt.Load(),
+		Rebuilt:        c.rebuilt,
+		RebuildEvicted: c.rebuildEvicted,
+		IndexTorn:      c.indexTorn,
+		DegradedPuts:   c.degradedPuts.Load(),
+		OverlayEntries: overlay,
+	}
 }

@@ -1,0 +1,476 @@
+// Package faultfs is the serving layer's deterministic disk-fault
+// plane: an injectable filesystem seam threaded through every durable
+// write coltd performs (cache entries, the accepted-job journal, the
+// cache index, drain checkpoints). It is the filesystem counterpart
+// of internal/fault — the same discipline (named sites, per-site
+// rng.Stream generators derived purely from a seed, crossing
+// counters) applied to the serving layer's real enemy: write
+// failures, short writes, failed renames, failed fsyncs, and slow
+// I/O.
+//
+// Determinism: each site draws from its own rng.Stream(site name), so
+// the per-site fire/no-fire sequence is a pure function of (seed,
+// site, crossing index) — enabling one site never perturbs another,
+// and a single-threaded caller replays byte-identical fault
+// sequences. A nil *Plane injects nothing and is safe to use, so the
+// production path (no faults configured) costs one nil check.
+//
+// The FS interface is deliberately tiny: the five operations coltd's
+// durability paths actually perform. OS() returns the real
+// filesystem; Faulty(fs, plane) wraps any FS with injection.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"colt/internal/rng"
+)
+
+// Op names one disk-fault injection site.
+type Op string
+
+const (
+	// OpWrite fails a file write outright: no bytes reach the file.
+	OpWrite Op = "write-fail"
+	// OpShortWrite tears a file write: only the first half of the
+	// buffer reaches the file before the error surfaces — the on-disk
+	// state a crash mid-write leaves behind.
+	OpShortWrite Op = "short-write"
+	// OpRename fails the rename that commits an atomic write; the
+	// temp file is left behind and the destination is untouched.
+	OpRename Op = "rename-fail"
+	// OpFsync fails an fsync (file or parent directory). Data may sit
+	// in the page cache but durability was never promised.
+	OpFsync Op = "fsync-fail"
+	// OpSlowIO delays a write by the plane's slow-I/O latency instead
+	// of failing it — the stall that deadline propagation must absorb.
+	OpSlowIO Op = "slow-io"
+)
+
+// Ops lists every valid injection site, in display order.
+func Ops() []Op {
+	return []Op{OpWrite, OpShortWrite, OpRename, OpFsync, OpSlowIO}
+}
+
+// opNames renders the valid set for error messages.
+func opNames() string {
+	ops := Ops()
+	names := make([]string, len(ops))
+	for i, o := range ops {
+		names[i] = string(o)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Spec is a per-site injection rate configuration. The zero value
+// injects nothing.
+type Spec struct {
+	// Rates maps each op to its per-crossing failure probability in
+	// [0, 1]. Ops absent from the map never fail.
+	Rates map[Op]float64
+}
+
+// ParseSpec parses a -disk-faults flag value: comma-separated op=rate
+// pairs, where op is one of Ops() or "all" (every op at once) and
+// rate is a probability in [0, 1]. The empty string parses to the
+// zero Spec (no injection).
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, nil
+	}
+	spec := Spec{Rates: map[Op]float64{}}
+	for _, raw := range strings.Split(s, ",") {
+		pair := strings.TrimSpace(raw)
+		if pair == "" {
+			return Spec{}, fmt.Errorf("faultfs: empty entry in spec %q (valid ops: %s, all)", s, opNames())
+		}
+		name, rateStr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultfs: entry %q is not op=rate (valid ops: %s, all)", pair, opNames())
+		}
+		name = strings.TrimSpace(name)
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("faultfs: rate in %q is not a number: %v", pair, err)
+		}
+		if rate < 0 || rate > 1 {
+			return Spec{}, fmt.Errorf("faultfs: rate %g in %q outside [0, 1]", rate, pair)
+		}
+		if name == "all" {
+			for _, op := range Ops() {
+				spec.Rates[op] = rate
+			}
+			continue
+		}
+		op := Op(name)
+		valid := false
+		for _, o := range Ops() {
+			if o == op {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return Spec{}, fmt.Errorf("faultfs: unknown op %q (valid ops: %s, all)", name, opNames())
+		}
+		spec.Rates[op] = rate
+	}
+	return spec, nil
+}
+
+// Enabled reports whether any op has a non-zero rate.
+func (s Spec) Enabled() bool {
+	for _, r := range s.Rates {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the spec canonically (ops sorted by name) for logs
+// and deterministic reports. The zero spec renders "".
+func (s Spec) String() string {
+	var ops []Op
+	for op, r := range s.Rates {
+		if r > 0 {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		return ""
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = string(op) + "=" + strconv.FormatFloat(s.Rates[op], 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Error is the error injected at an op. Seq is the per-op crossing
+// count at which the fault fired, so failure messages are stable for
+// a given seed and call sequence.
+type Error struct {
+	Op  Op
+	Seq uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultfs: injected %s failure (crossing %d)", e.Op, e.Seq)
+}
+
+// IsInjected reports whether err was produced by the disk-fault plane
+// (possibly wrapped).
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// opState is one op's generator, rate, and counters.
+type opState struct {
+	rng       *rng.RNG
+	rate      float64
+	crossings uint64
+	injected  uint64
+}
+
+// Plane decides, per op, whether each crossing fails. Unlike the
+// simulation plane (one per job, single-goroutine), the disk plane is
+// shared by every worker and handler that touches the filesystem, so
+// its draws are serialized under a mutex. A nil Plane injects nothing
+// and its methods are safe to call.
+type Plane struct {
+	mu    sync.Mutex
+	sites map[Op]*opState
+	slow  time.Duration
+}
+
+// DefaultSlowIO is the delay OpSlowIO injects when the plane was not
+// given one explicitly.
+const DefaultSlowIO = 5 * time.Millisecond
+
+// NewPlane builds a plane for spec, deriving one rng stream per
+// configured op from seed. Returns nil when spec injects nothing, so
+// the disabled case stays allocation- and draw-free.
+func NewPlane(spec Spec, seed uint64) *Plane {
+	if !spec.Enabled() {
+		return nil
+	}
+	root := rng.New(seed)
+	p := &Plane{sites: make(map[Op]*opState, len(spec.Rates)), slow: DefaultSlowIO}
+	for op, rate := range spec.Rates {
+		if rate <= 0 {
+			continue
+		}
+		p.sites[op] = &opState{rng: root.Stream(string(op)), rate: rate}
+	}
+	return p
+}
+
+// SetSlowIO overrides the OpSlowIO delay. Safe on a nil plane.
+func (p *Plane) SetSlowIO(d time.Duration) {
+	if p != nil {
+		p.slow = d
+	}
+}
+
+// fail returns an injected *Error if this crossing of op fires, and
+// nil otherwise. Ops with no configured rate never draw, so enabling
+// one op cannot perturb another's sequence.
+func (p *Plane) fail(op Op) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	st := p.sites[op]
+	if st == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	st.crossings++
+	if !st.rng.Bool(st.rate) {
+		p.mu.Unlock()
+		return nil
+	}
+	st.injected++
+	seq := st.crossings
+	p.mu.Unlock()
+	return &Error{Op: op, Seq: seq}
+}
+
+// Injected returns how many faults have fired at op.
+func (p *Plane) Injected(op Op) uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sites[op] == nil {
+		return 0
+	}
+	return p.sites[op].injected
+}
+
+// Crossings returns how many times op has been evaluated.
+func (p *Plane) Crossings(op Op) uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sites[op] == nil {
+		return 0
+	}
+	return p.sites[op].crossings
+}
+
+// InjectedTotal returns how many faults have fired across every op.
+func (p *Plane) InjectedTotal() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, st := range p.sites {
+		n += st.injected
+	}
+	return n
+}
+
+// File is the open-file surface the durability paths use: write,
+// fsync, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam. Implementations must be safe for
+// concurrent use.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating it (O_CREATE|O_TRUNC).
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if needed — the
+	// journal's handle.
+	OpenAppend(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making a preceding rename in it
+	// durable.
+	SyncDir(name string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	// Fsync on a directory is not supported by every filesystem;
+	// treat "not supported" as best-effort success like the major
+	// databases do, but surface real errors.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, errors.ErrUnsupported) {
+		return nil
+	}
+	return err
+}
+
+// faulty wraps an FS with an injection plane.
+type faulty struct {
+	fs    FS
+	plane *Plane
+}
+
+// Faulty wraps fs so that every operation consults plane. A nil plane
+// returns fs unchanged.
+func Faulty(fs FS, plane *Plane) FS {
+	if plane == nil {
+		return fs
+	}
+	return &faulty{fs: fs, plane: plane}
+}
+
+func (f *faulty) ReadFile(name string) ([]byte, error) { return f.fs.ReadFile(name) }
+
+func (f *faulty) Create(name string) (File, error) {
+	file, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: file, plane: f.plane}, nil
+}
+
+func (f *faulty) OpenAppend(name string) (File, error) {
+	file, err := f.fs.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: file, plane: f.plane}, nil
+}
+
+func (f *faulty) Rename(oldpath, newpath string) error {
+	if err := f.plane.fail(OpRename); err != nil {
+		return err
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+func (f *faulty) Remove(name string) error { return f.fs.Remove(name) }
+
+func (f *faulty) MkdirAll(name string, perm os.FileMode) error {
+	return f.fs.MkdirAll(name, perm)
+}
+
+func (f *faulty) SyncDir(name string) error {
+	if err := f.plane.fail(OpFsync); err != nil {
+		return err
+	}
+	return f.fs.SyncDir(name)
+}
+
+// faultyFile injects write/sync faults on an open file.
+type faultyFile struct {
+	f     File
+	plane *Plane
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if err := ff.plane.fail(OpSlowIO); err != nil {
+		time.Sleep(ff.plane.slow)
+	}
+	if err := ff.plane.fail(OpWrite); err != nil {
+		return 0, err
+	}
+	if err := ff.plane.fail(OpShortWrite); err != nil {
+		// Tear the write: half the buffer lands, then the error — the
+		// on-disk state a crash mid-write leaves behind.
+		n, werr := ff.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if err := ff.plane.fail(OpFsync); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.f.Close() }
+
+// WriteFileSync writes data to name crash-atomically and durably:
+// temp file in the same directory, write, fsync the file, close,
+// rename over name, fsync the parent directory. On any failure the
+// destination is untouched (the temp file is removed best-effort).
+// Rename-without-fsync is NOT crash-atomic — a power cut can leave a
+// zero-length or torn destination — which is why every step here
+// syncs before the next depends on it.
+func WriteFileSync(fs FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(name))
+}

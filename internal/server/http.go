@@ -78,7 +78,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(err))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrTooLarge):

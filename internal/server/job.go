@@ -96,17 +96,21 @@ type Job struct {
 	// counts points at the owning registry shard's per-state tally.
 	// Set before the job becomes reachable by any other goroutine.
 	counts *stateCounters
+	// deadline is the job's absolute patience deadline (zero = none).
+	// Set before the job is published; read-only afterwards.
+	deadline time.Time
 
-	mu         sync.Mutex
-	errMsg     string
-	cached     bool // served from cache without simulating
-	coalesced  int  // extra submissions folded into this execution
-	events     []telemetry.ProgressEvent
-	cancel     func()        // non-nil while running
-	done       chan struct{} // closed on reaching a terminal state
-	trace      []byte        // Chrome trace artifact, if requested
-	created    time.Time
-	finishedAt time.Time
+	mu           sync.Mutex
+	errMsg       string
+	cached       bool // served from cache without simulating
+	userCanceled bool // canceled by an explicit DELETE, not by shutdown
+	coalesced    int  // extra submissions folded into this execution
+	events       []telemetry.ProgressEvent
+	cancel       func()        // non-nil while running
+	done         chan struct{} // closed on reaching a terminal state
+	trace        []byte        // Chrome trace artifact, if requested
+	created      time.Time
+	finishedAt   time.Time
 }
 
 func newJob(id string, can CanonicalJob, now time.Time) *Job {
@@ -235,6 +239,7 @@ func (j *Job) requestCancel() bool {
 		j.mu.Unlock()
 		return false
 	}
+	j.userCanceled = true
 	if state == JobQueued {
 		j.finishLocked(JobCanceled, "canceled before dispatch", time.Now())
 		j.mu.Unlock()
@@ -246,6 +251,16 @@ func (j *Job) requestCancel() bool {
 		cancel()
 	}
 	return true
+}
+
+// wasUserCanceled reports whether an explicit DELETE canceled the
+// job. Execution uses it to tell user cancellation (resolved: commit
+// the journal record) from shutdown cancellation (crash-equivalent:
+// leave the record live for replay).
+func (j *Job) wasUserCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCanceled
 }
 
 // setTrace stores the job's Chrome trace artifact.

@@ -10,12 +10,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"colt/internal/experiments"
 	"colt/internal/metrics"
+	"colt/internal/rng"
+	"colt/internal/server/faultfs"
 	"colt/internal/telemetry"
 )
 
@@ -57,6 +60,20 @@ type Config struct {
 	// Registry is the experiment set to serve (default
 	// experiments.Registry()). Tests stub it with fast fakes.
 	Registry []experiments.NamedExperiment
+	// DiskFaults injects deterministic filesystem faults into every
+	// durable write (cache entries, journal appends, checkpoints) —
+	// the chaos harness's disk-failure plane. Zero value disables.
+	DiskFaults faultfs.Spec
+	// DiskFaultSeed seeds the fault plane's per-site streams.
+	DiskFaultSeed uint64
+	// BreakerThreshold is how many consecutive durable-write failures
+	// trip the disk circuit breaker into memory-only degraded mode
+	// (default 3; <0 disables the breaker).
+	BreakerThreshold int
+	// ProbeInterval paces the degraded-mode disk re-probe (default
+	// 2s). A successful probe flushes the memory overlay and closes
+	// the breaker.
+	ProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEFlushInterval == 0 {
 		c.SSEFlushInterval = 25 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = experiments.Registry()
@@ -113,6 +136,13 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 
+	// fsys is the filesystem every durable write goes through; with
+	// Config.DiskFaults enabled it wraps the OS in the fault plane.
+	fsys  faultfs.FS
+	plane *faultfs.Plane
+	// journal is the accepted-job WAL (nil in memory-only mode).
+	journal *Journal
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 
@@ -129,11 +159,28 @@ type Server struct {
 	simulations    atomic.Uint64
 	coalesced      atomic.Uint64
 	pendingDropped atomic.Uint64 // checkpointed jobs lost on restart resubmission
+	deadlineShed   atomic.Uint64 // jobs shed or canceled for blowing their deadline
+
+	// Disk circuit breaker: consecutive durable-write failures trip it
+	// (degraded = memory-only serving); the probe loop closes it.
+	diskFailures    atomic.Int64
+	degraded        atomic.Bool
+	degradedEvents  atomic.Uint64
+	journalReplayed atomic.Uint64
+	journalSkipped  atomic.Uint64 // jobs admitted without a durable accept record
 
 	retainPerShard int
 
-	pendingMu sync.Mutex
-	pending   []Spec // checkpointed at drain
+	pendingMu     sync.Mutex
+	pending       []Spec   // checkpointed at drain
+	pendingHashes []string // content hashes matching pending, for journal commit
+
+	// retryRng jitters Retry-After values so a crowd of refused
+	// clients doesn't return in one synchronized wave.
+	retryRngMu sync.Mutex
+	retryRng   *rng.RNG
+
+	probeStop chan struct{}
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -144,12 +191,16 @@ type Server struct {
 	ep *endpointMetrics
 }
 
-// NewServer builds a server, opens (or creates) its cache, resubmits
-// any drain-checkpointed jobs from a prior run, and starts its
-// workers.
+// NewServer builds a server, opens (or creates) its cache and
+// accepted-job journal, replays journaled work a crash left
+// unresolved, resubmits any drain-checkpointed jobs from a prior run,
+// and starts its workers and disk-probe loop.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	c, err := OpenCache(cfg.CacheDir)
+	fsys := faultfs.OS()
+	plane := faultfs.NewPlane(cfg.DiskFaults, cfg.DiskFaultSeed)
+	fsys = faultfs.Faulty(fsys, plane)
+	c, err := OpenCacheFS(cfg.CacheDir, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -157,11 +208,15 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:            cfg,
 		cache:          c,
+		fsys:           fsys,
+		plane:          plane,
 		baseCtx:        ctx,
 		stop:           stop,
 		retainPerShard: cfg.RetainJobs / numShards,
 		queue:          make(chan *Job, cfg.QueueDepth),
 		ep:             newEndpointMetrics(),
+		retryRng:       rng.New(cfg.DiskFaultSeed ^ 0x5261667465724a6a).Stream("retry-after"),
+		probeStop:      make(chan struct{}),
 	}
 	s.queueSlots.Store(int64(cfg.QueueDepth))
 	for i := range s.admit {
@@ -170,15 +225,72 @@ func NewServer(cfg Config) (*Server, error) {
 	for i := range s.reg {
 		s.reg[i].jobs = make(map[string]*Job)
 	}
+	var replay []Spec
+	if cfg.CacheDir != "" {
+		jl, live, err := openJournal(fsys, cfg.CacheDir)
+		if err != nil {
+			s.stop()
+			return nil, err
+		}
+		s.journal = jl
+		replay = live
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if err := s.replayJournal(replay); err != nil {
+		s.stop()
+		return nil, err
 	}
 	if err := s.resubmitPending(); err != nil {
 		s.stop()
 		return nil, err
 	}
+	go s.probeLoop()
 	return s, nil
+}
+
+// replayJournal resubmits the accepted-but-unresolved jobs of a
+// crashed run, in first-accept order. Each resubmission re-accepts
+// itself under the same content hash (duplicates collapse), and a
+// spec whose report landed in the cache before the crash completes
+// instantly as a cache hit — replay is idempotent, never a recompute
+// storm. A momentarily full queue is retried briefly (workers free
+// slots as they dequeue); what still cannot be admitted is counted in
+// PendingDropped rather than silently vanishing.
+func (s *Server) replayJournal(replay []Spec) error {
+	if s.journal == nil || len(replay) == 0 {
+		return nil
+	}
+	dropped := 0
+	for _, spec := range replay {
+		var err error
+		for attempt := 0; attempt < 100; attempt++ {
+			if _, err = s.Submit(spec); !errors.Is(err, ErrQueueFull) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			dropped++
+			log.Printf("server: dropping journaled job (experiment %q): %v", spec.Experiment, err)
+			continue
+		}
+		s.journalReplayed.Add(1)
+	}
+	if dropped > 0 {
+		s.pendingDropped.Add(uint64(dropped))
+	}
+	log.Printf("journal: replayed %d accepted jobs from a prior run (%d dropped)",
+		s.journalReplayed.Load(), dropped)
+	// The replayed WAL carries a full accept/commit history plus the
+	// duplicate accepts just written; rewrite it to the live set.
+	if err := s.journal.Compact(); err != nil {
+		s.noteDiskOp(err)
+		log.Printf("server: journal compaction after replay failed: %v", err)
+	}
+	return nil
 }
 
 // resubmitPending replays the drain checkpoint of a prior run.
@@ -282,6 +394,11 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 	// recorded hash, so a corrupted entry falls through to recompute.
 	if _, ok := s.cache.Get(can.Hash); ok {
 		j := s.newTrackedJob(can, now, true)
+		// Resolve any live journal record for this hash — a replayed
+		// accept whose report landed before the crash completes here,
+		// as a hit, and must not be replayed forever. For ordinary hits
+		// this is a no-op map probe.
+		s.journalCommit(can.Hash)
 		return SubmitResult{Job: j, Created: true, Cached: true}, nil
 	}
 	// Win a queue slot before minting an ID or constructing the job:
@@ -290,11 +407,119 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 		return SubmitResult{}, ErrQueueFull
 	}
 	j := s.newTrackedJob(can, now, false)
+	if can.Spec.DeadlineMs > 0 {
+		j.deadline = now.Add(time.Duration(can.Spec.DeadlineMs) * time.Millisecond)
+	}
+	// Durably record the accept before the submission returns: this is
+	// the write-ahead point that makes a crash lose nothing that was
+	// acknowledged. An append failure degrades rather than refuses —
+	// the job still runs, the breaker hears about the disk — and while
+	// the breaker is open appends are suppressed entirely.
+	s.journalAccept(can)
 	sh.byHash[can.Hash] = j
 	// Cannot block (a slot is held) and cannot hit a closed channel
 	// (admitMu is read-held; Drain closes under the write lock).
 	s.queue <- j
 	return SubmitResult{Job: j, Created: true}, nil
+}
+
+// journalAccept writes the admission WAL record for a spec, feeding
+// the disk breaker with the outcome. Jobs admitted without a durable
+// record (breaker open, or the append itself failed) are counted.
+func (s *Server) journalAccept(can CanonicalJob) {
+	if s.journal == nil {
+		return
+	}
+	if s.degraded.Load() {
+		s.journalSkipped.Add(1)
+		return
+	}
+	if err := s.journal.Accept(can.Hash, can.Spec); err != nil {
+		s.journalSkipped.Add(1)
+		s.noteDiskOp(err)
+		log.Printf("server: journal accept failed (job runs without durability): %v", err)
+		return
+	}
+	s.noteDiskOp(nil)
+}
+
+// journalCommit resolves a spec's WAL record, feeding the breaker.
+// Committing a hash with no live record is a no-op, so double commits
+// (a DELETE racing the execution path) and commits for jobs accepted
+// while degraded are harmless.
+func (s *Server) journalCommit(hash string) {
+	if s.journal == nil || s.degraded.Load() {
+		return
+	}
+	if err := s.journal.Commit(hash); err != nil {
+		s.noteDiskOp(err)
+		log.Printf("server: journal commit failed: %v", err)
+		return
+	}
+	s.noteDiskOp(nil)
+}
+
+// noteDiskOp feeds the disk circuit breaker: consecutive durable-
+// write failures at or past Config.BreakerThreshold flip the server
+// into memory-only degraded mode instead of letting a dying disk take
+// the process down. The probe loop is the only way back.
+func (s *Server) noteDiskOp(err error) {
+	if err == nil {
+		s.diskFailures.Store(0)
+		return
+	}
+	n := s.diskFailures.Add(1)
+	if s.cfg.BreakerThreshold < 0 || int(n) < s.cfg.BreakerThreshold {
+		return
+	}
+	if s.degraded.CompareAndSwap(false, true) {
+		s.cache.setDegraded(true)
+		s.degradedEvents.Add(1)
+		log.Printf("server: disk circuit breaker OPEN after %d consecutive write failures; serving memory-only (last: %v)", n, err)
+	}
+}
+
+// probeLoop is degraded mode's way home: every Config.ProbeInterval
+// it rewrites a probe file through the (possibly faulty) filesystem,
+// and on success flushes the memory overlay to disk and closes the
+// breaker. Runs until shutdown; does nothing while healthy.
+func (s *Server) probeLoop() {
+	if s.cfg.CacheDir == "" {
+		return
+	}
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	probe := filepath.Join(s.cfg.CacheDir, ".probe")
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.probeStop:
+			return
+		case <-ticker.C:
+		}
+		if !s.degraded.Load() {
+			continue
+		}
+		if err := faultfs.WriteFileSync(s.fsys, probe, []byte("ok\n")); err != nil {
+			continue // still hostile; stay degraded
+		}
+		// Re-point new Puts at the disk first, then land what the
+		// overlay accumulated — no window where a fresh Put is stranded
+		// in memory behind an already-finished flush.
+		s.cache.setDegraded(false)
+		if n, err := s.cache.FlushOverlay(); err != nil {
+			log.Printf("server: disk probe passed but overlay flush failed after %d entries: %v", n, err)
+			s.cache.setDegraded(true)
+			continue
+		} else if n > 0 {
+			log.Printf("server: flushed %d overlay entries to disk", n)
+		}
+		s.degraded.Store(false)
+		s.diskFailures.Store(0)
+		s.fsys.Remove(probe)
+		log.Printf("server: disk circuit breaker CLOSED; durable serving restored")
+	}
 }
 
 // reserveSlot claims one unit of queue capacity, failing when the
@@ -325,6 +550,16 @@ func (s *Server) worker() {
 			s.checkpoint(j)
 			continue
 		}
+		// Deadline propagation, part one: a job whose client has
+		// already given up is shed at dispatch, not simulated into a
+		// report nobody is waiting for.
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			j.finish(JobCanceled, "deadline exceeded while queued", time.Now())
+			s.dropInflight(j)
+			s.deadlineShed.Add(1)
+			s.journalCommit(j.Can.Hash)
+			continue
+		}
 		s.execute(j)
 	}
 }
@@ -338,9 +573,12 @@ func (s *Server) checkpoint(j *Job) {
 	}
 	s.pendingMu.Lock()
 	s.pending = append(s.pending, j.Can.Spec)
+	s.pendingHashes = append(s.pendingHashes, j.Can.Hash)
 	s.pendingMu.Unlock()
 	j.finish(JobCanceled, "checkpointed at drain; resubmitted on restart", time.Now())
 	s.dropInflight(j)
+	// The journal record stays live until savePending lands — Drain
+	// commits it only once pending.json durably owns the spec.
 }
 
 func (s *Server) dropInflight(j *Job) {
@@ -360,6 +598,11 @@ func (s *Server) dropInflight(j *Job) {
 func (s *Server) execute(j *Job) {
 	defer s.dropInflight(j)
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	if !j.deadline.IsZero() {
+		// Deadline propagation, part two: the client's patience bounds
+		// the run itself, not just the queue wait.
+		ctx, cancel = context.WithDeadline(s.baseCtx, j.deadline)
+	}
 	defer cancel()
 	if !j.start(cancel) {
 		return // canceled while queued
@@ -380,22 +623,45 @@ func (s *Server) execute(j *Job) {
 	runErr := j.Can.Exp.Run(opts)
 	now := time.Now()
 	if ctx.Err() != nil {
-		j.finish(JobCanceled, "canceled while running; partial results discarded", now)
+		// Which cancellation was it? User cancels and blown deadlines
+		// are resolutions (commit the journal record); a shutdown
+		// cancel is crash-equivalent — the record stays live so a
+		// restart replays the job.
+		msg := "canceled while running; partial results discarded"
+		resolved := j.wasUserCanceled()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			msg = "deadline exceeded while running; partial results discarded"
+			resolved = true
+			s.deadlineShed.Add(1)
+		}
+		j.finish(JobCanceled, msg, now)
+		if resolved {
+			s.journalCommit(j.Can.Hash)
+		}
 		return
 	}
 	if runErr != nil {
 		j.finish(JobFailed, runErr.Error(), now)
+		s.journalCommit(j.Can.Hash)
 		return
 	}
 	report := opts.Metrics.Report(j.Can.Exp.Name, opts.Snapshot())
 	b, err := report.StableJSON()
 	if err != nil {
 		j.finish(JobFailed, fmt.Sprintf("rendering report: %v", err), now)
+		s.journalCommit(j.Can.Hash)
 		return
 	}
+	// A disk-refused Put is not a failed job: the bytes land in the
+	// memory overlay and serve from there, the breaker hears about the
+	// disk, and the journal record stays live — after a crash the spec
+	// recomputes, which is exactly what losing the disk copy means.
 	if err := s.cache.Put(j.Can.Hash, j.Can.Exp.Name, b); err != nil {
-		j.finish(JobFailed, fmt.Sprintf("caching report: %v", err), now)
-		return
+		s.noteDiskOp(err)
+		log.Printf("server: cache write failed (serving from memory): %v", err)
+	} else {
+		s.noteDiskOp(nil)
+		s.journalCommit(j.Can.Hash)
 	}
 	if opts.Events != nil {
 		var buf bytes.Buffer
@@ -426,20 +692,30 @@ func (s *Server) Cancel(id string) bool {
 		return false
 	}
 	s.dropInflight(j)
+	// A user cancel resolves the job: release its journal record so a
+	// restart doesn't resurrect work the client explicitly killed.
+	// (For a still-running job the execution path may commit again —
+	// harmless, commits of non-live hashes are no-ops.)
+	s.journalCommit(j.Can.Hash)
 	return true
 }
 
 // Drain gracefully shuts the server down: refuse new submissions,
 // let in-flight jobs finish (their results land in the cache),
-// checkpoint still-queued jobs to pending.json, and flush the cache
-// index so a restart reuses every completed result. Idempotent; ctx
-// bounds the wait for in-flight work.
+// checkpoint still-queued jobs to pending.json, release their journal
+// records (only once the checkpoint durably owns them), compact the
+// journal, and flush the cache index so a restart reuses every
+// completed result. Idempotent; ctx bounds the wait for in-flight
+// work. While the disk breaker is open the disk steps are skipped —
+// a degraded daemon exits cleanly with its journal intact from before
+// the degrade, which is exactly the crash-recovery story.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.admitMu.Lock()
 		s.draining.Store(true)
 		close(s.queue)
 		s.admitMu.Unlock()
+		close(s.probeStop)
 
 		done := make(chan struct{})
 		go func() {
@@ -452,9 +728,35 @@ func (s *Server) Drain(ctx context.Context) error {
 			s.drainErr = fmt.Errorf("server: drain interrupted: %w", ctx.Err())
 			return
 		}
+		if s.degraded.Load() {
+			log.Printf("server: draining degraded; skipping checkpoint/index writes (journal keeps pre-degrade accepts live for replay)")
+			if s.journal != nil {
+				s.journal.Close()
+			}
+			return
+		}
 		if err := s.savePending(); err != nil {
 			s.drainErr = err
+			if s.journal != nil {
+				s.journal.Close()
+			}
 			return
+		}
+		if s.journal != nil {
+			// pending.json now owns the checkpointed specs; their WAL
+			// records can resolve. Everything else live at this point
+			// was either committed on completion or deliberately left
+			// for replay (shutdown-canceled running jobs under Close).
+			s.pendingMu.Lock()
+			hashes := append([]string(nil), s.pendingHashes...)
+			s.pendingMu.Unlock()
+			for _, h := range hashes {
+				s.journalCommit(h)
+			}
+			if err := s.journal.Compact(); err != nil {
+				log.Printf("server: journal compaction at drain failed: %v", err)
+			}
+			s.journal.Close()
 		}
 		s.drainErr = s.cache.SaveIndex()
 	})
@@ -478,10 +780,10 @@ func (s *Server) savePending() error {
 		return fmt.Errorf("server: encoding pending checkpoint: %w", err)
 	}
 	path := filepath.Join(s.cfg.CacheDir, pendingFile)
-	if err := os.WriteFile(path+".tmp", append(b, '\n'), 0o644); err != nil {
+	if err := faultfs.WriteFileSync(s.fsys, path, append(b, '\n')); err != nil {
 		return fmt.Errorf("server: writing pending checkpoint: %w", err)
 	}
-	return os.Rename(path+".tmp", path)
+	return nil
 }
 
 // Close hard-stops the server: cancel every running job, then drain
@@ -504,16 +806,30 @@ type Stats struct {
 	Coalesced   uint64 `json:"coalesced"`
 	// PendingDropped counts drain-checkpointed jobs a restarted daemon
 	// could not resubmit (unknown experiment, refilled queue).
-	PendingDropped uint64                   `json:"pending_dropped"`
-	Cache          CacheStats               `json:"cache"`
-	Endpoints      map[string]EndpointStats `json:"endpoints"`
+	PendingDropped uint64 `json:"pending_dropped"`
+	// Degraded reports the disk circuit breaker is open: the daemon is
+	// serving memory-only and probing the disk for recovery.
+	Degraded bool `json:"degraded"`
+	// DegradedEvents counts breaker trips over the process lifetime.
+	DegradedEvents uint64 `json:"degraded_events,omitempty"`
+	// DeadlineShed counts jobs canceled for blowing their client
+	// deadline, queued or running.
+	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
+	// DiskFaultsInjected counts injected filesystem faults (chaos runs
+	// only; zero without a -disk-faults plane).
+	DiskFaultsInjected uint64 `json:"disk_faults_injected,omitempty"`
+	// Journal is the accepted-job WAL snapshot (disk-backed caches
+	// only).
+	Journal   *JournalStats            `json:"journal,omitempty"`
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 // Stats snapshots the server's counters. Every number is an atomic
 // load reconciled across shards — no global lock is held, no per-job
 // state is read, so a monitoring scrape never stalls admission.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Draining:       s.draining.Load(),
 		QueueLen:       len(s.queue),
 		QueueCap:       cap(s.queue),
@@ -521,7 +837,41 @@ func (s *Server) Stats() Stats {
 		Simulations:    s.simulations.Load(),
 		Coalesced:      s.coalesced.Load(),
 		PendingDropped: s.pendingDropped.Load(),
+		Degraded:       s.degraded.Load(),
+		DegradedEvents: s.degradedEvents.Load(),
+		DeadlineShed:   s.deadlineShed.Load(),
 		Cache:          s.cache.Stats(),
 		Endpoints:      s.ep.snapshot(),
 	}
+	if s.plane != nil {
+		st.DiskFaultsInjected = s.plane.InjectedTotal()
+	}
+	if s.journal != nil {
+		appended, committed, torn := s.journal.Counters()
+		st.Journal = &JournalStats{
+			Live:            s.journal.Live(),
+			Appended:        appended,
+			Committed:       committed,
+			Replayed:        s.journalReplayed.Load(),
+			TornSkipped:     torn,
+			SkippedDegraded: s.journalSkipped.Load(),
+		}
+	}
+	return st
+}
+
+// retryAfter renders a jittered Retry-After value for a refusal: a
+// full queue suggests coming back in 1–3 seconds, a draining daemon
+// in 5–10 (it is not coming back as this process). The jitter spreads
+// a crowd of refused clients instead of re-synchronizing them into
+// the next thundering herd.
+func (s *Server) retryAfter(err error) string {
+	s.retryRngMu.Lock()
+	f := s.retryRng.Float64()
+	s.retryRngMu.Unlock()
+	lo, spread := 1, 3
+	if errors.Is(err, ErrDraining) {
+		lo, spread = 5, 6
+	}
+	return strconv.Itoa(lo + int(f*float64(spread-1)))
 }

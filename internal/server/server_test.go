@@ -58,7 +58,9 @@ func newStubServer(t *testing.T, cfg Config, gate chan struct{}) *Server {
 // reaching a different terminal state).
 func waitState(t *testing.T, j *Job, want JobState) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	// Generous: the tests that run real simulations can near 10s under
+	// the race detector on a loaded host.
+	deadline := time.Now().Add(30 * time.Second)
 	for {
 		st, errMsg := j.State()
 		if st == want {

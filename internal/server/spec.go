@@ -61,6 +61,13 @@ type Spec struct {
 	// is excluded from the cache key — but traces exist only for jobs
 	// that actually simulated, never for cache hits.
 	Trace bool `json:"trace,omitempty"`
+	// DeadlineMs is the client's patience budget in milliseconds
+	// (0 = none), measured from admission. A job still queued past its
+	// deadline is shed instead of dispatched; a running job has the
+	// deadline propagated into its execution context. Wall-clock
+	// policy, so never part of the cache key — and a submission that
+	// coalesces onto an in-flight job inherits that job's deadline.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
 // canonicalSpec is the hashed form of a job: the experiment name plus
@@ -123,6 +130,9 @@ func Canonicalize(spec Spec, reg []experiments.NamedExperiment) (CanonicalJob, e
 	}
 	if spec.Retries != nil && *spec.Retries < 0 {
 		return CanonicalJob{}, fmt.Errorf("retries must be >= 0, got %d", *spec.Retries)
+	}
+	if spec.DeadlineMs < 0 {
+		return CanonicalJob{}, fmt.Errorf("deadline_ms must be >= 0, got %d", spec.DeadlineMs)
 	}
 	faults, err := fault.ParseSpec(spec.Faults)
 	if err != nil {
