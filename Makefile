@@ -34,7 +34,7 @@ test:
 # fed concurrently from all workers.
 race:
 	$(GO) test -race ./internal/sched ./internal/experiments -run 'Parallel|GoldenHistograms|TraceEvents'
-	$(GO) test -race -count=1 ./internal/server ./internal/server/faultfs
+	$(GO) test -race -count=1 ./internal/server ./internal/server/faultfs ./internal/obs
 
 # Golden-run regression diff: re-runs the golden experiment subset and
 # byte-compares its metrics JSON against internal/experiments/testdata/

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,10 +37,18 @@ func main() {
 		faultSeed    = flag.Uint64("disk-fault-seed", 1, "seed for the fault plane and Retry-After jitter streams")
 		breaker      = flag.Int("breaker", 3, "consecutive disk-write failures that trip the memory-only circuit breaker (-1 never trips)")
 		probe        = flag.Duration("probe-interval", 2*time.Second, "how often degraded mode re-probes the disk to close the breaker")
+		logLevel     = flag.String("log-level", "info", "request-scoped JSON log level on stderr: debug, info, warn, error, or off")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (empty = off; /metrics is always on the main address)")
 	)
 	flag.Parse()
 
 	if err := validate(*queueDepth, *workers, *parallel, *retain, *drainTimeout, *breaker, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "coltd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -49,7 +59,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, server.Config{
+	if err := run(*addr, *debugAddr, server.Config{
 		CacheDir:         *cacheDir,
 		QueueDepth:       *queueDepth,
 		Workers:          *workers,
@@ -60,10 +70,33 @@ func main() {
 		DiskFaultSeed:    *faultSeed,
 		BreakerThreshold: *breaker,
 		ProbeInterval:    *probe,
+		Logger:           logger,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		os.Exit(1)
 	}
+}
+
+// buildLogger maps -log-level to the daemon's structured JSON logger
+// on stderr. "off" returns nil (the server then discards the stream);
+// anything unrecognized is a flag error.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "off":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, error, or off, got %q", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // validate rejects nonsensical flag combinations before anything
@@ -98,7 +131,7 @@ func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Durat
 // checkpointed, the cache index is flushed, and only then does the
 // HTTP listener shut down (so status/report endpoints answer
 // throughout the drain).
-func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) error {
 	s, err := server.NewServer(cfg)
 	if err != nil {
 		return err
@@ -114,6 +147,33 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// The debug listener carries pprof and a second /metrics mount, so
+	// profiling and scraping can live on an operator-only port while
+	// the main address faces clients.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			s.Close()
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		fmt.Printf("coltd: debug listening on http://%s\n", dln.Addr())
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", s.MetricsHandler())
+		debugSrv = &http.Server{Handler: dmux}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "coltd: debug listener:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -133,6 +193,9 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return err
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(drainCtx)
 	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err

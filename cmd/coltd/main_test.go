@@ -48,3 +48,18 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 		t.Fatalf("validate rejected -breaker -1: %v", err)
 	}
 }
+
+func TestBuildLogger(t *testing.T) {
+	for _, level := range []string{"debug", "info", "warn", "error"} {
+		l, err := buildLogger(level)
+		if err != nil || l == nil {
+			t.Fatalf("buildLogger(%q) = (%v, %v), want a logger", level, l, err)
+		}
+	}
+	if l, err := buildLogger("off"); err != nil || l != nil {
+		t.Fatalf("buildLogger(off) = (%v, %v), want (nil, nil)", l, err)
+	}
+	if _, err := buildLogger("verbose"); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("buildLogger(verbose) error = %v, want a -log-level flag error", err)
+	}
+}

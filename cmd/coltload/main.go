@@ -18,12 +18,17 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"colt/internal/loadgen"
@@ -50,6 +55,7 @@ func main() {
 		stats    = flag.Duration("stats-poll", 0, "add a monitoring client that GETs /v1/stats on this period (0 = off)")
 		outPath  = flag.String("out", "", "write the JSON summary to this file (default stdout)")
 		commit   = flag.String("commit", "", "commit hash recorded in the summary")
+		slowestN = flag.Int("slowest", 5, "record the N slowest requests' trace IDs in the summary (0 = off)")
 
 		// Self-host sizing (ignored with -addr).
 		shWorkers = flag.Int("workers", 2, "self-host: concurrent simulations")
@@ -73,7 +79,7 @@ func main() {
 		requests: *requests, specs: *specs, zipfS: *zipfS, seed: *seed,
 		experiment: *expName, refs: *refs, prewarm: *prewarm, poll: *poll, statsPoll: *stats,
 		retryMax: *retryMax, retryBase: *retryBas, retryCap: *retryCap,
-		out: *outPath, commit: *commit,
+		out: *outPath, commit: *commit, slowest: *slowestN,
 		shWorkers: *shWorkers, shQueue: *shQueue, shCache: *shCache,
 		preP99: *preP99, preGoodput: *preGoodput,
 	}); err != nil {
@@ -137,6 +143,7 @@ type config struct {
 	retryCap   time.Duration
 	out        string
 	commit     string
+	slowest    int
 	shWorkers  int
 	shQueue    int
 	shCache    string
@@ -144,32 +151,42 @@ type config struct {
 	preGoodput float64
 }
 
+// slowEntry names one slow-tail request in the summary: the trace ID
+// the server returned lets an operator grep coltd's structured logs
+// and hit /v1/jobs/{id}/timeline for exactly that request.
+type slowEntry struct {
+	TraceID string  `json:"trace_id"`
+	Ms      float64 `json:"ms"`
+}
+
 // summary is the BENCH_serve.json schema (EXPERIMENTS.md).
 type summary struct {
-	P50Ms           float64 `json:"p50_ms"`
-	P99Ms           float64 `json:"p99_ms"`
-	P999Ms          float64 `json:"p999_ms"`
-	GoodputRPS      float64 `json:"goodput_rps"`
-	Requests        int     `json:"requests"`
-	Accepted        int     `json:"accepted"`
-	Refused         int     `json:"refused"`
-	Errors          int     `json:"errors"`
-	Done            int     `json:"done"`
-	Retries         int     `json:"retries"`
-	BackoffMs       float64 `json:"backoff_ms"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
-	CoalesceRate    float64 `json:"coalesce_rate"`
-	ZipfS           float64 `json:"zipf_s"`
-	Specs           int     `json:"specs"`
-	Clients         int     `json:"clients"`
-	RateRPS         float64 `json:"rate_rps,omitempty"`
-	DurationS       float64 `json:"duration_s"`
-	Mode            string  `json:"mode"`
-	PreprP99Ms      float64 `json:"prepr_p99_ms,omitempty"`
-	PreprGoodputRPS float64 `json:"prepr_goodput_rps,omitempty"`
-	SpeedupGoodput  float64 `json:"speedup_goodput,omitempty"`
-	SpeedupP99      float64 `json:"speedup_p99,omitempty"`
-	Commit          string  `json:"commit"`
+	P50Ms           float64     `json:"p50_ms"`
+	P99Ms           float64     `json:"p99_ms"`
+	P999Ms          float64     `json:"p999_ms"`
+	GoodputRPS      float64     `json:"goodput_rps"`
+	Requests        int         `json:"requests"`
+	Accepted        int         `json:"accepted"`
+	Refused         int         `json:"refused"`
+	Errors          int         `json:"errors"`
+	Done            int         `json:"done"`
+	Retries         int         `json:"retries"`
+	BackoffMs       float64     `json:"backoff_ms"`
+	CacheHitRate    float64     `json:"cache_hit_rate"`
+	CoalesceRate    float64     `json:"coalesce_rate"`
+	ZipfS           float64     `json:"zipf_s"`
+	Specs           int         `json:"specs"`
+	Clients         int         `json:"clients"`
+	RateRPS         float64     `json:"rate_rps,omitempty"`
+	DurationS       float64     `json:"duration_s"`
+	Mode            string      `json:"mode"`
+	Slowest         []slowEntry `json:"slowest,omitempty"`
+	MetricsSeries   int         `json:"metrics_series,omitempty"`
+	PreprP99Ms      float64     `json:"prepr_p99_ms,omitempty"`
+	PreprGoodputRPS float64     `json:"prepr_goodput_rps,omitempty"`
+	SpeedupGoodput  float64     `json:"speedup_goodput,omitempty"`
+	SpeedupP99      float64     `json:"speedup_p99,omitempty"`
+	Commit          string      `json:"commit"`
 }
 
 func run(cfg config) error {
@@ -184,10 +201,27 @@ func run(cfg config) error {
 			defer os.RemoveAll(dir)
 			cacheDir = dir
 		}
+		// The self-hosted bench runs with structured logging enabled —
+		// the A/B numbers must price in the observability the daemon
+		// ships with — but the stream goes to a buffered file (slog's
+		// handler serializes writes, so one bufio.Writer is safe), the
+		// way a production log shipper receives it: the bench pays for
+		// encoding every line, not a synchronous syscall per admission.
+		logPath := filepath.Join(cacheDir, "coltd.log.jsonl")
+		logFile, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		logBuf := bufio.NewWriterSize(logFile, 1<<20)
+		defer func() {
+			logBuf.Flush()
+			logFile.Close()
+		}()
 		s, err := server.NewServer(server.Config{
 			CacheDir:   cacheDir,
 			QueueDepth: cfg.shQueue,
 			Workers:    cfg.shWorkers,
+			Logger:     slog.New(slog.NewJSONHandler(logBuf, nil)),
 		})
 		if err != nil {
 			return err
@@ -261,6 +295,20 @@ func run(cfg config) error {
 		Mode:         mode,
 		Commit:       cfg.commit,
 	}
+	for _, s := range res.SlowestN(cfg.slowest) {
+		sum.Slowest = append(sum.Slowest, slowEntry{TraceID: s.TraceID, Ms: ms(s.Latency)})
+	}
+	series, err := scrapeMetrics(base)
+	if err != nil {
+		// Against an external -addr target the daemon may predate
+		// /metrics; self-hosted, a bad exposition is a real failure.
+		if cfg.addr == "" {
+			return fmt.Errorf("scraping %s/metrics: %w", base, err)
+		}
+		fmt.Fprintf(os.Stderr, "coltload: warning: scraping %s/metrics: %v\n", base, err)
+	} else {
+		sum.MetricsSeries = series
+	}
 	if cfg.preP99 > 0 && sum.P99Ms > 0 {
 		sum.PreprP99Ms = cfg.preP99
 		sum.SpeedupP99 = round2(cfg.preP99 / sum.P99Ms)
@@ -283,6 +331,50 @@ func run(cfg config) error {
 	}
 	fmt.Fprintf(os.Stderr, "coltload: wrote %s\n%s", cfg.out, b)
 	return nil
+}
+
+// scrapeMetrics fetches base/metrics and runs a light validity pass
+// over the exposition: every non-comment line must look like
+// `name{labels} value` with a parseable value, and the page must
+// carry coltd's own series. Returns the coltd_* sample count.
+func scrapeMetrics(base string) (series int, err error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return 0, fmt.Errorf("malformed sample line %q", line)
+		}
+		name := line[:sp]
+		if c := name[0]; !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+			return 0, fmt.Errorf("malformed metric name in %q", line)
+		}
+		if _, perr := strconv.ParseFloat(line[sp+1:], 64); perr != nil {
+			return 0, fmt.Errorf("malformed sample value in %q: %v", line, perr)
+		}
+		if strings.HasPrefix(name, "coltd_") {
+			series++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if series == 0 {
+		return 0, fmt.Errorf("exposition carries no coltd_* series")
+	}
+	return series, nil
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

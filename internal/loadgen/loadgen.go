@@ -359,10 +359,11 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backof
 	t0 := time.Now()
 	var sr submitResponse
 	var code int
+	var trace string
 	for attempt := 0; ; attempt++ {
 		var retryAfter time.Duration
 		var err error
-		code, retryAfter, err = r.submit(ctx, k, &sr)
+		code, retryAfter, trace, err = r.submit(ctx, k, &sr)
 		if err != nil {
 			rec.Errors++
 			return
@@ -430,37 +431,40 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backof
 	if state == "done" {
 		rec.Done++
 		rec.Latencies = append(rec.Latencies, time.Since(t0))
+		rec.Slow = append(rec.Slow, SlowSample{TraceID: trace, Latency: time.Since(t0)})
 	} else {
 		rec.Errors++
 	}
 }
 
 // submit performs one POST /v1/jobs attempt for spec k, decoding the
-// body into sr on 2xx and the Retry-After header (whole seconds, as
-// coltd sends it) into retryAfter on refusals.
-func (r *runner) submit(ctx context.Context, k int, sr *submitResponse) (code int, retryAfter time.Duration, err error) {
+// body into sr on 2xx, the Retry-After header (whole seconds, as
+// coltd sends it) into retryAfter on refusals, and returning the
+// X-Colt-Trace the server minted (or adopted) for the request.
+func (r *runner) submit(ctx context.Context, k int, sr *submitResponse) (code int, retryAfter time.Duration, trace string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.bodies[k]))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	defer resp.Body.Close()
+	trace = resp.Header.Get("X-Colt-Trace")
 	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
 		if derr := json.NewDecoder(resp.Body).Decode(sr); derr != nil {
 			io.Copy(io.Discard, resp.Body)
-			return resp.StatusCode, 0, derr
+			return resp.StatusCode, 0, trace, derr
 		}
 	}
 	io.Copy(io.Discard, resp.Body)
 	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
 		retryAfter = time.Duration(secs) * time.Second
 	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, retryAfter, trace, nil
 }
 
 // poll fetches one job-status snapshot.

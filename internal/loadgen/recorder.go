@@ -5,6 +5,15 @@ import (
 	"time"
 )
 
+// SlowSample ties one served request's client-perceived latency to
+// the trace ID the server returned for it, so a slow tail entry in
+// the bench summary can be chased through the daemon's structured
+// logs and /v1/jobs/{id}/timeline.
+type SlowSample struct {
+	TraceID string
+	Latency time.Duration
+}
+
 // Recorder accumulates one client's request outcomes. Clients record
 // into private Recorders (no cross-goroutine sharing on the hot path)
 // and the runner merges them when the run ends.
@@ -13,6 +22,10 @@ type Recorder struct {
 	// served request (cache hits included — their latency is the POST
 	// round trip, which is the point of measuring them).
 	Latencies []time.Duration
+	// Slow pairs each served request's latency with its X-Colt-Trace.
+	// Kept separate from Latencies because Percentiles sorts that
+	// slice in place, destroying any index alignment.
+	Slow []SlowSample
 	// Requests counts every submission attempt.
 	Requests int
 	// Accepted counts submissions the server admitted (2xx).
@@ -41,6 +54,7 @@ type Recorder struct {
 // Merge folds o into r.
 func (r *Recorder) Merge(o *Recorder) {
 	r.Latencies = append(r.Latencies, o.Latencies...)
+	r.Slow = append(r.Slow, o.Slow...)
 	r.Requests += o.Requests
 	r.Accepted += o.Accepted
 	r.Refused += o.Refused
@@ -70,6 +84,17 @@ func (r *Recorder) Percentiles(qs ...float64) []time.Duration {
 			idx = len(r.Latencies) - 1
 		}
 		out[i] = r.Latencies[idx]
+	}
+	return out
+}
+
+// SlowestN returns the n slowest served requests, descending by
+// latency, sorting a copy so the Recorder's sample order survives.
+func (r *Recorder) SlowestN(n int) []SlowSample {
+	out := append([]SlowSample(nil), r.Slow...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Latency > out[j].Latency })
+	if n >= 0 && len(out) > n {
+		out = out[:n]
 	}
 	return out
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are 16 lowercase hex characters minted at admission and
+// threaded through every layer a request touches: the admission log
+// line, the WAL accept record, the worker execution and cache-commit
+// logs, the X-Colt-Trace response header, and the job's span
+// timeline. They exist to correlate, not to be unguessable — but the
+// process-unique random base keeps two daemons (or two restarts of
+// one) from ever colliding, so "grep every log for this ID" stays a
+// sound debugging move across a fleet.
+
+// traceBase is the per-process random base; traceSeq makes each mint
+// unique within the process.
+var (
+	traceBase uint64
+	traceSeq  atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		traceBase = binary.LittleEndian.Uint64(b[:])
+	} else {
+		traceBase = uint64(time.Now().UnixNano())
+	}
+}
+
+// mix is splitmix64's finalizer: cheap, stateless, and enough to make
+// sequential sequence numbers look unrelated in logs.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID mints a fresh 16-hex-char trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], mix(traceBase+traceSeq.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as an inbound trace ID
+// (X-Colt-Trace request header): 8–64 characters of hex or dashes, so
+// clients can propagate their own correlation IDs without letting
+// arbitrary bytes into log lines and WAL records.
+func ValidTraceID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

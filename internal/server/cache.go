@@ -78,6 +78,12 @@ type Cache struct {
 	hits, misses, corrupt atomic.Uint64
 	degradedPuts          atomic.Uint64
 
+	// entriesN and overlayN mirror len(entries) and len(mem) so the
+	// metrics gauges read them without the cache lock. Maintained at
+	// every mutation site (always under mu).
+	entriesN atomic.Int64
+	overlayN atomic.Int64
+
 	// Rebuild outcome, set once at open.
 	rebuilt        int
 	rebuildEvicted int
@@ -126,6 +132,7 @@ func OpenCacheFS(dir string, fsys faultfs.FS) (*Cache, error) {
 	if err := c.rebuildFromSidecars(); err != nil {
 		return nil, err
 	}
+	c.entriesN.Store(int64(len(c.entries)))
 	return c, nil
 }
 
@@ -249,7 +256,11 @@ func (c *Cache) evictCorrupt(key, failedSum string) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && e.Sum == failedSum {
 		delete(c.entries, key)
-		delete(c.mem, key)
+		c.entriesN.Add(-1)
+		if _, had := c.mem[key]; had {
+			delete(c.mem, key)
+			c.overlayN.Add(-1)
+		}
 		if c.dir != "" {
 			c.fs.Remove(c.entryPath(key))
 			c.fs.Remove(c.metaPath(key))
@@ -283,8 +294,14 @@ func (c *Cache) Put(key, experiment string, b []byte) error {
 		return err
 	}
 	c.mu.Lock()
+	if _, existed := c.entries[key]; !existed {
+		c.entriesN.Add(1)
+	}
 	c.entries[key] = e
-	delete(c.mem, key) // the durable copy supersedes any overlay copy
+	if _, had := c.mem[key]; had {
+		delete(c.mem, key) // the durable copy supersedes any overlay copy
+		c.overlayN.Add(-1)
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -293,7 +310,13 @@ func (c *Cache) Put(key, experiment string, b []byte) error {
 func (c *Cache) putOverlay(key string, e CacheEntry, b []byte) {
 	stored := append([]byte(nil), b...)
 	c.mu.Lock()
+	if _, had := c.mem[key]; !had {
+		c.overlayN.Add(1)
+	}
 	c.mem[key] = stored
+	if _, existed := c.entries[key]; !existed {
+		c.entriesN.Add(1)
+	}
 	c.entries[key] = e
 	c.mu.Unlock()
 }
@@ -342,7 +365,10 @@ func (c *Cache) FlushOverlay() (int, error) {
 			return flushed, err
 		}
 		c.mu.Lock()
-		delete(c.mem, k)
+		if _, had := c.mem[k]; had {
+			delete(c.mem, k)
+			c.overlayN.Add(-1)
+		}
 		c.mu.Unlock()
 		flushed++
 	}

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"colt/internal/rng"
@@ -194,6 +195,11 @@ type Plane struct {
 	mu    sync.Mutex
 	sites map[Op]*opState
 	slow  time.Duration
+
+	// injectedTotal mirrors the sum of per-site injected counts so
+	// InjectedTotal is an atomic load — metric scrapes never contend
+	// with the draw mutex on the durable-write path.
+	injectedTotal atomic.Uint64
 }
 
 // DefaultSlowIO is the delay OpSlowIO injects when the plane was not
@@ -244,6 +250,7 @@ func (p *Plane) fail(op Op) error {
 		return nil
 	}
 	st.injected++
+	p.injectedTotal.Add(1)
 	seq := st.crossings
 	p.mu.Unlock()
 	return &Error{Op: op, Seq: seq}
@@ -276,17 +283,12 @@ func (p *Plane) Crossings(op Op) uint64 {
 }
 
 // InjectedTotal returns how many faults have fired across every op.
+// Lock-free (one atomic load) so it is safe on a metrics scrape path.
 func (p *Plane) InjectedTotal() uint64 {
 	if p == nil {
 		return 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var n uint64
-	for _, st := range p.sites {
-		n += st.injected
-	}
-	return n
+	return p.injectedTotal.Load()
 }
 
 // File is the open-file surface the durability paths use: write,

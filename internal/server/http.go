@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colt/internal/obs"
 	"colt/internal/telemetry"
 )
 
@@ -25,13 +26,27 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/jobs/{id}", s.handleStatus)
 	route("GET /v1/jobs/{id}/report", s.handleReport)
 	route("GET /v1/jobs/{id}/trace", s.handleTrace)
+	route("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	route("GET /v1/jobs/{id}/events", s.handleEvents)
 	route("DELETE /v1/jobs/{id}", s.handleCancel)
 	route("GET /v1/jobs", s.handleList)
 	route("GET /v1/experiments", s.handleExperiments)
 	route("GET /v1/stats", s.handleStats)
 	route("GET /v1/healthz", s.handleHealthz)
+	route("GET /v1/readyz", s.handleReadyz)
+	route("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// MetricsHandler serves the Prometheus exposition alone — cmd/coltd
+// mounts it on the -debug-addr listener next to pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.om.reg.WritePrometheus(w)
 }
 
 // writeJSON renders a JSON response body. It marshals before touching
@@ -68,6 +83,15 @@ type submitResponse struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Accept an inbound correlation ID (validated) or mint one, and
+	// return whichever ID the admission ran under — for a coalesced
+	// submission that is the executing job's trace, so the client can
+	// follow the run that will actually produce its result.
+	trace := r.Header.Get("X-Colt-Trace")
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set("X-Colt-Trace", trace)
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -75,7 +99,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	res, err := s.Submit(spec)
+	res, err := s.SubmitTraced(spec, trace)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", s.retryAfter(err))
@@ -88,6 +112,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	w.Header().Set("X-Colt-Trace", res.Job.TraceID())
 	resp := submitResponse{jobStatus: res.Job.snapshot()}
 	if e, ok := s.cache.Entry(res.Job.Can.Hash); ok && res.Cached {
 		resp.ReportSHA256 = e.Sum
@@ -115,7 +140,48 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	w.Header().Set("X-Colt-Trace", j.TraceID())
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// timelineResponse is the GET /v1/jobs/{id}/timeline body: the job's
+// span timeline, each mark carrying its wall-clock nanosecond stamp
+// and the delta from the previous mark.
+type timelineResponse struct {
+	ID      string          `json:"id"`
+	TraceID string          `json:"trace_id"`
+	State   JobState        `json:"state"`
+	Marks   []timelineEntry `json:"marks"`
+	// TotalMs spans admitted → the last recorded mark.
+	TotalMs float64 `json:"total_ms"`
+}
+
+type timelineEntry struct {
+	Phase   string  `json:"phase"`
+	UnixNs  int64   `json:"unix_ns"`
+	DeltaMs float64 `json:"delta_ms"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	state, marks := j.timelineSnapshot()
+	resp := timelineResponse{ID: j.ID, TraceID: j.TraceID(), State: state,
+		Marks: make([]timelineEntry, 0, len(marks))}
+	for i, m := range marks {
+		e := timelineEntry{Phase: m.Phase, UnixNs: m.UnixNs}
+		if i > 0 {
+			e.DeltaMs = float64(m.UnixNs-marks[i-1].UnixNs) / 1e6
+		}
+		resp.Marks = append(resp.Marks, e)
+	}
+	if n := len(marks); n > 1 {
+		resp.TotalMs = float64(marks[n-1].UnixNs-marks[0].UnixNs) / 1e6
+	}
+	w.Header().Set("X-Colt-Trace", j.TraceID())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +208,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Report-Sha256", e.Sum)
 		w.Header().Set("ETag", `"`+e.Sum+`"`)
 	}
+	j.markServed(time.Now())
+	s.om.reportsServed.Inc()
+	w.Header().Set("X-Colt-Trace", j.TraceID())
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
 }
@@ -178,8 +247,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	flusher, canFlush := w.(http.Flusher)
+	s.om.sseSubscribers.Inc()
+	defer s.om.sseSubscribers.Dec()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Colt-Trace", j.TraceID())
 	w.WriteHeader(http.StatusOK)
 
 	writeBatch := func(evs []telemetry.ProgressEvent) {
@@ -267,16 +339,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is pure liveness: 200 as long as the process serves
+// HTTP, draining or not. Load balancers that want to stop routing to
+// a node use readyz; kill-and-restart automation uses healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining so a load balancer
+// rotates the node out before the drain completes. A degraded
+// (breaker-open) daemon still serves — memory-only — so it stays
+// ready, but the state is reported for operators and alerting.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
 	if s.isDraining() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
+	} else if s.degraded.Load() {
+		state = "degraded"
 	}
 	writeJSON(w, status, struct {
-		Status string `json:"status"`
-	}{Status: state})
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+		Degraded bool   `json:"degraded"`
+	}{Status: state, Draining: s.isDraining(), Degraded: s.degraded.Load()})
 }
 
 // EndpointStats is one route's counter snapshot in GET /v1/stats.
@@ -302,14 +391,17 @@ type epCounters struct {
 
 // endpointMetrics tracks per-route request counters. The map is
 // populated at route-registration time and read-only afterwards; mu
-// only guards registration.
+// only guards registration. Each route's counters are also exported
+// to /metrics through Func collectors reading the same atomics, so
+// /v1/stats and the exposition can never disagree.
 type endpointMetrics struct {
 	mu sync.Mutex
 	m  map[string]*epCounters
+	om *serverMetrics
 }
 
-func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{m: make(map[string]*epCounters)}
+func newEndpointMetrics(om *serverMetrics) *endpointMetrics {
+	return &endpointMetrics{m: make(map[string]*epCounters), om: om}
 }
 
 // instrument wraps a handler with request/error/latency/inflight
@@ -321,6 +413,12 @@ func (em *endpointMetrics) instrument(pattern string, h http.Handler) http.Handl
 	if !ok {
 		st = &epCounters{}
 		em.m[pattern] = st
+		if em.om != nil {
+			em.om.reg.CounterFunc("coltd_http_requests_total", "HTTP requests by route.",
+				func() float64 { return float64(st.requests.Load()) }, "route", pattern)
+			em.om.reg.CounterFunc("coltd_http_errors_total", "HTTP responses with status >= 400, by route.",
+				func() float64 { return float64(st.errors.Load()) }, "route", pattern)
+		}
 	}
 	em.mu.Unlock()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -331,7 +429,8 @@ func (em *endpointMetrics) instrument(pattern string, h http.Handler) http.Handl
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 
-		usec := uint64(time.Since(start).Microseconds())
+		elapsed := time.Since(start)
+		usec := uint64(elapsed.Microseconds())
 		st.inFlight.Add(-1)
 		st.totalUsec.Add(usec)
 		for {
@@ -342,6 +441,9 @@ func (em *endpointMetrics) instrument(pattern string, h http.Handler) http.Handl
 		}
 		if rec.status >= 400 {
 			st.errors.Add(1)
+		}
+		if em.om != nil {
+			em.om.httpLatency.Observe(elapsed.Seconds())
 		}
 	})
 }

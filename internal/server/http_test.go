@@ -200,18 +200,22 @@ func TestDrainDuringInflightPreservesResult(t *testing.T) {
 
 	drained := make(chan error, 1)
 	go func() { drained <- s.Drain(context.Background()) }()
-	// Health flips to draining; new submissions are refused with
-	// Retry-After while the in-flight job is still being finished.
+	// Readiness flips to draining (liveness stays 200); new
+	// submissions are refused with Retry-After while the in-flight job
+	// is still being finished.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		hr, _ := getBody(t, ts.URL+"/v1/healthz")
+		hr, _ := getBody(t, ts.URL+"/v1/readyz")
 		if hr.StatusCode == http.StatusServiceUnavailable {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("healthz never reported draining")
+			t.Fatal("readyz never reported draining")
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+	if hr, _ := getBody(t, ts.URL+"/v1/healthz"); hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness is not readiness)", hr.StatusCode)
 	}
 	refused, err := http.Post(ts.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"experiment": "stub", "seed": 7}`))

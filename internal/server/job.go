@@ -100,6 +100,15 @@ type Job struct {
 	// Set before the job is published; read-only afterwards.
 	deadline time.Time
 
+	// traceID is the request-scoped correlation ID minted (or accepted
+	// inbound) at admission. Set before the job is published; read-only
+	// afterwards.
+	traceID string
+	// om receives terminal-transition notifications for the phase
+	// histograms and completion counters. Set before publication; may
+	// be nil in unit tests that construct jobs directly.
+	om *serverMetrics
+
 	mu           sync.Mutex
 	errMsg       string
 	cached       bool // served from cache without simulating
@@ -110,18 +119,79 @@ type Job struct {
 	done         chan struct{} // closed on reaching a terminal state
 	trace        []byte        // Chrome trace artifact, if requested
 	created      time.Time
-	finishedAt   time.Time
+	// timeline is the job's wall-clock span record: one mark per
+	// lifecycle edge (admitted → journaled → queued → running →
+	// committed → <terminal> → served), append-only under mu. The
+	// terminal mark appended by finishLocked is the single source of
+	// truth for "when did this job end" — the SSE end event, the
+	// status snapshot, and GET /v1/jobs/{id}/timeline all read it, so
+	// they can never disagree.
+	timeline []TimelineMark
+}
+
+// TimelineMark is one edge in a job's span timeline. Phase names are
+// the lifecycle edges above; terminal marks use the JobState string
+// ("done", "failed", "canceled").
+type TimelineMark struct {
+	Phase  string `json:"phase"`
+	UnixNs int64  `json:"unix_ns"`
 }
 
 func newJob(id string, can CanonicalJob, now time.Time) *Job {
 	j := &Job{
-		ID:      id,
-		Can:     can,
-		done:    make(chan struct{}),
-		created: now,
+		ID:       id,
+		Can:      can,
+		done:     make(chan struct{}),
+		created:  now,
+		timeline: []TimelineMark{{Phase: "admitted", UnixNs: now.UnixNano()}},
 	}
 	j.stateV.Store(int32(stateIndex(JobQueued)))
 	return j
+}
+
+// TraceID returns the job's request-scoped trace ID.
+func (j *Job) TraceID() string { return j.traceID }
+
+// mark appends a span-timeline edge.
+func (j *Job) mark(phase string, t time.Time) {
+	j.mu.Lock()
+	j.markLocked(phase, t)
+	j.mu.Unlock()
+}
+
+func (j *Job) markLocked(phase string, t time.Time) {
+	j.timeline = append(j.timeline, TimelineMark{Phase: phase, UnixNs: t.UnixNano()})
+}
+
+// markServed records the first time the job's report was fetched;
+// later fetches keep the original mark.
+func (j *Job) markServed(t time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, m := range j.timeline {
+		if m.Phase == "served" {
+			return
+		}
+	}
+	j.markLocked("served", t)
+}
+
+// terminalMarkLocked returns the terminal transition record, if the
+// job has one. Callers hold j.mu.
+func (j *Job) terminalMarkLocked() (TimelineMark, bool) {
+	for _, m := range j.timeline {
+		if JobState(m.Phase).terminal() {
+			return m, true
+		}
+	}
+	return TimelineMark{}, false
+}
+
+// timelineSnapshot copies the span timeline with the job's identity.
+func (j *Job) timelineSnapshot() (state JobState, marks []TimelineMark) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stateFast(), append([]TimelineMark(nil), j.timeline...)
 }
 
 // stateFast returns the current state without locking. It may trail a
@@ -190,25 +260,30 @@ func (j *Job) finish(state JobState, errMsg string, now time.Time) {
 }
 
 // finishLocked is finish for callers already holding j.mu; the
-// cancel path uses it to make its observe-and-finish atomic.
+// cancel path uses it to make its observe-and-finish atomic. The
+// terminal timeline mark appended here is the one transition record
+// every terminal-timestamp reader derives from.
 func (j *Job) finishLocked(state JobState, errMsg string, now time.Time) {
 	if j.stateFast().terminal() {
 		return
 	}
 	j.setStateLocked(state)
 	j.errMsg = errMsg
-	j.finishedAt = now
+	j.markLocked(string(state), now)
 	close(j.done)
+	j.om.noteTerminal(j, state)
 }
 
 // markCachedDone moves a freshly minted job straight to done-from-
 // cache. Called before the job is tracked or otherwise published.
-func (j *Job) markCachedDone() {
+func (j *Job) markCachedDone(now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.stateV.Store(int32(stateIndex(JobDone)))
 	j.cached = true
+	j.markLocked(string(JobDone), now)
 	close(j.done)
+	j.om.noteTerminal(j, JobDone)
 }
 
 // start moves a queued job to running, rejecting jobs already
@@ -221,6 +296,7 @@ func (j *Job) start(cancel func()) bool {
 		return false
 	}
 	j.setStateLocked(JobRunning)
+	j.markLocked("running", time.Now())
 	j.cancel = cancel
 	return true
 }
@@ -284,11 +360,14 @@ func (j *Job) noteCoalesced() {
 	j.coalesced++
 }
 
-// snapshot captures the fields the status endpoint renders.
+// snapshot captures the fields the status endpoint renders. The
+// terminal timestamp comes from the timeline's terminal mark — the
+// same record the timeline endpoint serves — so an SSE end event and
+// a later GET /v1/jobs/{id}/timeline always agree to the nanosecond.
 func (j *Job) snapshot() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobStatus{
+	st := jobStatus{
 		ID:         j.ID,
 		Experiment: j.Can.Exp.Name,
 		Hash:       j.Can.Hash,
@@ -298,7 +377,12 @@ func (j *Job) snapshot() jobStatus {
 		Coalesced:  j.coalesced,
 		Events:     len(j.events),
 		HasTrace:   len(j.trace) > 0,
+		TraceID:    j.traceID,
 	}
+	if m, ok := j.terminalMarkLocked(); ok {
+		st.FinishedUnixNs = m.UnixNs
+	}
+	return st
 }
 
 // jobStatus is the GET /v1/jobs/{id} body.
@@ -312,4 +396,10 @@ type jobStatus struct {
 	Coalesced  int      `json:"coalesced,omitempty"`
 	Events     int      `json:"events"`
 	HasTrace   bool     `json:"has_trace"`
+	// TraceID is the request-scoped correlation ID minted at admission.
+	TraceID string `json:"trace_id,omitempty"`
+	// FinishedUnixNs is the terminal transition's wall-clock nanosecond
+	// timestamp, taken from the same timeline record the timeline
+	// endpoint renders. Zero while the job is live.
+	FinishedUnixNs int64 `json:"finished_unix_ns,omitempty"`
 }

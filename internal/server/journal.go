@@ -10,6 +10,7 @@ import (
 	"log"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"colt/internal/metrics"
 	"colt/internal/server/faultfs"
@@ -35,12 +36,24 @@ const journalSchema = "colt-journal/1"
 
 // journalRecord is one WAL line. Sum is the SHA-256 of the record's
 // canonical encoding with Sum itself empty, so a torn or bit-flipped
-// line is detected on replay instead of being trusted.
+// line is detected on replay instead of being trusted. Trace carries
+// the admission's request-scoped trace ID so a replayed job keeps the
+// identity its original submission logged under; records written
+// before tracing existed simply omit it and still verify.
 type journalRecord struct {
-	Op   string `json:"op"` // "accept" | "commit"
-	Hash string `json:"hash"`
-	Spec *Spec  `json:"spec,omitempty"` // accept records only
-	Sum  string `json:"sum,omitempty"`
+	Op    string `json:"op"` // "accept" | "commit"
+	Hash  string `json:"hash"`
+	Spec  *Spec  `json:"spec,omitempty"` // accept records only
+	Trace string `json:"trace,omitempty"`
+	Sum   string `json:"sum,omitempty"`
+}
+
+// journalLive is one accepted-but-unresolved record as surfaced to
+// startup replay: the spec to resubmit and the trace ID it was
+// originally admitted under.
+type journalLive struct {
+	Spec  Spec
+	Trace string
 }
 
 // sealed returns the record's wire line: the JSON encoding with Sum
@@ -83,13 +96,17 @@ type Journal struct {
 
 	// live is the accept set not yet committed, keyed by spec hash
 	// (duplicate accepts of one hash collapse; replay submits once).
-	live map[string]Spec
+	live map[string]journalLive
 	// order preserves first-accept order for replay.
 	order []string
 
-	appended  uint64
-	committed uint64
-	torn      uint64 // corrupt/torn records skipped during open
+	// Counters are atomics so a metrics scrape reads them without
+	// touching mu — the WAL mutex orders durable appends, not
+	// observability. liveN mirrors len(live) under mu.
+	appended  atomic.Uint64
+	committed atomic.Uint64
+	torn      atomic.Uint64 // corrupt/torn records skipped during open
+	liveN     atomic.Int64
 }
 
 // JournalStats is the journal's counter snapshot for /v1/stats.
@@ -116,11 +133,11 @@ type JournalStats struct {
 // mismatch — are skipped with a counted warning, never a startup
 // failure: the journal exists to survive crashes, so its own tail is
 // allowed to be a casualty of one.
-func openJournal(fsys faultfs.FS, dir string) (*Journal, []Spec, error) {
+func openJournal(fsys faultfs.FS, dir string) (*Journal, []journalLive, error) {
 	jl := &Journal{
 		fs:   fsys,
 		path: filepath.Join(dir, journalFile),
-		live: make(map[string]Spec),
+		live: make(map[string]journalLive),
 	}
 	raw, err := fsys.ReadFile(jl.path)
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
@@ -134,11 +151,11 @@ func openJournal(fsys faultfs.FS, dir string) (*Journal, []Spec, error) {
 		return nil, nil, fmt.Errorf("journal: opening %s for append: %w", jl.path, err)
 	}
 	jl.f = f
-	specs := make([]Spec, 0, len(jl.order))
+	recs := make([]journalLive, 0, len(jl.order))
 	for _, h := range jl.order {
-		specs = append(specs, jl.live[h])
+		recs = append(recs, jl.live[h])
 	}
-	return jl, specs, nil
+	return jl, recs, nil
 }
 
 // replayBytes scans the WAL contents, building the live set. A final
@@ -157,37 +174,38 @@ func (jl *Journal) replayBytes(raw []byte) {
 		}
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil || !rec.verify() {
-			jl.torn++
+			jl.torn.Add(1)
 			log.Printf("journal: skipping torn record at line %d (parse or checksum failure)", lineNo)
 			continue
 		}
 		switch rec.Op {
 		case "accept":
 			if rec.Spec == nil || rec.Hash == "" {
-				jl.torn++
+				jl.torn.Add(1)
 				log.Printf("journal: skipping malformed accept at line %d", lineNo)
 				continue
 			}
 			if _, ok := jl.live[rec.Hash]; !ok {
 				jl.order = append(jl.order, rec.Hash)
 			}
-			jl.live[rec.Hash] = *rec.Spec
+			jl.live[rec.Hash] = journalLive{Spec: *rec.Spec, Trace: rec.Trace}
 		case "commit":
 			if _, ok := jl.live[rec.Hash]; ok {
 				delete(jl.live, rec.Hash)
 				jl.dropOrder(rec.Hash)
 			}
 		default:
-			jl.torn++
+			jl.torn.Add(1)
 			log.Printf("journal: skipping record with unknown op %q at line %d", rec.Op, lineNo)
 		}
 	}
 	// A scanner error here means an oversized or unterminated tail;
 	// whatever parsed before it stands.
 	if err := sc.Err(); err != nil {
-		jl.torn++
+		jl.torn.Add(1)
 		log.Printf("journal: stopped scanning after line %d: %v", lineNo, err)
 	}
+	jl.liveN.Store(int64(len(jl.live)))
 }
 
 func (jl *Journal) dropOrder(hash string) {
@@ -217,20 +235,22 @@ func (jl *Journal) append(rec journalRecord) error {
 	return nil
 }
 
-// Accept durably records an admitted job before its submission
-// returns. Duplicate accepts of one hash are legal (a replayed spec
-// re-accepts itself) and collapse in the live set.
-func (jl *Journal) Accept(hash string, spec Spec) error {
+// Accept durably records an admitted job — and the trace ID it was
+// admitted under — before its submission returns. Duplicate accepts of
+// one hash are legal (a replayed spec re-accepts itself) and collapse
+// in the live set.
+func (jl *Journal) Accept(hash string, spec Spec, trace string) error {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
-	if err := jl.append(journalRecord{Op: "accept", Hash: hash, Spec: &spec}); err != nil {
+	if err := jl.append(journalRecord{Op: "accept", Hash: hash, Spec: &spec, Trace: trace}); err != nil {
 		return err
 	}
-	jl.appended++
+	jl.appended.Add(1)
 	if _, ok := jl.live[hash]; !ok {
 		jl.order = append(jl.order, hash)
 	}
-	jl.live[hash] = spec
+	jl.live[hash] = journalLive{Spec: spec, Trace: trace}
+	jl.liveN.Store(int64(len(jl.live)))
 	return nil
 }
 
@@ -246,9 +266,10 @@ func (jl *Journal) Commit(hash string) error {
 	if err := jl.append(journalRecord{Op: "commit", Hash: hash}); err != nil {
 		return err
 	}
-	jl.committed++
+	jl.committed.Add(1)
 	delete(jl.live, hash)
 	jl.dropOrder(hash)
+	jl.liveN.Store(int64(len(jl.live)))
 	return nil
 }
 
@@ -262,8 +283,8 @@ func (jl *Journal) Compact() error {
 	defer jl.mu.Unlock()
 	var buf bytes.Buffer
 	for _, h := range jl.order {
-		spec := jl.live[h]
-		line, err := (journalRecord{Op: "accept", Hash: h, Spec: &spec}).sealed()
+		rec := jl.live[h]
+		line, err := (journalRecord{Op: "accept", Hash: h, Spec: &rec.Spec, Trace: rec.Trace}).sealed()
 		if err != nil {
 			return fmt.Errorf("journal: encoding live record: %w", err)
 		}
@@ -289,18 +310,16 @@ func (jl *Journal) Compact() error {
 	return nil
 }
 
-// Live returns the current accepted-but-unresolved count.
+// Live returns the current accepted-but-unresolved count. Lock-free:
+// it reads the atomic mirror, so metric scrapes never queue behind an
+// in-flight fsync.
 func (jl *Journal) Live() int {
-	jl.mu.Lock()
-	defer jl.mu.Unlock()
-	return len(jl.live)
+	return int(jl.liveN.Load())
 }
 
-// Counters snapshots the append/commit/torn counters.
+// Counters snapshots the append/commit/torn counters (atomic loads).
 func (jl *Journal) Counters() (appended, committed, torn uint64) {
-	jl.mu.Lock()
-	defer jl.mu.Unlock()
-	return jl.appended, jl.committed, jl.torn
+	return jl.appended.Load(), jl.committed.Load(), jl.torn.Load()
 }
 
 // Close releases the append handle. Appends after Close error.

@@ -9,7 +9,7 @@ import (
 	"colt/internal/server/faultfs"
 )
 
-func openTestJournal(t *testing.T, dir string) (*Journal, []Spec) {
+func openTestJournal(t *testing.T, dir string) (*Journal, []journalLive) {
 	t.Helper()
 	jl, live, err := openJournal(faultfs.OS(), dir)
 	if err != nil {
@@ -34,7 +34,7 @@ func TestJournalAcceptCommitReplay(t *testing.T) {
 		{Experiment: "stub", Seed: 3},
 	}
 	for i, sp := range specs {
-		if err := jl.Accept(hashFor(t, i), sp); err != nil {
+		if err := jl.Accept(hashFor(t, i), sp, "tracetest-0000"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,7 +50,7 @@ func TestJournalAcceptCommitReplay(t *testing.T) {
 	if len(replay) != 2 {
 		t.Fatalf("replayed %d specs, want 2", len(replay))
 	}
-	if replay[0].Seed != 1 || replay[1].Seed != 3 {
+	if replay[0].Spec.Seed != 1 || replay[1].Spec.Seed != 3 {
 		t.Fatalf("replay order/content wrong: %+v", replay)
 	}
 }
@@ -67,10 +67,10 @@ func hashFor(t *testing.T, i int) string {
 func TestJournalTornFinalRecordSkipped(t *testing.T) {
 	dir := t.TempDir()
 	jl, _ := openTestJournal(t, dir)
-	if err := jl.Accept(hashFor(t, 0), Spec{Experiment: "stub", Seed: 7}); err != nil {
+	if err := jl.Accept(hashFor(t, 0), Spec{Experiment: "stub", Seed: 7}, "tracetest-0000"); err != nil {
 		t.Fatal(err)
 	}
-	if err := jl.Accept(hashFor(t, 1), Spec{Experiment: "stub", Seed: 8}); err != nil {
+	if err := jl.Accept(hashFor(t, 1), Spec{Experiment: "stub", Seed: 8}, "tracetest-0000"); err != nil {
 		t.Fatal(err)
 	}
 	jl.Close()
@@ -86,7 +86,7 @@ func TestJournalTornFinalRecordSkipped(t *testing.T) {
 	}
 
 	jl2, replay := openTestJournal(t, dir)
-	if len(replay) != 1 || replay[0].Seed != 7 {
+	if len(replay) != 1 || replay[0].Spec.Seed != 7 {
 		t.Fatalf("replay after torn tail = %+v, want just seed 7", replay)
 	}
 	if _, _, torn := jl2.Counters(); torn != 1 {
@@ -101,7 +101,7 @@ func TestJournalCorruptMiddleRecordSkipped(t *testing.T) {
 	dir := t.TempDir()
 	jl, _ := openTestJournal(t, dir)
 	for i := 0; i < 3; i++ {
-		if err := jl.Accept(hashFor(t, i), Spec{Experiment: "stub", Seed: uint64(i + 1)}); err != nil {
+		if err := jl.Accept(hashFor(t, i), Spec{Experiment: "stub", Seed: uint64(i + 1)}, "tracetest-0000"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -116,7 +116,7 @@ func TestJournalCorruptMiddleRecordSkipped(t *testing.T) {
 	}
 
 	jl2, replay := openTestJournal(t, dir)
-	if len(replay) != 2 || replay[0].Seed != 1 || replay[1].Seed != 3 {
+	if len(replay) != 2 || replay[0].Spec.Seed != 1 || replay[1].Spec.Seed != 3 {
 		t.Fatalf("replay = %+v, want seeds 1 and 3", replay)
 	}
 	if _, _, torn := jl2.Counters(); torn != 1 {
@@ -131,7 +131,7 @@ func TestJournalDuplicateAcceptsCollapse(t *testing.T) {
 	jl, _ := openTestJournal(t, dir)
 	sp := Spec{Experiment: "stub", Seed: 4}
 	for i := 0; i < 3; i++ {
-		if err := jl.Accept(hashFor(t, 0), sp); err != nil {
+		if err := jl.Accept(hashFor(t, 0), sp, "tracetest-0000"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func TestJournalCompact(t *testing.T) {
 	dir := t.TempDir()
 	jl, _ := openTestJournal(t, dir)
 	for i := 0; i < 4; i++ {
-		if err := jl.Accept(hashFor(t, i), Spec{Experiment: "stub", Seed: uint64(i)}); err != nil {
+		if err := jl.Accept(hashFor(t, i), Spec{Experiment: "stub", Seed: uint64(i)}, "tracetest-0000"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -194,7 +194,7 @@ func TestJournalFsyncFaultSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer jl.Close()
-	err = jl.Accept(hashFor(t, 0), Spec{Experiment: "stub"})
+	err = jl.Accept(hashFor(t, 0), Spec{Experiment: "stub"}, "tracetest-0000")
 	if err == nil || !faultfs.IsInjected(err) {
 		t.Fatalf("Accept under fsync-fail = %v, want injected error", err)
 	}

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"log/slog"
+)
+
+var updateMetricsGolden = flag.Bool("update", false, "rewrite the /metrics inventory golden")
+
+// syncBuffer is a locked bytes.Buffer backing the test slog handler —
+// worker goroutines and the admission path log concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// scrape fetches /metrics and asserts the exposition content type.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	return string(body)
+}
+
+// metricsInventory reduces an exposition page to its stable shape:
+// HELP and TYPE lines verbatim, sample lines stripped of their values.
+// Counts drift run to run; the name/label/help inventory must not.
+func metricsInventory(t *testing.T, page string) string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(page, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			out = append(out, line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		out = append(out, line[:sp])
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+// TestMetricsGoldenInventory pins the exported metric names, label
+// sets, and help strings against a checked-in golden. Renaming or
+// dropping a series breaks operator dashboards and alert rules, so it
+// must be a reviewed diff: regenerate with
+//
+//	go test ./internal/server -run TestMetricsGoldenInventory -update
+func TestMetricsGoldenInventory(t *testing.T) {
+	s, err := NewServer(Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	got := metricsInventory(t, scrape(t, ts))
+
+	// The acceptance floor: a fresh daemon already exposes a real
+	// inventory, not a stub page.
+	series := 0
+	for _, line := range strings.Split(got, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			series++
+		}
+	}
+	if series < 20 {
+		t.Fatalf("fresh /metrics exposes %d series, want >= 20", series)
+	}
+
+	path := filepath.Join("testdata", "metrics_inventory.txt")
+	if *updateMetricsGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d series)", path, series)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric inventory diverges from golden (re-run with -update if intended).\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers admission, cancellation, and the
+// scrape path concurrently — the race-detector run of this test is
+// the proof behind "a monitoring scrape can never stall admission".
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	s, err := NewServer(Config{CacheDir: t.TempDir(), QueueDepth: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var submitters, others sync.WaitGroup
+	ids := make(chan string, 256)
+	for c := 0; c < 3; c++ {
+		submitters.Add(1)
+		go func(c int) {
+			defer submitters.Done()
+			for i := 0; i < 25; i++ {
+				spec := fmt.Sprintf(`{"experiment": "table1", "quick": true, "refs": 500, "seed": %d}`, c*100+i%7+1)
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+				if err != nil {
+					continue
+				}
+				var sr submitResponse
+				if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
+					if json.NewDecoder(resp.Body).Decode(&sr) == nil {
+						select {
+						case ids <- sr.ID:
+						default:
+						}
+					}
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	others.Add(1)
+	go func() { // canceler: races terminal transitions against scrapes
+		defer others.Done()
+		for id := range ids {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}()
+	for c := 0; c < 2; c++ {
+		others.Add(1)
+		go func() {
+			defer others.Done()
+			for i := 0; i < 40; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		submitters.Wait()
+		close(ids) // lets the canceler drain and exit
+		others.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("scrape-under-load run wedged")
+	}
+
+	// The page must still be a valid exposition afterwards, and the
+	// admission counters must have seen the traffic.
+	page := scrape(t, ts)
+	metricsInventory(t, page) // validity pass
+	if !strings.Contains(page, "coltd_jobs_submitted_total") {
+		t.Fatal("submitted_total family missing after load")
+	}
+}
+
+// TestTraceEndToEnd is the acceptance scenario for trace propagation:
+// one submission with a client-supplied X-Colt-Trace shows up, with
+// the same ID, in (1) the admission log line, (2) the WAL accept
+// record, (3) the worker execution log, (4) the cache-commit log,
+// (5) the response header, and (6) the timeline endpoint.
+func TestTraceEndToEnd(t *testing.T) {
+	const trace = "feedc0defeedc0de"
+	dir := t.TempDir()
+	var logBuf syncBuffer
+	s, err := NewServer(Config{
+		CacheDir: dir,
+		Logger:   slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"experiment": "table1", "quick": true, "refs": 500}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Colt-Trace", trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	// (5) The response echoes the adopted trace.
+	if got := resp.Header.Get("X-Colt-Trace"); got != trace {
+		t.Fatalf("submit X-Colt-Trace = %q, want %q", got, trace)
+	}
+
+	j, ok := s.lookupJob(sr.ID)
+	if !ok {
+		t.Fatalf("job %s not tracked", sr.ID)
+	}
+	waitState(t, j, JobDone)
+
+	// (6) The timeline endpoint reports the same trace.
+	tlResp, tlBody := getBody(t, ts.URL+"/v1/jobs/"+sr.ID+"/timeline")
+	if tlResp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status = %d: %s", tlResp.StatusCode, tlBody)
+	}
+	if got := tlResp.Header.Get("X-Colt-Trace"); got != trace {
+		t.Fatalf("timeline X-Colt-Trace = %q, want %q", got, trace)
+	}
+	var tl timelineResponse
+	if err := json.Unmarshal(tlBody, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.TraceID != trace {
+		t.Fatalf("timeline trace_id = %q, want %q", tl.TraceID, trace)
+	}
+
+	// (2) The WAL accept record carries the trace.
+	wal, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(wal, []byte(`"trace":"`+trace+`"`)) {
+		t.Fatalf("WAL carries no accept record for trace %s:\n%s", trace, wal)
+	}
+
+	// (1), (3), (4): the structured log stream ties admission, worker
+	// execution, and the cache commit to the same trace.
+	logged := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Msg   string `json:"msg"`
+			Trace string `json:"trace"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable structured log line %q: %v", line, err)
+		}
+		if rec.Trace == trace {
+			logged[rec.Msg] = true
+		}
+	}
+	for _, msg := range []string{"job admitted", "job running", "cache commit", "job finished"} {
+		if !logged[msg] {
+			t.Errorf("no %q log line carries trace %s; lines with it: %v", msg, trace, logged)
+		}
+	}
+}
+
+// TestSSEEndMatchesTimeline is the regression test for the terminal
+// timestamp skew bug: the SSE "end" event's finished_unix_ns, the
+// job-status snapshot, and the timeline's terminal mark must all be
+// the same instant, because all three read the one terminal
+// transition record.
+func TestSSEEndMatchesTimeline(t *testing.T) {
+	s, err := NewServer(Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, sr := postJob(t, ts, `{"experiment": "table1", "quick": true, "refs": 500}`)
+	sseResp, err := http.Get(ts.URL + "/v1/jobs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, sseResp.Body)
+	sseResp.Body.Close()
+	var end jobStatus
+	var sawEnd bool
+	for _, ev := range events {
+		if ev.Name == "end" {
+			if err := json.Unmarshal([]byte(ev.Data), &end); err != nil {
+				t.Fatalf("end event data %q: %v", ev.Data, err)
+			}
+			sawEnd = true
+		}
+	}
+	if !sawEnd {
+		t.Fatal("stream carried no end event")
+	}
+	if end.State != JobDone {
+		t.Fatalf("end state = %s (%s)", end.State, end.Error)
+	}
+	if end.FinishedUnixNs == 0 {
+		t.Fatal("end event carries no finished_unix_ns")
+	}
+
+	_, tlBody := getBody(t, ts.URL+"/v1/jobs/"+sr.ID+"/timeline")
+	var tl timelineResponse
+	if err := json.Unmarshal(tlBody, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Marks) == 0 {
+		t.Fatal("timeline has no marks")
+	}
+	term := tl.Marks[len(tl.Marks)-1]
+	if term.Phase != string(JobDone) {
+		t.Fatalf("terminal mark phase = %q, want %q", term.Phase, JobDone)
+	}
+	if term.UnixNs != end.FinishedUnixNs {
+		t.Fatalf("timeline terminal mark %d != SSE end finished_unix_ns %d (skew %v)",
+			term.UnixNs, end.FinishedUnixNs, time.Duration(term.UnixNs-end.FinishedUnixNs))
+	}
+
+	// The plain status snapshot agrees too.
+	_, stBody := getBody(t, ts.URL+"/v1/jobs/"+sr.ID)
+	var st jobStatus
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FinishedUnixNs != end.FinishedUnixNs {
+		t.Fatalf("status finished_unix_ns %d != SSE end %d", st.FinishedUnixNs, end.FinishedUnixNs)
+	}
+}

@@ -67,10 +67,10 @@ func TestCrashReplayRecoversAcceptedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := jl.Accept(canLanded.Hash, specLanded); err != nil {
+	if err := jl.Accept(canLanded.Hash, specLanded, "tracetest-0001"); err != nil {
 		t.Fatal(err)
 	}
-	if err := jl.Accept(canLost.Hash, specLost); err != nil {
+	if err := jl.Accept(canLost.Hash, specLost, "tracetest-0002"); err != nil {
 		t.Fatal(err)
 	}
 	jl.Close()

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -17,6 +19,7 @@ import (
 
 	"colt/internal/experiments"
 	"colt/internal/metrics"
+	"colt/internal/obs"
 	"colt/internal/rng"
 	"colt/internal/server/faultfs"
 	"colt/internal/telemetry"
@@ -74,6 +77,13 @@ type Config struct {
 	// 2s). A successful probe flushes the memory overlay and closes
 	// the breaker.
 	ProbeInterval time.Duration
+	// Logger receives the request-scoped structured log stream
+	// (admission, execution, cache commit — every line carries the
+	// job's trace ID). nil discards it, keeping tests and benchmarks
+	// quiet; the process-lifecycle lines (startup, replay, breaker
+	// transitions) stay on the standard logger regardless, because the
+	// ops scripts parse them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +199,11 @@ type Server struct {
 	drainErr  error
 
 	ep *endpointMetrics
+
+	// om is the /metrics registry and its instruments; slog is the
+	// request-scoped structured log stream (see Config.Logger).
+	om   *serverMetrics
+	slog *slog.Logger
 }
 
 // NewServer builds a server, opens (or creates) its cache and
@@ -214,9 +229,12 @@ func NewServer(cfg Config) (*Server, error) {
 		stop:           stop,
 		retainPerShard: cfg.RetainJobs / numShards,
 		queue:          make(chan *Job, cfg.QueueDepth),
-		ep:             newEndpointMetrics(),
 		retryRng:       rng.New(cfg.DiskFaultSeed ^ 0x5261667465724a6a).Stream("retry-after"),
 		probeStop:      make(chan struct{}),
+	}
+	s.slog = cfg.Logger
+	if s.slog == nil {
+		s.slog = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.queueSlots.Store(int64(cfg.QueueDepth))
 	for i := range s.admit {
@@ -225,7 +243,13 @@ func NewServer(cfg Config) (*Server, error) {
 	for i := range s.reg {
 		s.reg[i].jobs = make(map[string]*Job)
 	}
-	var replay []Spec
+	// Register the metric inventory before any worker, handler, or
+	// replay runs: registration is the only locked phase of the
+	// registry's life. The journal Func collectors nil-check at scrape
+	// time, so registering before openJournal is safe.
+	s.om = newServerMetrics(s)
+	s.ep = newEndpointMetrics(s.om)
+	var replay []journalLive
 	if cfg.CacheDir != "" {
 		jl, live, err := openJournal(fsys, cfg.CacheDir)
 		if err != nil {
@@ -259,22 +283,24 @@ func NewServer(cfg Config) (*Server, error) {
 // storm. A momentarily full queue is retried briefly (workers free
 // slots as they dequeue); what still cannot be admitted is counted in
 // PendingDropped rather than silently vanishing.
-func (s *Server) replayJournal(replay []Spec) error {
+func (s *Server) replayJournal(replay []journalLive) error {
 	if s.journal == nil || len(replay) == 0 {
 		return nil
 	}
 	dropped := 0
-	for _, spec := range replay {
+	for _, rec := range replay {
 		var err error
 		for attempt := 0; attempt < 100; attempt++ {
-			if _, err = s.Submit(spec); !errors.Is(err, ErrQueueFull) {
+			// Resubmit under the original trace ID, so the replayed run
+			// greps as a continuation of the crashed request.
+			if _, err = s.SubmitTraced(rec.Spec, rec.Trace); !errors.Is(err, ErrQueueFull) {
 				break
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
 		if err != nil {
 			dropped++
-			log.Printf("server: dropping journaled job (experiment %q): %v", spec.Experiment, err)
+			log.Printf("server: dropping journaled job (experiment %q): %v", rec.Spec.Experiment, err)
 			continue
 		}
 		s.journalReplayed.Add(1)
@@ -363,11 +389,44 @@ type SubmitResult struct {
 // A queue slot is won (reserveSlot) before a job ID is minted, so a
 // refused submission consumes neither an ID nor a registry entry.
 func (s *Server) Submit(spec Spec) (SubmitResult, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with an explicit request-scoped trace ID —
+// the HTTP layer passes a validated inbound X-Colt-Trace, journal
+// replay passes the crashed run's recorded ID. An empty or invalid
+// trace is replaced with a freshly minted one; every admission
+// outcome, accepted or refused, is logged and counted under it.
+func (s *Server) SubmitTraced(spec Spec, trace string) (SubmitResult, error) {
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	// Admission log lines are emitted by this deferred hook, which
+	// runs after every lock below is released (defers are LIFO): the
+	// slog handler serializes writes process-wide, and emitting while
+	// holding a hot admission shard would put the logger's mutex and
+	// encoding on the admission critical path.
+	var logAfter func()
+	defer func() {
+		if logAfter != nil {
+			logAfter()
+		}
+	}()
 	can, err := Canonicalize(spec, s.cfg.Registry)
 	if err != nil {
+		s.om.admitInvalid.Inc()
+		logAfter = func() {
+			s.slog.Warn("admission refused", "trace", trace, "outcome", "invalid",
+				"experiment", spec.Experiment, "error", err.Error())
+		}
 		return SubmitResult{}, err
 	}
 	if s.cfg.MaxRefs > 0 && can.Opts.Refs > s.cfg.MaxRefs {
+		s.om.admitTooLarge.Inc()
+		logAfter = func() {
+			s.slog.Warn("admission refused", "trace", trace, "outcome", "too_large",
+				"experiment", can.Exp.Name, "refs", can.Opts.Refs)
+		}
 		return SubmitResult{}, fmt.Errorf("%w: refs %d > limit %d",
 			ErrTooLarge, can.Opts.Refs, s.cfg.MaxRefs)
 	}
@@ -375,6 +434,11 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.draining.Load() {
+		s.om.admitDraining.Inc()
+		logAfter = func() {
+			s.slog.Warn("admission refused", "trace", trace, "outcome", "draining",
+				"experiment", can.Exp.Name)
+		}
 		return SubmitResult{}, ErrDraining
 	}
 	sh := s.admitShardFor(can.Hash)
@@ -385,6 +449,12 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 		if !j.stateFast().terminal() {
 			j.noteCoalesced()
 			s.coalesced.Add(1)
+			s.om.admitCoalesced.Inc()
+			onto, id := j.TraceID(), j.ID
+			logAfter = func() {
+				s.slog.Info("admission coalesced", "trace", trace, "onto_trace", onto,
+					"job", id, "experiment", can.Exp.Name, "hash", can.Hash)
+			}
 			return SubmitResult{Job: j, Created: false}, nil
 		}
 		delete(sh.byHash, can.Hash)
@@ -393,20 +463,30 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 	// Serve from cache: Get verifies the stored bytes against their
 	// recorded hash, so a corrupted entry falls through to recompute.
 	if _, ok := s.cache.Get(can.Hash); ok {
-		j := s.newTrackedJob(can, now, true)
+		j := s.newTrackedJob(can, now, true, trace)
 		// Resolve any live journal record for this hash — a replayed
 		// accept whose report landed before the crash completes here,
 		// as a hit, and must not be replayed forever. For ordinary hits
 		// this is a no-op map probe.
 		s.journalCommit(can.Hash)
+		s.om.admitCacheHit.Inc()
+		logAfter = func() {
+			s.slog.Info("job admitted", "trace", trace, "outcome", "cache_hit",
+				"job", j.ID, "experiment", can.Exp.Name, "hash", can.Hash)
+		}
 		return SubmitResult{Job: j, Created: true, Cached: true}, nil
 	}
 	// Win a queue slot before minting an ID or constructing the job:
 	// refusals must leave no trace.
 	if !s.reserveSlot() {
+		s.om.admitQueueFull.Inc()
+		logAfter = func() {
+			s.slog.Warn("admission refused", "trace", trace, "outcome", "queue_full",
+				"experiment", can.Exp.Name)
+		}
 		return SubmitResult{}, ErrQueueFull
 	}
-	j := s.newTrackedJob(can, now, false)
+	j := s.newTrackedJob(can, now, false, trace)
 	if can.Spec.DeadlineMs > 0 {
 		j.deadline = now.Add(time.Duration(can.Spec.DeadlineMs) * time.Millisecond)
 	}
@@ -415,32 +495,42 @@ func (s *Server) Submit(spec Spec) (SubmitResult, error) {
 	// acknowledged. An append failure degrades rather than refuses —
 	// the job still runs, the breaker hears about the disk — and while
 	// the breaker is open appends are suppressed entirely.
-	s.journalAccept(can)
+	if s.journalAccept(can, trace) {
+		j.mark("journaled", time.Now())
+	}
 	sh.byHash[can.Hash] = j
+	j.mark("queued", time.Now())
 	// Cannot block (a slot is held) and cannot hit a closed channel
 	// (admitMu is read-held; Drain closes under the write lock).
 	s.queue <- j
+	s.om.admitAccepted.Inc()
+	logAfter = func() {
+		s.slog.Info("job admitted", "trace", trace, "outcome", "accepted",
+			"job", j.ID, "experiment", can.Exp.Name, "hash", can.Hash)
+	}
 	return SubmitResult{Job: j, Created: true}, nil
 }
 
 // journalAccept writes the admission WAL record for a spec, feeding
 // the disk breaker with the outcome. Jobs admitted without a durable
 // record (breaker open, or the append itself failed) are counted.
-func (s *Server) journalAccept(can CanonicalJob) {
+// Reports whether a durable record landed.
+func (s *Server) journalAccept(can CanonicalJob, trace string) bool {
 	if s.journal == nil {
-		return
+		return false
 	}
 	if s.degraded.Load() {
 		s.journalSkipped.Add(1)
-		return
+		return false
 	}
-	if err := s.journal.Accept(can.Hash, can.Spec); err != nil {
+	if err := s.journal.Accept(can.Hash, can.Spec, trace); err != nil {
 		s.journalSkipped.Add(1)
 		s.noteDiskOp(err)
 		log.Printf("server: journal accept failed (job runs without durability): %v", err)
-		return
+		return false
 	}
 	s.noteDiskOp(nil)
+	return true
 }
 
 // journalCommit resolves a spec's WAL record, feeding the breaker.
@@ -608,6 +698,8 @@ func (s *Server) execute(j *Job) {
 		return // canceled while queued
 	}
 	s.simulations.Add(1)
+	s.slog.Info("job running", "trace", j.TraceID(), "job", j.ID,
+		"experiment", j.Can.Exp.Name, "hash", j.Can.Hash)
 
 	opts := j.Can.Opts
 	opts.Ctx = ctx
@@ -638,11 +730,13 @@ func (s *Server) execute(j *Job) {
 		if resolved {
 			s.journalCommit(j.Can.Hash)
 		}
+		s.slog.Info("job finished", "trace", j.TraceID(), "job", j.ID, "state", "canceled", "reason", msg)
 		return
 	}
 	if runErr != nil {
 		j.finish(JobFailed, runErr.Error(), now)
 		s.journalCommit(j.Can.Hash)
+		s.slog.Warn("job finished", "trace", j.TraceID(), "job", j.ID, "state", "failed", "error", runErr.Error())
 		return
 	}
 	report := opts.Metrics.Report(j.Can.Exp.Name, opts.Snapshot())
@@ -650,6 +744,7 @@ func (s *Server) execute(j *Job) {
 	if err != nil {
 		j.finish(JobFailed, fmt.Sprintf("rendering report: %v", err), now)
 		s.journalCommit(j.Can.Hash)
+		s.slog.Warn("job finished", "trace", j.TraceID(), "job", j.ID, "state", "failed", "error", err.Error())
 		return
 	}
 	// A disk-refused Put is not a failed job: the bytes land in the
@@ -659,17 +754,23 @@ func (s *Server) execute(j *Job) {
 	if err := s.cache.Put(j.Can.Hash, j.Can.Exp.Name, b); err != nil {
 		s.noteDiskOp(err)
 		log.Printf("server: cache write failed (serving from memory): %v", err)
+		s.slog.Warn("cache commit", "trace", j.TraceID(), "job", j.ID,
+			"hash", j.Can.Hash, "bytes", len(b), "durable", false, "error", err.Error())
 	} else {
 		s.noteDiskOp(nil)
 		s.journalCommit(j.Can.Hash)
+		s.slog.Info("cache commit", "trace", j.TraceID(), "job", j.ID,
+			"hash", j.Can.Hash, "bytes", len(b), "durable", true)
 	}
+	j.mark("committed", time.Now())
 	if opts.Events != nil {
 		var buf bytes.Buffer
 		if err := opts.Events.WriteChrome(&buf); err == nil {
 			j.setTrace(buf.Bytes())
 		}
 	}
-	j.finish(JobDone, "", now)
+	j.finish(JobDone, "", time.Now())
+	s.slog.Info("job finished", "trace", j.TraceID(), "job", j.ID, "state", "done")
 }
 
 // Report returns the job's report bytes from the cache. Only done

@@ -69,12 +69,14 @@ func (s *Server) regShardForID(id string) (*regShard, bool) {
 // registry shard, applying the terminal-retention bound. The ID is
 // minted here — after admission has succeeded — so refused
 // submissions never consume one. cached jobs are born done.
-func (s *Server) newTrackedJob(can CanonicalJob, now time.Time, cached bool) *Job {
+func (s *Server) newTrackedJob(can CanonicalJob, now time.Time, cached bool, trace string) *Job {
 	seq := s.nextID.Add(1)
 	j := newJob(fmt.Sprintf("j%06d", seq), can, now)
 	j.seq = seq
+	j.traceID = trace
+	j.om = s.om // before any terminal transition can fire
 	if cached {
-		j.markCachedDone()
+		j.markCachedDone(now)
 	}
 	rs := s.regShardForSeq(seq)
 	j.counts = &rs.counts

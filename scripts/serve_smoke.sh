@@ -3,6 +3,8 @@
 # port with a disk cache, submit a quick table1 job, wait for it,
 # fetch the report, resubmit the identical spec and assert the second
 # serve is a byte-identical cache hit with no additional simulation,
+# check the observability surface (healthz/readyz, the X-Colt-Trace
+# header, and a valid /metrics exposition with completed jobs on it),
 # then SIGTERM the daemon and assert it drains cleanly.
 set -eu
 
@@ -46,8 +48,13 @@ echo "serve-smoke: daemon at $base"
 
 spec='{"experiment": "table1", "quick": true, "refs": 2000}'
 
-$CURL -X POST -d "$spec" "$base/v1/jobs" >"$work/submit1.json" \
+$CURL "$base/v1/healthz" | grep -q '"ok"' || fail "healthz not ok"
+$CURL "$base/v1/readyz" | grep -q '"ok"' || fail "readyz not ok while serving"
+
+$CURL -D "$work/submit1.headers" -X POST -d "$spec" "$base/v1/jobs" >"$work/submit1.json" \
     || fail "first submission refused"
+grep -qi '^x-colt-trace: [0-9a-f]' "$work/submit1.headers" \
+    || fail "submission response carries no X-Colt-Trace header"
 id=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$work/submit1.json" | head -n 1)
 [ -n "$id" ] || fail "no job id in $(cat "$work/submit1.json")"
 grep -q '"cached": true' "$work/submit1.json" && fail "first submission claims a cache hit"
@@ -81,6 +88,26 @@ cmp -s "$work/report1.json" "$work/report2.json" \
 $CURL "$base/v1/stats" >"$work/stats.json" || fail "stats fetch failed"
 grep -q '"simulations": 1' "$work/stats.json" \
     || fail "cache hit ran a simulation: $(cat "$work/stats.json")"
+
+echo "serve-smoke: scraping /metrics"
+$CURL "$base/metrics" >"$work/metrics.txt" || fail "metrics scrape failed"
+# Validity pass over the exposition: every non-comment line must be
+# `name{labels} value` with a parseable value, and a real daemon
+# exposes a real inventory, not a stub page.
+awk '
+    /^$/ { next }
+    /^#/ { next }
+    {
+        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?([0-9][0-9.eE+-]*|\.[0-9][0-9.eE+-]*|[+-]?Inf|NaN)$/) {
+            print "serve-smoke: malformed exposition line: " $0; exit 1
+        }
+        n++
+    }
+    END { if (n < 20) { print "serve-smoke: only " n " series exposed"; exit 1 } }
+' "$work/metrics.txt" || fail "metrics exposition invalid"
+awk '$1 ~ /^coltd_jobs_completed_total\{state="done"\}$/ { sum += $2 }
+     END { exit !(sum >= 1) }' "$work/metrics.txt" \
+    || fail "coltd_jobs_completed_total{state=\"done\"} is zero after a completed job"
 
 echo "serve-smoke: draining via SIGTERM"
 kill -TERM "$daemon_pid"
