@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath bench-serve chaos chaos-serve fuzz-buddy cover serve-smoke
+.PHONY: check fmt tidy vet build test race golden golden-update bench-parallel bench-hotpath bench-serve chaos chaos-serve fuzz-buddy cover serve-smoke cluster-smoke
 
 check: fmt tidy vet build test race golden
 
@@ -90,6 +90,15 @@ fuzz-buddy:
 # cache hit with no extra simulation, and drain cleanly on SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Cluster smoke: boot a 3-node fleet with static -peers, assert ring
+# convergence on readyz, one fleet-wide simulation for a spec
+# submitted through two nodes (ownership proxying), byte-identical
+# reports through every node (peer cache fill), then SIGKILL a node
+# and assert the survivors shrink the ring and re-serve every hash
+# from cache.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Statement-coverage gate for the observability stack: each package
 # listed in .coverage-floor must meet its checked-in minimum.

@@ -14,11 +14,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"colt/internal/cluster"
 	"colt/internal/server"
 	"colt/internal/server/faultfs"
 )
@@ -39,10 +42,20 @@ func main() {
 		probe        = flag.Duration("probe-interval", 2*time.Second, "how often degraded mode re-probes the disk to close the breaker")
 		logLevel     = flag.String("log-level", "info", "request-scoped JSON log level on stderr: debug, info, warn, error, or off")
 		debugAddr    = flag.String("debug-addr", "", "optional second listener serving /debug/pprof/ and /metrics (empty = off; /metrics is always on the main address)")
+		nodeID       = flag.String("node-id", "", "stable cluster identity for this node (required with -peers; single-node without them)")
+		peers        = flag.String("peers", "", "comma-separated id=url cluster peers, e.g. 'n2=http://10.0.0.2:8077,n3=http://10.0.0.3:8077' (empty = unclustered)")
+		stealThr     = flag.Int("steal-threshold", 0, "queue depth at which idle peers may steal this node's queued jobs (0 disables stealing)")
+		heartbeat    = flag.Duration("heartbeat-interval", 500*time.Millisecond, "cluster gossip period")
 	)
 	flag.Parse()
 
 	if err := validate(*queueDepth, *workers, *parallel, *retain, *drainTimeout, *breaker, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "coltd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	clusterCfg, err := clusterConfig(*nodeID, *peers, *stealThr, *heartbeat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -71,6 +84,7 @@ func main() {
 		BreakerThreshold: *breaker,
 		ProbeInterval:    *probe,
 		Logger:           logger,
+		Cluster:          clusterCfg,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "coltd:", err)
 		os.Exit(1)
@@ -126,6 +140,97 @@ func validate(queueDepth, workers, parallel, retain int, drainTimeout time.Durat
 	return nil
 }
 
+// clusterConfig builds the cluster layer's config from the -node-id,
+// -peers, -steal-threshold, and -heartbeat-interval flags, or nil
+// when the daemon runs unclustered. A bare -node-id (no peers) is a
+// single-node cluster: job IDs gain the node prefix, so the node can
+// later be joined by peers without an ID-format change.
+func clusterConfig(nodeID, peers string, stealThreshold int, heartbeat time.Duration) (*cluster.Config, error) {
+	if nodeID == "" && peers == "" {
+		return nil, nil
+	}
+	if nodeID == "" {
+		return nil, fmt.Errorf("-peers requires -node-id")
+	}
+	// "." separates the node prefix from the job sequence in cluster
+	// job IDs; "=" and "," would collide with the -peers syntax on
+	// every other node's command line.
+	if strings.ContainsAny(nodeID, ".=, \t") {
+		return nil, fmt.Errorf("-node-id %q must not contain '.', '=', ',' or whitespace", nodeID)
+	}
+	if stealThreshold < 0 {
+		return nil, fmt.Errorf("-steal-threshold must be >= 0, got %d", stealThreshold)
+	}
+	if heartbeat <= 0 {
+		return nil, fmt.Errorf("-heartbeat-interval must be positive, got %v", heartbeat)
+	}
+	peerMap, err := parsePeers(peers, nodeID)
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.Config{
+		NodeID:            nodeID,
+		Peers:             peerMap,
+		StealThreshold:    stealThreshold,
+		HeartbeatInterval: heartbeat,
+	}, nil
+}
+
+// parsePeers parses the -peers value: comma-separated id=url pairs
+// naming every *other* fleet member. A pair naming self is rejected
+// (the likely cause is a copy-pasted peer list with the wrong
+// -node-id), as are duplicates and non-HTTP URLs.
+func parsePeers(s, self string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, rawURL, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || rawURL == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=url", pair)
+		}
+		if id == self {
+			return nil, fmt.Errorf("-peers entry %q names this node (-node-id %s); list only the other members", pair, self)
+		}
+		if strings.ContainsAny(id, ". \t") {
+			return nil, fmt.Errorf("-peers id %q must not contain '.' or whitespace", id)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("-peers URL %q must be http(s)://host:port", rawURL)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("-peers lists %q twice", id)
+		}
+		out[id] = strings.TrimRight(rawURL, "/")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers %q names no peers", s)
+	}
+	return out, nil
+}
+
+// listenURL renders a bound listener address as a dialable URL. With
+// -addr :0 (or any unspecified host) the kernel-chosen port comes
+// back attached to "[::]" or "0.0.0.0", which curl and the cluster
+// smoke script cannot dial as-is — substitute the loopback address so
+// the startup line is always directly usable.
+func listenURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 // run serves until SIGTERM/SIGINT, then drains: admission stops, the
 // in-flight jobs finish and land in the cache, still-queued specs are
 // checkpointed, the cache index is flushed, and only then does the
@@ -140,9 +245,11 @@ func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) 
 	if err != nil {
 		return err
 	}
-	// The one parseable startup line; the smoke script and operators
-	// reading logs rely on it to learn the bound port.
-	fmt.Printf("coltd: listening on http://%s\n", ln.Addr())
+	// The one parseable startup line; the smoke scripts and operators
+	// reading logs rely on it to learn the bound port — with -addr :0
+	// the URL carries the actual kernel-assigned port, loopback-hosted
+	// so it is directly dialable.
+	fmt.Printf("coltd: listening on %s\n", listenURL(ln.Addr()))
 
 	httpSrv := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
@@ -159,7 +266,7 @@ func run(addr, debugAddr string, cfg server.Config, drainTimeout time.Duration) 
 			s.Close()
 			return fmt.Errorf("-debug-addr: %w", err)
 		}
-		fmt.Printf("coltd: debug listening on http://%s\n", dln.Addr())
+		fmt.Printf("coltd: debug listening on %s\n", listenURL(dln.Addr()))
 		dmux := http.NewServeMux()
 		dmux.HandleFunc("/debug/pprof/", pprof.Index)
 		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -61,5 +62,81 @@ func TestBuildLogger(t *testing.T) {
 	}
 	if _, err := buildLogger("verbose"); err == nil || !strings.Contains(err.Error(), "-log-level") {
 		t.Fatalf("buildLogger(verbose) error = %v, want a -log-level flag error", err)
+	}
+}
+
+func TestClusterConfig(t *testing.T) {
+	hb := 500 * time.Millisecond
+	if cfg, err := clusterConfig("", "", 0, hb); err != nil || cfg != nil {
+		t.Fatalf("unclustered = (%v, %v), want (nil, nil)", cfg, err)
+	}
+	// A bare -node-id is a legal single-node cluster.
+	cfg, err := clusterConfig("n1", "", 0, hb)
+	if err != nil || cfg == nil || cfg.NodeID != "n1" || len(cfg.Peers) != 0 {
+		t.Fatalf("bare node-id = (%+v, %v), want single-node config", cfg, err)
+	}
+	cfg, err = clusterConfig("n1", "n2=http://10.0.0.2:8077,n3=http://10.0.0.3:8077", 4, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StealThreshold != 4 || cfg.HeartbeatInterval != hb {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if cfg.Peers["n2"] != "http://10.0.0.2:8077" || cfg.Peers["n3"] != "http://10.0.0.3:8077" {
+		t.Fatalf("peers = %v", cfg.Peers)
+	}
+
+	bad := []struct {
+		nodeID, peers string
+		steal         int
+		hb            time.Duration
+		wantFlag      string
+	}{
+		{"", "n2=http://x:1", 0, hb, "-node-id"},
+		{"n.1", "", 0, hb, "-node-id"},
+		{"n 1", "", 0, hb, "-node-id"},
+		{"n1", "", -1, hb, "-steal-threshold"},
+		{"n1", "", 0, 0, "-heartbeat-interval"},
+		{"n1", "garbage", 0, hb, "-peers"},
+		{"n1", "n2=", 0, hb, "-peers"},
+		{"n1", "=http://x:1", 0, hb, "-peers"},
+		{"n1", "n1=http://x:1", 0, hb, "-peers"},
+		{"n1", "n2=ftp://x:1", 0, hb, "-peers"},
+		{"n1", "n2=http://x:1,n2=http://y:1", 0, hb, "-peers"},
+		{"n1", "n.2=http://x:1", 0, hb, "-peers"},
+		{"n1", " , ", 0, hb, "-peers"},
+	}
+	for _, tc := range bad {
+		_, err := clusterConfig(tc.nodeID, tc.peers, tc.steal, tc.hb)
+		if err == nil {
+			t.Fatalf("clusterConfig(%q, %q, %d, %v) succeeded", tc.nodeID, tc.peers, tc.steal, tc.hb)
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Fatalf("error %q does not mention %s", err, tc.wantFlag)
+		}
+	}
+}
+
+// TestListenURLRewritesUnspecifiedHost is the -addr :0 satellite: the
+// startup line must carry a dialable URL with the kernel-chosen port,
+// not "[::]:0"'s literal unspecified host.
+func TestListenURLRewritesUnspecifiedHost(t *testing.T) {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := listenURL(ln.Addr())
+	_, port, _ := net.SplitHostPort(ln.Addr().String())
+	if port == "0" || port == "" {
+		t.Fatalf("listener reported port %q", port)
+	}
+	want := "http://127.0.0.1:" + port
+	if got != want {
+		t.Fatalf("listenURL(%v) = %q, want %q", ln.Addr(), got, want)
+	}
+	// A concrete host passes through untouched.
+	if got := listenURL(&net.TCPAddr{IP: net.IPv4(192, 0, 2, 7), Port: 8077}); got != "http://192.0.2.7:8077" {
+		t.Fatalf("concrete host rewritten: %q", got)
 	}
 }

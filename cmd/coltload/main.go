@@ -38,6 +38,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "", "target daemon base URL (e.g. http://127.0.0.1:8077); empty self-hosts a server in-process")
+		addrs    = flag.String("addrs", "", "comma-separated base URLs of a coltd fleet; submissions round-robin across them and the summary gains a per-node breakdown (overrides -addr)")
 		clients  = flag.Int("clients", 16, "closed-loop concurrency")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		duration = flag.Duration("duration", 5*time.Second, "measured window")
@@ -74,8 +75,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	addrList, err := parseAddrs(*addrs, *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coltload:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(config{
-		addr: *addr, clients: *clients, rate: *rate, duration: *duration,
+		addr: *addr, addrs: addrList, clients: *clients, rate: *rate, duration: *duration,
 		requests: *requests, specs: *specs, zipfS: *zipfS, seed: *seed,
 		experiment: *expName, refs: *refs, prewarm: *prewarm, poll: *poll, statsPoll: *stats,
 		retryMax: *retryMax, retryBase: *retryBas, retryCap: *retryCap,
@@ -124,8 +131,35 @@ func validate(clients int, rate float64, duration time.Duration, requests, specs
 	return nil
 }
 
+// parseAddrs expands -addrs into a target list and rejects the
+// ambiguous case of both -addr and -addrs.
+func parseAddrs(addrs, addr string) ([]string, error) {
+	if addrs == "" {
+		return nil, nil
+	}
+	if addr != "" {
+		return nil, fmt.Errorf("-addr and -addrs are mutually exclusive")
+	}
+	var out []string
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.HasPrefix(a, "http://") && !strings.HasPrefix(a, "https://") {
+			return nil, fmt.Errorf("-addrs entry %q must be a base URL (http://host:port)", a)
+		}
+		out = append(out, strings.TrimRight(a, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-addrs %q names no targets", addrs)
+	}
+	return out, nil
+}
+
 type config struct {
 	addr       string
+	addrs      []string
 	clients    int
 	rate       float64
 	duration   time.Duration
@@ -159,38 +193,63 @@ type slowEntry struct {
 	Ms      float64 `json:"ms"`
 }
 
+// nodeSummary is one fleet member's slice of a multi-node run: the
+// generator-side goodput/latency it served, plus the cluster counters
+// scraped from its own /metrics — how much of its traffic arrived as
+// ownership proxies, peer cache fills, and steals.
+type nodeSummary struct {
+	Addr            string  `json:"addr"`
+	GoodputRPS      float64 `json:"goodput_rps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	Requests        int     `json:"requests"`
+	Done            int     `json:"done"`
+	Refused         int     `json:"refused,omitempty"`
+	Errors          int     `json:"errors,omitempty"`
+	ProxiedSubmits  float64 `json:"proxied_submits"`
+	PeerFillOK      float64 `json:"peer_fill_ok"`
+	PeerFillMiss    float64 `json:"peer_fill_miss,omitempty"`
+	PeerFillCorrupt float64 `json:"peer_fill_corrupt,omitempty"`
+	StealsIn        float64 `json:"steals_in"`
+	StealsOut       float64 `json:"steals_out"`
+}
+
 // summary is the BENCH_serve.json schema (EXPERIMENTS.md).
 type summary struct {
-	P50Ms           float64     `json:"p50_ms"`
-	P99Ms           float64     `json:"p99_ms"`
-	P999Ms          float64     `json:"p999_ms"`
-	GoodputRPS      float64     `json:"goodput_rps"`
-	Requests        int         `json:"requests"`
-	Accepted        int         `json:"accepted"`
-	Refused         int         `json:"refused"`
-	Errors          int         `json:"errors"`
-	Done            int         `json:"done"`
-	Retries         int         `json:"retries"`
-	BackoffMs       float64     `json:"backoff_ms"`
-	CacheHitRate    float64     `json:"cache_hit_rate"`
-	CoalesceRate    float64     `json:"coalesce_rate"`
-	ZipfS           float64     `json:"zipf_s"`
-	Specs           int         `json:"specs"`
-	Clients         int         `json:"clients"`
-	RateRPS         float64     `json:"rate_rps,omitempty"`
-	DurationS       float64     `json:"duration_s"`
-	Mode            string      `json:"mode"`
-	Slowest         []slowEntry `json:"slowest,omitempty"`
-	MetricsSeries   int         `json:"metrics_series,omitempty"`
-	PreprP99Ms      float64     `json:"prepr_p99_ms,omitempty"`
-	PreprGoodputRPS float64     `json:"prepr_goodput_rps,omitempty"`
-	SpeedupGoodput  float64     `json:"speedup_goodput,omitempty"`
-	SpeedupP99      float64     `json:"speedup_p99,omitempty"`
-	Commit          string      `json:"commit"`
+	P50Ms           float64       `json:"p50_ms"`
+	P99Ms           float64       `json:"p99_ms"`
+	P999Ms          float64       `json:"p999_ms"`
+	GoodputRPS      float64       `json:"goodput_rps"`
+	Requests        int           `json:"requests"`
+	Accepted        int           `json:"accepted"`
+	Refused         int           `json:"refused"`
+	Errors          int           `json:"errors"`
+	Done            int           `json:"done"`
+	Retries         int           `json:"retries"`
+	BackoffMs       float64       `json:"backoff_ms"`
+	CacheHitRate    float64       `json:"cache_hit_rate"`
+	CoalesceRate    float64       `json:"coalesce_rate"`
+	ZipfS           float64       `json:"zipf_s"`
+	Specs           int           `json:"specs"`
+	Clients         int           `json:"clients"`
+	RateRPS         float64       `json:"rate_rps,omitempty"`
+	DurationS       float64       `json:"duration_s"`
+	Mode            string        `json:"mode"`
+	Nodes           []nodeSummary `json:"nodes,omitempty"`
+	Slowest         []slowEntry   `json:"slowest,omitempty"`
+	MetricsSeries   int           `json:"metrics_series,omitempty"`
+	PreprP99Ms      float64       `json:"prepr_p99_ms,omitempty"`
+	PreprGoodputRPS float64       `json:"prepr_goodput_rps,omitempty"`
+	SpeedupGoodput  float64       `json:"speedup_goodput,omitempty"`
+	SpeedupP99      float64       `json:"speedup_p99,omitempty"`
+	Commit          string        `json:"commit"`
 }
 
 func run(cfg config) error {
 	base := cfg.addr
+	if base == "" && len(cfg.addrs) > 0 {
+		base = cfg.addrs[0] // metrics scrape + self-host suppression
+	}
 	if base == "" {
 		cacheDir := cfg.shCache
 		if cacheDir == "" {
@@ -243,11 +302,16 @@ func run(cfg config) error {
 	if cfg.rate > 0 {
 		mode = "open"
 	}
+	if len(cfg.addrs) > 1 {
+		fmt.Fprintf(os.Stderr, "coltload: round-robin across %d nodes: %s\n",
+			len(cfg.addrs), strings.Join(cfg.addrs, " "))
+	}
 	fmt.Fprintf(os.Stderr, "coltload: %s loop, %d clients, %d specs, zipf_s=%g, %v window (prewarm=%v)\n",
 		mode, cfg.clients, cfg.specs, cfg.zipfS, cfg.duration, cfg.prewarm)
 
 	res, err := loadgen.Run(loadgen.Config{
 		BaseURL:       base,
+		BaseURLs:      cfg.addrs,
 		Clients:       cfg.clients,
 		Rate:          cfg.rate,
 		Duration:      cfg.duration,
@@ -297,6 +361,30 @@ func run(cfg config) error {
 	}
 	for _, s := range res.SlowestN(cfg.slowest) {
 		sum.Slowest = append(sum.Slowest, slowEntry{TraceID: s.TraceID, Ms: ms(s.Latency)})
+	}
+	for _, tr := range res.PerTarget {
+		ns := nodeSummary{
+			Addr:       tr.BaseURL,
+			GoodputRPS: round2(tr.GoodputRPS),
+			P50Ms:      ms(tr.P50),
+			P99Ms:      ms(tr.P99),
+			Requests:   tr.Requests,
+			Done:       tr.Done,
+			Refused:    tr.Refused,
+			Errors:     tr.Errors,
+		}
+		cc, cerr := scrapeClusterCounters(tr.BaseURL)
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "coltload: warning: cluster counters from %s: %v\n", tr.BaseURL, cerr)
+		} else {
+			ns.ProxiedSubmits = cc[`coltd_cluster_proxied_submits_total`]
+			ns.PeerFillOK = cc[`coltd_cluster_peer_fill_total{outcome="ok"}`]
+			ns.PeerFillMiss = cc[`coltd_cluster_peer_fill_total{outcome="miss"}`]
+			ns.PeerFillCorrupt = cc[`coltd_cluster_peer_fill_total{outcome="corrupt"}`]
+			ns.StealsIn = cc[`coltd_cluster_steals_total{direction="in"}`]
+			ns.StealsOut = cc[`coltd_cluster_steals_total{direction="out"}`]
+		}
+		sum.Nodes = append(sum.Nodes, ns)
 	}
 	series, err := scrapeMetrics(base)
 	if err != nil {
@@ -375,6 +463,39 @@ func scrapeMetrics(base string) (series int, err error) {
 		return 0, fmt.Errorf("exposition carries no coltd_* series")
 	}
 	return series, nil
+}
+
+// scrapeClusterCounters fetches one node's /metrics and returns its
+// coltd_cluster_* samples keyed by full series name (labels
+// included), e.g. `coltd_cluster_steals_total{direction="in"}`.
+func scrapeClusterCounters(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "coltd_cluster_") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, perr := strconv.ParseFloat(line[sp+1:], 64)
+		if perr != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

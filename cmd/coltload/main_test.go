@@ -39,3 +39,25 @@ func TestValidate(t *testing.T) {
 		})
 	}
 }
+
+func TestParseAddrs(t *testing.T) {
+	if got, err := parseAddrs("", ""); err != nil || got != nil {
+		t.Fatalf("empty -addrs = (%v, %v), want (nil, nil)", got, err)
+	}
+	got, err := parseAddrs("http://a:1, http://b:2/,", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("parseAddrs = %v", got)
+	}
+	for _, tc := range []struct{ addrs, addr string }{
+		{"http://a:1", "http://b:2"}, // both flags
+		{"a:1", ""},                  // no scheme
+		{" , ", ""},                  // nothing named
+	} {
+		if _, err := parseAddrs(tc.addrs, tc.addr); err == nil {
+			t.Fatalf("parseAddrs(%q, %q) succeeded", tc.addrs, tc.addr)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMembershipTransitions(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n2": "http://b", "n3": "http://c"})
+
+	if got := m.RingMembers(); len(got) != 3 {
+		t.Fatalf("initial RingMembers = %v, want self+2 peers", got)
+	}
+
+	// alive → suspect: no ring change.
+	if m.Miss("n2", 2, 4) {
+		t.Fatal("first miss should not change the ring")
+	}
+	if m.Miss("n2", 2, 4) {
+		t.Fatal("suspect crossing should not change the ring")
+	}
+	p, _ := m.Peer("n2")
+	if p.State != PeerSuspect || p.Misses != 2 {
+		t.Fatalf("after 2 misses: %+v, want suspect/2", p)
+	}
+	if got := m.RingMembers(); len(got) != 3 {
+		t.Fatalf("suspect peer left the ring: %v", got)
+	}
+
+	// suspect → dead: ring changes exactly once.
+	if m.Miss("n2", 2, 4) {
+		t.Fatal("third miss (still suspect) should not change the ring")
+	}
+	if !m.Miss("n2", 2, 4) {
+		t.Fatal("dead crossing must change the ring")
+	}
+	if m.Miss("n2", 2, 4) {
+		t.Fatal("already-dead miss must not re-change the ring")
+	}
+	if got := m.RingMembers(); len(got) != 2 {
+		t.Fatalf("dead peer still in ring: %v", got)
+	}
+
+	// dead → alive on a successful beat: ring changes back.
+	if !m.Note("n2", Heartbeat{From: "n2", QueueLen: 7}, time.Now()) {
+		t.Fatal("resurrection must change the ring")
+	}
+	p, _ = m.Peer("n2")
+	if p.State != PeerAlive || p.Misses != 0 || p.QueueLen != 7 {
+		t.Fatalf("after resurrection: %+v", p)
+	}
+	if got := m.RingMembers(); len(got) != 3 {
+		t.Fatalf("resurrected peer missing from ring: %v", got)
+	}
+}
+
+func TestMembershipDrainingLeavesRing(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n2": "http://b"})
+	if !m.Note("n2", Heartbeat{From: "n2", Draining: true}, time.Now()) {
+		t.Fatal("draining transition must change the ring")
+	}
+	if got := m.RingMembers(); len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("draining peer still owns ring range: %v", got)
+	}
+	if !m.Note("n2", Heartbeat{From: "n2"}, time.Now()) {
+		t.Fatal("drain-cleared transition must change the ring")
+	}
+}
+
+func TestMembershipIgnoresUnknownAndSelf(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n1": "http://self", "n2": "http://b"})
+	if _, ok := m.Peer("n1"); ok {
+		t.Fatal("self must not be tracked as a peer")
+	}
+	if m.Note("stranger", Heartbeat{From: "stranger"}, time.Now()) {
+		t.Fatal("unknown peer must not change the ring")
+	}
+	if m.Miss("stranger", 1, 2) {
+		t.Fatal("unknown peer must not change the ring")
+	}
+}
+
+func TestMembershipCounts(t *testing.T) {
+	m := NewMembership("n1", map[string]string{"n2": "u", "n3": "u", "n4": "u"})
+	m.Miss("n3", 1, 9) // suspect
+	m.Miss("n4", 1, 2)
+	m.Miss("n4", 1, 2) // dead
+	alive, suspect, dead := m.Counts()
+	if alive != 1 || suspect != 1 || dead != 1 {
+		t.Fatalf("Counts = %d/%d/%d, want 1/1/1", alive, suspect, dead)
+	}
+}

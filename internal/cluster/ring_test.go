@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// specUniverse fabricates keys shaped like the server's cache keys:
+// hex SHA-256 of a canonical spec. 17 experiments × 100 seeds mirrors
+// the registry's spec universe at realistic scale.
+func specUniverse() []string {
+	exps := []string{
+		"als", "bandit", "bloom", "btree", "cache", "crdt", "gossip",
+		"hashjoin", "hyperloglog", "lsh", "pagerank", "quantile",
+		"raftlog", "simplex", "skiplist", "topk", "union",
+	}
+	keys := make([]string, 0, len(exps)*100)
+	for _, e := range exps {
+		for seed := 0; seed < 100; seed++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf(`{"experiment":%q,"seed":%d}`, e, seed)))
+			keys = append(keys, hex.EncodeToString(sum[:]))
+		}
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	base := NewRing(nodes, 0)
+	rng := rand.New(rand.NewSource(7))
+	keys := specUniverse()
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		if got, want := fmt.Sprint(r.Nodes()), fmt.Sprint(base.Nodes()); got != want {
+			t.Fatalf("trial %d: node set %s != %s", trial, got, want)
+		}
+		for _, k := range keys {
+			if r.Owner(k) != base.Owner(k) {
+				t.Fatalf("trial %d: ring built from %v disagrees with base on key %.12s", trial, shuffled, k)
+			}
+		}
+	}
+}
+
+func TestRingDedupesAndIgnoresEmpty(t *testing.T) {
+	r := NewRing([]string{"b", "a", "b", "", "a"}, 8)
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", r.Size())
+	}
+	if got := fmt.Sprint(r.Nodes()); got != "[a b]" {
+		t.Fatalf("Nodes = %s, want [a b]", got)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("Owner on empty ring = %q, want empty", got)
+	}
+	if got := r.Owners("anything", 3); got != nil {
+		t.Fatalf("Owners on empty ring = %v, want nil", got)
+	}
+}
+
+// TestRingBalance: over the spec universe, each of 3 nodes should
+// own within ±20% of the uniform share.
+func TestRingBalance(t *testing.T) {
+	keys := specUniverse()
+	nodes := []string{"n1", "n2", "n3"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	uniform := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		got := float64(counts[n])
+		if got < 0.8*uniform || got > 1.2*uniform {
+			t.Errorf("node %s owns %d keys; want within ±20%% of %.0f (distribution %v)", n, counts[n], uniform, counts)
+		}
+	}
+}
+
+// TestRingRemapOnJoin: adding one node to an N-node ring should
+// remap roughly 1/(N+1) of keys, and every remapped key should move
+// TO the new node (consistent hashing's minimal-disruption property).
+func TestRingRemapOnJoin(t *testing.T) {
+	keys := specUniverse()
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	remapped := 0
+	for _, k := range keys {
+		b, a := before.Owner(k), after.Owner(k)
+		if b == a {
+			continue
+		}
+		remapped++
+		if a != "n4" {
+			t.Fatalf("key %.12s remapped %s→%s; joins may only move keys to the new node", k, b, a)
+		}
+	}
+	frac := float64(remapped) / float64(len(keys))
+	want := 1.0 / 4
+	if frac < 0.5*want || frac > 1.7*want {
+		t.Errorf("join remapped %.1f%% of keys; want ≈ %.1f%%", 100*frac, 100*want)
+	}
+}
+
+// TestRingRemapOnLeave: removing a node remaps exactly the keys it
+// owned (≈1/N of them), and no key owned by a survivor moves.
+func TestRingRemapOnLeave(t *testing.T) {
+	keys := specUniverse()
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n3"}, 0)
+	remapped := 0
+	for _, k := range keys {
+		b, a := before.Owner(k), after.Owner(k)
+		if b != "n2" && b != a {
+			t.Fatalf("key %.12s owned by survivor %s moved to %s on n2's departure", k, b, a)
+		}
+		if b == "n2" {
+			remapped++
+			if a == "n2" {
+				t.Fatalf("key %.12s still owned by departed node", k)
+			}
+		}
+	}
+	frac := float64(remapped) / float64(len(keys))
+	want := 1.0 / 3
+	if frac < 0.5*want || frac > 1.7*want {
+		t.Errorf("leave remapped %.1f%% of keys; want ≈ %.1f%%", 100*frac, 100*want)
+	}
+}
+
+func TestRingOwnersDistinctAndOrdered(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, k := range specUniverse()[:50] {
+		owners := r.Owners(k, 5) // more than member count
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 5) = %v, want all 3 members", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %s, Owner = %s", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %s in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	r := NewRing([]string{"n1", "n2"}, 4)
+	if !r.Contains("n1") || r.Contains("n9") {
+		t.Fatalf("Contains misreports membership")
+	}
+}

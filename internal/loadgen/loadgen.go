@@ -20,6 +20,13 @@ import (
 type Config struct {
 	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8077".
 	BaseURL string
+	// BaseURLs, when non-empty, overrides BaseURL with several
+	// daemons: requests round-robin across them, and each request's
+	// whole lifecycle (submit, retries, status polls) stays on the
+	// target it drew — the way a DNS-round-robin client would behave
+	// against a coltd fleet. The Result then carries a per-target
+	// breakdown.
+	BaseURLs []string
 	// Clients is the closed-loop concurrency (and the worker pool that
 	// absorbs open-loop arrivals). Default 16.
 	Clients int
@@ -70,6 +77,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.BaseURLs) == 0 {
+		c.BaseURLs = []string{c.BaseURL}
+	}
+	c.BaseURL = c.BaseURLs[0]
 	if c.Clients == 0 {
 		c.Clients = 16
 	}
@@ -152,6 +163,21 @@ type Result struct {
 	// submissions.
 	CacheHitRate float64
 	CoalesceRate float64
+	// PerTarget breaks the run down by daemon when BaseURLs named more
+	// than one; nil on single-target runs.
+	PerTarget []TargetResult
+}
+
+// TargetResult is one daemon's slice of a multi-target run.
+type TargetResult struct {
+	BaseURL    string
+	Requests   int
+	Done       int
+	Refused    int
+	Errors     int
+	GoodputRPS float64
+	P50        time.Duration
+	P99        time.Duration
 }
 
 // submitResponse mirrors the fields of POST /v1/jobs the generator
@@ -177,6 +203,29 @@ type runner struct {
 	client *http.Client
 	bodies [][]byte
 	left   atomic.Int64 // remaining request budget; negative = unlimited
+
+	// rr cycles requests across cfg.BaseURLs; trecs accumulates the
+	// per-target breakdown (mutex-guarded: it's touched once per
+	// request completion, off the latency-critical path).
+	rr    atomic.Uint64
+	tmu   sync.Mutex
+	trecs []*Recorder
+}
+
+// nextTarget draws the round-robin target for one request.
+func (r *runner) nextTarget() int {
+	return int((r.rr.Add(1) - 1) % uint64(len(r.cfg.BaseURLs)))
+}
+
+// recordTarget mirrors one finished request's outcome into the
+// per-target breakdown.
+func (r *runner) recordTarget(idx int, rec *Recorder) {
+	if len(r.cfg.BaseURLs) < 2 {
+		return
+	}
+	r.tmu.Lock()
+	r.trecs[idx].Merge(rec)
+	r.tmu.Unlock()
 }
 
 // Run executes one load-generation run and aggregates the results.
@@ -208,10 +257,20 @@ func Run(cfg Config) (Result, error) {
 	} else {
 		r.left.Store(1 << 62)
 	}
+	r.trecs = make([]*Recorder, len(cfg.BaseURLs))
+	for i := range r.trecs {
+		r.trecs[i] = &Recorder{}
+	}
 
 	if cfg.Prewarm {
 		if err := r.prewarm(); err != nil {
 			return Result{}, err
+		}
+		// Prewarm traffic routes through the same round-robin path;
+		// drop it from the per-target breakdown so those recorders
+		// cover only the measured window, like the per-client ones.
+		for i := range r.trecs {
+			r.trecs[i] = &Recorder{}
 		}
 	}
 
@@ -263,6 +322,24 @@ func Run(cfg Config) (Result, error) {
 	if res.Accepted > 0 {
 		res.CacheHitRate = float64(res.CacheHits) / float64(res.Accepted)
 		res.CoalesceRate = float64(res.Coalesced) / float64(res.Accepted)
+	}
+	if len(cfg.BaseURLs) > 1 {
+		for i, tr := range r.trecs {
+			ps := tr.Percentiles(0.50, 0.99)
+			t := TargetResult{
+				BaseURL:  cfg.BaseURLs[i],
+				Requests: tr.Requests,
+				Done:     tr.Done,
+				Refused:  tr.Refused,
+				Errors:   tr.Errors,
+				P50:      ps[0],
+				P99:      ps[1],
+			}
+			if elapsed > 0 {
+				t.GoodputRPS = float64(tr.Done) / elapsed.Seconds()
+			}
+			res.PerTarget = append(res.PerTarget, t)
+		}
 	}
 	return res, nil
 }
@@ -349,12 +426,23 @@ func (r *runner) prewarm() error {
 	return nil
 }
 
-// doRequest submits spec k — retrying 503 refusals with jittered
-// exponential backoff when bo is non-nil — and follows the accepted
-// job to a terminal state, recording the outcome into rec. A retried
-// request stays one Request; its waits accumulate in rec.Backoff and
-// its eventual latency (client-perceived) includes them.
+// doRequest submits spec k against the next round-robin target —
+// retrying 503 refusals with jittered exponential backoff when bo is
+// non-nil — and follows the accepted job to a terminal state,
+// recording the outcome into rec (and the per-target breakdown). A
+// retried request stays one Request; its waits accumulate in
+// rec.Backoff and its eventual latency (client-perceived) includes
+// them.
 func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backoff) {
+	idx := r.nextTarget()
+	var local Recorder
+	r.doRequestAt(ctx, r.cfg.BaseURLs[idx], k, &local, bo)
+	rec.Merge(&local)
+	r.recordTarget(idx, &local)
+}
+
+// doRequestAt is doRequest pinned to one target base URL.
+func (r *runner) doRequestAt(ctx context.Context, base string, k int, rec *Recorder, bo *backoff) {
 	rec.Requests++
 	t0 := time.Now()
 	var sr submitResponse
@@ -363,7 +451,7 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backof
 	for attempt := 0; ; attempt++ {
 		var retryAfter time.Duration
 		var err error
-		code, retryAfter, trace, err = r.submit(ctx, k, &sr)
+		code, retryAfter, trace, err = r.submit(ctx, base, k, &sr)
 		if err != nil {
 			rec.Errors++
 			return
@@ -414,7 +502,7 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backof
 			return
 		case <-time.After(r.cfg.PollInterval):
 		}
-		st, code, err := r.poll(ctx, sr.ID)
+		st, code, err := r.poll(ctx, base, sr.ID)
 		if err != nil {
 			rec.Errors++
 			return
@@ -441,9 +529,9 @@ func (r *runner) doRequest(ctx context.Context, k int, rec *Recorder, bo *backof
 // body into sr on 2xx, the Retry-After header (whole seconds, as
 // coltd sends it) into retryAfter on refusals, and returning the
 // X-Colt-Trace the server minted (or adopted) for the request.
-func (r *runner) submit(ctx context.Context, k int, sr *submitResponse) (code int, retryAfter time.Duration, trace string, err error) {
+func (r *runner) submit(ctx context.Context, base string, k int, sr *submitResponse) (code int, retryAfter time.Duration, trace string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.bodies[k]))
+		base+"/v1/jobs", bytes.NewReader(r.bodies[k]))
 	if err != nil {
 		return 0, 0, "", err
 	}
@@ -468,9 +556,9 @@ func (r *runner) submit(ctx context.Context, k int, sr *submitResponse) (code in
 }
 
 // poll fetches one job-status snapshot.
-func (r *runner) poll(ctx context.Context, id string) (state string, code int, err error) {
+func (r *runner) poll(ctx context.Context, base, id string) (state string, code int, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		r.cfg.BaseURL+"/v1/jobs/"+id, nil)
+		base+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return "", 0, err
 	}

@@ -239,3 +239,72 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 		t.Fatalf("cap not applied over Retry-After: wait %v", d)
 	}
 }
+
+// TestMultiTargetRoundRobin drives two independent daemons through
+// BaseURLs and checks the per-target breakdown: both targets take
+// traffic, the split is near-even (round-robin, not hash-affine), and
+// the per-target counts sum to the aggregate.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	a, b := newTarget(t), newTarget(t)
+	res, err := Run(Config{
+		BaseURLs:     []string{a.URL, b.URL},
+		Clients:      4,
+		Duration:     30 * time.Second, // bounded by MaxRequests below
+		MaxRequests:  200,
+		Specs:        8,
+		ZipfS:        1.1,
+		Seed:         7,
+		PollInterval: 200 * time.Microsecond,
+		Template:     server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTarget) != 2 {
+		t.Fatalf("PerTarget has %d entries, want 2", len(res.PerTarget))
+	}
+	var sumReq, sumDone int
+	for _, tr := range res.PerTarget {
+		if tr.Requests == 0 {
+			t.Fatalf("target %s took no traffic", tr.BaseURL)
+		}
+		sumReq += tr.Requests
+		sumDone += tr.Done
+	}
+	if sumReq != res.Requests || sumDone != res.Done {
+		t.Fatalf("per-target sums (%d req, %d done) != aggregate (%d, %d)",
+			sumReq, sumDone, res.Requests, res.Done)
+	}
+	// Round-robin: neither target should see more than 60% of traffic.
+	for _, tr := range res.PerTarget {
+		if frac := float64(tr.Requests) / float64(res.Requests); frac > 0.6 {
+			t.Fatalf("target %s drew %.0f%% of requests; round-robin should stay near 50%%",
+				tr.BaseURL, frac*100)
+		}
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d errors against healthy targets", res.Errors)
+	}
+}
+
+// TestSingleTargetHasNoBreakdown pins the schema quieter path: one
+// target means no PerTarget section.
+func TestSingleTargetHasNoBreakdown(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(Config{
+		BaseURL:      ts.URL,
+		Clients:      2,
+		Duration:     30 * time.Second,
+		MaxRequests:  20,
+		Specs:        4,
+		Seed:         3,
+		PollInterval: 200 * time.Microsecond,
+		Template:     server.Spec{Experiment: "stub", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTarget != nil {
+		t.Fatalf("single-target run produced a PerTarget breakdown: %+v", res.PerTarget)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colt/internal/cluster"
 	"colt/internal/obs"
 	"colt/internal/telemetry"
 )
@@ -35,6 +36,14 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/healthz", s.handleHealthz)
 	route("GET /v1/readyz", s.handleReadyz)
 	route("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		// Fleet-internal endpoints: gossip, work stealing, and
+		// hash-addressed report serving for peer fill.
+		route("POST "+cluster.HeartbeatPath, s.handleClusterHeartbeat)
+		route("POST "+cluster.StealPath, s.handleClusterSteal)
+		route("POST "+cluster.CommitPath, s.handleClusterCommit)
+		route("GET "+cluster.ReportPath+"{hash}", s.handleClusterReport)
+	}
 	return mux
 }
 
@@ -99,6 +108,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
+	// Cluster routing: a spec whose ring owner is another node is
+	// forwarded there (one hop — forwarded requests always admit
+	// locally), so identical specs submitted anywhere in the fleet
+	// coalesce on one node and execute once.
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		if s.maybeProxySubmit(w, r, spec, trace) {
+			return
+		}
+	}
 	res, err := s.SubmitTraced(spec, trace)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
@@ -129,6 +147,12 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.Job(id)
 	if !ok {
+		// A job minted by another node (recognizable by its "<node>."
+		// ID prefix) is read through its home node; the response, if
+		// it was a report, also fills the local cache on the way past.
+		if s.proxyRemoteJob(w, r, id) {
+			return nil, false
+		}
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return nil, false
 	}
@@ -208,6 +232,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Report-Sha256", e.Sum)
 		w.Header().Set("ETag", `"`+e.Sum+`"`)
 	}
+	// The spec hash and experiment name let a proxying peer file the
+	// verified bytes in its own cache (read-side peer fill).
+	w.Header().Set(specHashHeader, j.Can.Hash)
+	w.Header().Set(experimentHeader, j.Can.Exp.Name)
 	j.markServed(time.Now())
 	s.om.reportsServed.Inc()
 	w.Header().Set("X-Colt-Trace", j.TraceID())
@@ -348,10 +376,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok"})
 }
 
+// readyzCluster is the cluster membership block of the readyz body:
+// which node this is, how big its ring currently is, and each peer's
+// failure-detector state — the partition view an LB or operator needs
+// to decide whether "ready" means "ready and well-connected".
+type readyzCluster struct {
+	NodeID   string         `json:"node_id"`
+	Epoch    uint64         `json:"epoch"`
+	RingSize int            `json:"ring_size"`
+	Alive    int            `json:"peers_alive"`
+	Suspect  int            `json:"peers_suspect"`
+	Dead     int            `json:"peers_dead"`
+	Peers    []cluster.Peer `json:"peers,omitempty"`
+}
+
 // handleReadyz is readiness: 503 while draining so a load balancer
 // rotates the node out before the drain completes. A degraded
 // (breaker-open) daemon still serves — memory-only — so it stays
-// ready, but the state is reported for operators and alerting.
+// ready, but the state is reported for operators and alerting. In
+// cluster mode the body carries the node's membership view.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
@@ -361,11 +404,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	} else if s.degraded.Load() {
 		state = "degraded"
 	}
+	var cl *readyzCluster
+	if s.cluster != nil {
+		alive, suspect, dead := s.cluster.Counts()
+		cl = &readyzCluster{
+			NodeID:   s.cluster.NodeID(),
+			Epoch:    s.cluster.Epoch(),
+			RingSize: s.cluster.Ring().Size(),
+			Alive:    alive,
+			Suspect:  suspect,
+			Dead:     dead,
+			Peers:    s.cluster.Members(),
+		}
+	}
 	writeJSON(w, status, struct {
-		Status   string `json:"status"`
-		Draining bool   `json:"draining"`
-		Degraded bool   `json:"degraded"`
-	}{Status: state, Draining: s.isDraining(), Degraded: s.degraded.Load()})
+		Status   string         `json:"status"`
+		Draining bool           `json:"draining"`
+		Degraded bool           `json:"degraded"`
+		Cluster  *readyzCluster `json:"cluster,omitempty"`
+	}{Status: state, Draining: s.isDraining(), Degraded: s.degraded.Load(), Cluster: cl})
 }
 
 // EndpointStats is one route's counter snapshot in GET /v1/stats.

@@ -154,6 +154,65 @@ func newServerMetrics(srv *Server) *serverMetrics {
 	r.CounterFunc("coltd_journal_skipped_degraded_total", "Jobs admitted without a durable accept record.",
 		func() float64 { return float64(srv.journalSkipped.Load()) })
 
+	// Cluster families are always registered — an unclustered daemon
+	// exports zeros (srv.cluster nil-checked at scrape, like the
+	// journal funcs) so dashboards keep one series shape fleet-wide.
+	r.GaugeFunc("coltd_cluster_ring_size", "Members in the consistent-hash ring (0 = unclustered).",
+		func() float64 {
+			if srv.cluster == nil {
+				return 0
+			}
+			return float64(srv.cluster.Ring().Size())
+		})
+	r.GaugeFunc("coltd_cluster_ring_epoch", "Local ring epoch (bumped per rebuild; gossiped for agreement checks).",
+		func() float64 {
+			if srv.cluster == nil {
+				return 0
+			}
+			return float64(srv.cluster.Epoch())
+		})
+	peerGauge := func(state string, pick func(alive, suspect, dead int) int) {
+		r.GaugeFunc("coltd_cluster_peers", "Peers by failure-detector state.",
+			func() float64 {
+				if srv.cluster == nil {
+					return 0
+				}
+				return float64(pick(srv.cluster.Counts()))
+			}, "state", state)
+	}
+	peerGauge("alive", func(a, s, d int) int { return a })
+	peerGauge("suspect", func(a, s, d int) int { return s })
+	peerGauge("dead", func(a, s, d int) int { return d })
+	clusterCounter := func(name, help string, load func() uint64, labels ...string) {
+		r.CounterFunc(name, help, func() float64 {
+			if srv.cluster == nil {
+				return 0
+			}
+			return float64(load())
+		}, labels...)
+	}
+	clusterCounter("coltd_cluster_proxied_submits_total", "Submissions forwarded to their ring owner.",
+		func() uint64 { return srv.cluster.Counters.ProxiedSubmits.Load() })
+	clusterCounter("coltd_cluster_proxy_fallbacks_total", "Submissions admitted locally because the owner was unreachable.",
+		func() uint64 { return srv.cluster.Counters.ProxyFallbacks.Load() })
+	const fill = "coltd_cluster_peer_fill_total"
+	const fillHelp = "Peer cache fill attempts by outcome."
+	clusterCounter(fill, fillHelp, func() uint64 { return srv.cluster.Counters.PeerFillOK.Load() }, "outcome", "ok")
+	clusterCounter(fill, fillHelp, func() uint64 { return srv.cluster.Counters.PeerFillMiss.Load() }, "outcome", "miss")
+	clusterCounter(fill, fillHelp, func() uint64 { return srv.cluster.Counters.PeerFillCorrupt.Load() }, "outcome", "corrupt")
+	const steals = "coltd_cluster_steals_total"
+	const stealsHelp = "Cross-node work steals by direction (in = ran here for a peer, out = handed to a peer)."
+	clusterCounter(steals, stealsHelp, func() uint64 { return srv.cluster.Counters.StealsIn.Load() }, "direction", "in")
+	clusterCounter(steals, stealsHelp, func() uint64 { return srv.cluster.Counters.StealsOut.Load() }, "direction", "out")
+	clusterCounter("coltd_cluster_steal_errors_total", "Steal rounds or commits that failed (includes expired leases).",
+		func() uint64 { return srv.cluster.Counters.StealErrors.Load() })
+	const beats = "coltd_cluster_heartbeats_total"
+	const beatsHelp = "Outbound heartbeats by outcome."
+	clusterCounter(beats, beatsHelp, func() uint64 { return srv.cluster.Counters.HeartbeatOK.Load() }, "outcome", "ok")
+	clusterCounter(beats, beatsHelp, func() uint64 { return srv.cluster.Counters.HeartbeatFail.Load() }, "outcome", "fail")
+	clusterCounter("coltd_cluster_ring_rebuilds_total", "Consistent-hash ring rebuilds (membership changes).",
+		func() uint64 { return srv.cluster.Counters.RingRebuilds.Load() })
+
 	m.httpLatency = r.Histogram("coltd_http_request_seconds",
 		"HTTP request latency across all routes.", obs.LatencyBuckets)
 	m.sseSubscribers = r.Gauge("coltd_sse_subscribers", "Open SSE event streams.")

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"colt/internal/cluster"
 	"colt/internal/experiments"
 	"colt/internal/metrics"
 	"colt/internal/obs"
@@ -77,6 +78,11 @@ type Config struct {
 	// 2s). A successful probe flushes the memory overlay and closes
 	// the breaker.
 	ProbeInterval time.Duration
+	// Cluster wires this daemon into a fleet (nil = single-node). In
+	// cluster mode job IDs carry a "<node>." prefix, submissions are
+	// proxied to their ring owner, cache misses try peer fill before
+	// recomputing, and a loaded queue is stealable by idle peers.
+	Cluster *cluster.Config
 	// Logger receives the request-scoped structured log stream
 	// (admission, execution, cache commit — every line carries the
 	// job's trace ID). nil discards it, keeping tests and benchmarks
@@ -204,6 +210,16 @@ type Server struct {
 	// request-scoped structured log stream (see Config.Logger).
 	om   *serverMetrics
 	slog *slog.Logger
+
+	// Cluster mode (all zero when Config.Cluster is nil). idPrefix is
+	// "<node>." so job IDs are fleet-unique and reads route by prefix;
+	// stolen tracks jobs out on lease to remote stealers.
+	cluster        *cluster.Cluster
+	idPrefix       string
+	stealThreshold int
+	stealLease     time.Duration
+	stolenMu       sync.Mutex
+	stolen         map[string]*stolenLease
 }
 
 // NewServer builds a server, opens (or creates) its cache and
@@ -237,6 +253,29 @@ func NewServer(cfg Config) (*Server, error) {
 		s.slog = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.queueSlots.Store(int64(cfg.QueueDepth))
+	// Cluster wiring happens in two steps: identity (the ID prefix)
+	// must exist before journal replay mints any job, while the
+	// heartbeat/steal loops start only once the server can actually
+	// execute work, at the bottom of this constructor.
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		if cc.Logger == nil {
+			cc.Logger = s.slog
+		}
+		cl, err := cluster.New(cc, s)
+		if err != nil {
+			s.stop()
+			return nil, err
+		}
+		s.cluster = cl
+		s.idPrefix = cc.NodeID + "."
+		s.stealThreshold = cc.StealThreshold
+		s.stealLease = cc.StealLease
+		if s.stealLease <= 0 {
+			s.stealLease = 30 * time.Second
+		}
+		s.stolen = make(map[string]*stolenLease)
+	}
 	for i := range s.admit {
 		s.admit[i].byHash = make(map[string]*Job)
 	}
@@ -272,6 +311,10 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	go s.probeLoop()
+	if s.cluster != nil {
+		s.cluster.Start()
+		go s.stolenReaper()
+	}
 	return s, nil
 }
 
@@ -429,6 +472,13 @@ func (s *Server) SubmitTraced(spec Spec, trace string) (SubmitResult, error) {
 		}
 		return SubmitResult{}, fmt.Errorf("%w: refs %d > limit %d",
 			ErrTooLarge, can.Opts.Refs, s.cfg.MaxRefs)
+	}
+	// Peer cache fill: in cluster mode a hash missing locally may be
+	// sitting verified in a peer's cache — fetch it now, before any
+	// admission lock is held (the network never runs under a shard
+	// lock), so the admission below resolves as an ordinary cache hit.
+	if s.cluster != nil {
+		s.peerFill(can, trace)
 	}
 
 	s.admitMu.RLock()
@@ -680,6 +730,45 @@ func (s *Server) dropInflight(j *Job) {
 	sh.mu.Unlock()
 }
 
+// runSpec executes one canonical spec with a private collector and
+// renders its byte-stable report. hook receives progress events (nil
+// discards them); the returned trace is the Chrome artifact when the
+// spec asked for one. It is the execution core shared by the local
+// worker path (execute) and the stolen-job path (RunStolen) — both
+// must produce the identical bytes for a given spec, which is the
+// invariant that lets a stolen report commit into the victim's cache.
+func (s *Server) runSpec(ctx context.Context, can CanonicalJob, hook func(telemetry.ProgressEvent)) (report, trace []byte, err error) {
+	opts := can.Opts
+	opts.Ctx = ctx
+	opts.Parallel = s.cfg.Parallel
+	opts.Metrics = metrics.NewCollector()
+	reporter := telemetry.NewReporter(nil)
+	if hook != nil {
+		reporter.SetHook(hook)
+	}
+	opts.Progress = reporter
+	if can.Spec.Trace {
+		opts.Events = new(telemetry.TraceSet)
+	}
+	if err := can.Exp.Run(opts); err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	b, err := opts.Metrics.Report(can.Exp.Name, opts.Snapshot()).StableJSON()
+	if err != nil {
+		return nil, nil, fmt.Errorf("rendering report: %v", err)
+	}
+	if opts.Events != nil {
+		var buf bytes.Buffer
+		if opts.Events.WriteChrome(&buf) == nil {
+			trace = buf.Bytes()
+		}
+	}
+	return b, trace, nil
+}
+
 // execute runs one job end to end: wire a private collector and
 // progress reporter, run the experiment, render the byte-stable
 // report, and store it under the job's content address. A canceled
@@ -701,18 +790,7 @@ func (s *Server) execute(j *Job) {
 	s.slog.Info("job running", "trace", j.TraceID(), "job", j.ID,
 		"experiment", j.Can.Exp.Name, "hash", j.Can.Hash)
 
-	opts := j.Can.Opts
-	opts.Ctx = ctx
-	opts.Parallel = s.cfg.Parallel
-	opts.Metrics = metrics.NewCollector()
-	reporter := telemetry.NewReporter(nil)
-	reporter.SetHook(j.appendEvent)
-	opts.Progress = reporter
-	if j.Can.Spec.Trace {
-		opts.Events = new(telemetry.TraceSet)
-	}
-
-	runErr := j.Can.Exp.Run(opts)
+	b, traceBuf, runErr := s.runSpec(ctx, j.Can, j.appendEvent)
 	now := time.Now()
 	if ctx.Err() != nil {
 		// Which cancellation was it? User cancels and blown deadlines
@@ -739,14 +817,6 @@ func (s *Server) execute(j *Job) {
 		s.slog.Warn("job finished", "trace", j.TraceID(), "job", j.ID, "state", "failed", "error", runErr.Error())
 		return
 	}
-	report := opts.Metrics.Report(j.Can.Exp.Name, opts.Snapshot())
-	b, err := report.StableJSON()
-	if err != nil {
-		j.finish(JobFailed, fmt.Sprintf("rendering report: %v", err), now)
-		s.journalCommit(j.Can.Hash)
-		s.slog.Warn("job finished", "trace", j.TraceID(), "job", j.ID, "state", "failed", "error", err.Error())
-		return
-	}
 	// A disk-refused Put is not a failed job: the bytes land in the
 	// memory overlay and serve from there, the breaker hears about the
 	// disk, and the journal record stays live — after a crash the spec
@@ -763,11 +833,8 @@ func (s *Server) execute(j *Job) {
 			"hash", j.Can.Hash, "bytes", len(b), "durable", true)
 	}
 	j.mark("committed", time.Now())
-	if opts.Events != nil {
-		var buf bytes.Buffer
-		if err := opts.Events.WriteChrome(&buf); err == nil {
-			j.setTrace(buf.Bytes())
-		}
+	if traceBuf != nil {
+		j.setTrace(traceBuf)
 	}
 	j.finish(JobDone, "", time.Now())
 	s.slog.Info("job finished", "trace", j.TraceID(), "job", j.ID, "state", "done")
@@ -817,6 +884,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue)
 		s.admitMu.Unlock()
 		close(s.probeStop)
+		if s.cluster != nil {
+			// Stop heartbeating and stealing before waiting on workers:
+			// peers see the drain via their next failed beat (or the
+			// Draining flag gossiped just before), and jobs still out on
+			// steal leases keep their WAL records live — a commit that
+			// never arrives replays on restart, same as a crash.
+			s.cluster.Stop()
+		}
 
 		done := make(chan struct{})
 		go func() {
@@ -921,7 +996,10 @@ type Stats struct {
 	DiskFaultsInjected uint64 `json:"disk_faults_injected,omitempty"`
 	// Journal is the accepted-job WAL snapshot (disk-backed caches
 	// only).
-	Journal   *JournalStats            `json:"journal,omitempty"`
+	Journal *JournalStats `json:"journal,omitempty"`
+	// Cluster is the fleet view (cluster mode only): ring shape,
+	// membership counts, and cross-node traffic counters.
+	Cluster   *ClusterStats            `json:"cluster,omitempty"`
 	Cache     CacheStats               `json:"cache"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -943,6 +1021,7 @@ func (s *Server) Stats() Stats {
 		DeadlineShed:   s.deadlineShed.Load(),
 		Cache:          s.cache.Stats(),
 		Endpoints:      s.ep.snapshot(),
+		Cluster:        s.clusterStats(),
 	}
 	if s.plane != nil {
 		st.DiskFaultsInjected = s.plane.InjectedTotal()

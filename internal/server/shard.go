@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -52,9 +53,18 @@ func (s *Server) regShardForSeq(seq uint64) *regShard {
 	return &s.reg[seq%numShards]
 }
 
-// regShardForID recovers the registry shard from a job ID ("j%06d").
-// Malformed IDs (which the server never minted) report false.
+// regShardForID recovers the registry shard from a job ID ("j%06d",
+// or "<node>.j%06d" in cluster mode). Malformed IDs — including IDs
+// carrying another node's prefix, whose reads the HTTP layer proxies
+// to their home node — report false.
 func (s *Server) regShardForID(id string) (*regShard, bool) {
+	if s.idPrefix != "" {
+		rest, ok := strings.CutPrefix(id, s.idPrefix)
+		if !ok {
+			return nil, false
+		}
+		id = rest
+	}
 	if len(id) < 2 || id[0] != 'j' {
 		return nil, false
 	}
@@ -71,7 +81,7 @@ func (s *Server) regShardForID(id string) (*regShard, bool) {
 // submissions never consume one. cached jobs are born done.
 func (s *Server) newTrackedJob(can CanonicalJob, now time.Time, cached bool, trace string) *Job {
 	seq := s.nextID.Add(1)
-	j := newJob(fmt.Sprintf("j%06d", seq), can, now)
+	j := newJob(s.idPrefix+fmt.Sprintf("j%06d", seq), can, now)
 	j.seq = seq
 	j.traceID = trace
 	j.om = s.om // before any terminal transition can fire
